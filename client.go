@@ -1,0 +1,217 @@
+package score
+
+import (
+	"fmt"
+	"time"
+
+	"score/internal/core"
+	"score/internal/device"
+	"score/internal/payload"
+	"score/internal/predict"
+	"score/internal/simclock"
+)
+
+// ClientOption configures one process's runtime.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	gpuCache      int64
+	hostCache     int64
+	discard       bool
+	persistPFS    bool
+	autoPrefetch  bool
+	asyncHostInit bool
+	storeDir      string
+	autoHints     bool
+	gpuDirect     bool
+}
+
+// WithGPUCache sets the device cache reservation (default 4 GiB, the
+// paper's 10% of an A100).
+func WithGPUCache(bytes int64) ClientOption {
+	return func(c *clientConfig) { c.gpuCache = bytes }
+}
+
+// WithHostCache sets the pinned host cache reservation (default 32 GiB).
+func WithHostCache(bytes int64) ClientOption {
+	return func(c *clientConfig) { c.hostCache = bytes }
+}
+
+// WithDiscardAfterRestore marks consumed checkpoints discardable: their
+// pending flushes are cancelled. Use for adjoint workloads that never
+// revisit a consumed checkpoint.
+func WithDiscardAfterRestore() ClientOption {
+	return func(c *clientConfig) { c.discard = true }
+}
+
+// WithPersistToPFS extends the flush chain past the node-local SSD to the
+// shared parallel file system.
+func WithPersistToPFS() ClientOption {
+	return func(c *clientConfig) { c.persistPFS = true }
+}
+
+// WithAutoPrefetch starts prefetching as soon as hints arrive instead of
+// waiting for PrefetchStart.
+func WithAutoPrefetch() ClientOption {
+	return func(c *clientConfig) { c.autoPrefetch = true }
+}
+
+// WithAsyncHostInit overlaps the slow pinned host cache registration with
+// the start of the run (the paper's measured behavior) instead of paying
+// it during NewClient.
+func WithAsyncHostInit() ClientOption {
+	return func(c *clientConfig) { c.asyncHostInit = true }
+}
+
+// WithGPUDirect flushes GPU→SSD and prefetches SSD→GPU directly,
+// bypassing the host cache tier (the paper's GPUDirect-storage
+// future-work item).
+func WithGPUDirect() ClientOption {
+	return func(c *clientConfig) { c.gpuDirect = true }
+}
+
+// WithAutoHints attaches a stride predictor to the restore stream: when
+// the application provides no explicit hints but reads sequentially, in
+// reverse, or with a constant stride, the predictor recognizes the
+// pattern after three restores and feeds extrapolated hints to the
+// prefetcher — the "higher-level I/O middleware" hinting of §4.1.1.
+// Implies auto-started prefetching. Predictions are advisory: a wrong
+// guess costs bandwidth, never correctness.
+func WithAutoHints() ClientOption {
+	return func(c *clientConfig) {
+		c.autoHints = true
+		c.autoPrefetch = true
+	}
+}
+
+// WithStore makes the SSD tier durable at dir: checkpoints written with
+// real data persist to disk (CRC-protected files), and a new client
+// opened on the same directory recovers them — restartable across
+// process crashes. See Client.RecoveredVersions.
+func WithStore(dir string) ClientOption {
+	return func(c *clientConfig) { c.storeDir = dir }
+}
+
+// Client is one process's checkpointing runtime: the VELOC-style API of
+// the paper (Listing 1) with the two new prefetching primitives.
+type Client struct {
+	inner     *core.Client
+	dev       *device.GPU
+	clk       simclock.Clock
+	predictor *predict.Predictor // nil unless WithAutoHints
+}
+
+// Checkpoint writes version with real data. It blocks only until the data
+// is copied into the GPU cache; flushing to the slower tiers proceeds in
+// the background (VELOC_Checkpoint).
+func (c *Client) Checkpoint(version int64, data []byte) error {
+	return c.inner.Checkpoint(core.ID(version), payload.NewReal(data))
+}
+
+// CheckpointVirtual writes a size-only checkpoint (for large-scale
+// benchmarking where materializing the bytes is pointless).
+func (c *Client) CheckpointVirtual(version int64, size int64) error {
+	return c.inner.Checkpoint(core.ID(version), payload.NewVirtual(size))
+}
+
+// Restart reads version back into the application buffer, blocking until
+// the data is on the GPU (VELOC_Restart). For checkpoints written with
+// Checkpoint it returns the original bytes, checksum-verified.
+func (c *Client) Restart(version int64) ([]byte, error) {
+	if c.predictor != nil {
+		c.predictor.Observe(version)
+	}
+	pay, err := c.inner.Restore(core.ID(version))
+	if err != nil {
+		return nil, err
+	}
+	data := pay.Bytes()
+	if data != nil {
+		if err := payload.Verify(pay, data); err != nil {
+			return nil, fmt.Errorf("score: restart %d: %w", version, err)
+		}
+	}
+	return data, nil
+}
+
+// RestartSize returns a checkpoint's size (VELOC_Recover_size).
+func (c *Client) RestartSize(version int64) (int64, error) {
+	return c.inner.RestoreSize(core.ID(version))
+}
+
+// PrefetchEnqueue hints that version will be restored after all
+// previously hinted versions (VELOC_Prefetch_enqueue). Hints are
+// advisory and cannot be revoked.
+func (c *Client) PrefetchEnqueue(version int64) {
+	c.inner.PrefetchEnqueue(core.ID(version))
+}
+
+// PrefetchStart begins asynchronous prefetching (VELOC_Prefetch_start);
+// useful to keep prefetches from competing with the forward pass's
+// flushes.
+func (c *Client) PrefetchStart() { c.inner.PrefetchStart() }
+
+// WaitFlush blocks until every written checkpoint has drained to the
+// node-local SSD (and the PFS when persistence is enabled).
+func (c *Client) WaitFlush() error { return c.inner.WaitFlush() }
+
+// Compute emulates computation for d of simulated time.
+func (c *Client) Compute(d time.Duration) { c.dev.Compute(d) }
+
+// Close stops the client's background flusher and prefetcher tasks.
+func (c *Client) Close() { c.inner.Close() }
+
+// Err returns the first asynchronous runtime failure, if any.
+func (c *Client) Err() error { return c.inner.Err() }
+
+// Stats summarizes the client's measurements.
+type Stats struct {
+	// CheckpointBytes and RestoreBytes are totals moved by the API.
+	CheckpointBytes, RestoreBytes int64
+	// CheckpointOps and RestoreOps count operations.
+	CheckpointOps, RestoreOps int64
+	// CheckpointThroughput and RestoreThroughput are the application-
+	// observed rates in bytes per simulated second (total size over
+	// blocking time, the paper's §5.4.1 metric).
+	CheckpointThroughput, RestoreThroughput float64
+	// MeanPrefetchDistance is the average number of successor
+	// checkpoints already resident on the GPU at each restore (§5.4.4).
+	MeanPrefetchDistance float64
+	// DeviationReads counts restores that departed from the hint order.
+	DeviationReads int64
+}
+
+// PredictedHints reports how many hints the auto-hint predictor has
+// issued (0 without WithAutoHints).
+func (c *Client) PredictedHints() int64 {
+	if c.predictor == nil {
+		return 0
+	}
+	return c.predictor.Emitted()
+}
+
+// RecoveredVersions lists the checkpoint versions recovered from the
+// durable store (WithStore) when the client was created, ascending.
+func (c *Client) RecoveredVersions() []int64 {
+	ids := c.inner.Recovered()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+// Stats returns the client's measurements so far.
+func (c *Client) Stats() Stats {
+	s := c.inner.Metrics().Snapshot()
+	return Stats{
+		CheckpointBytes:      s.CheckpointBytes,
+		RestoreBytes:         s.RestoreBytes,
+		CheckpointOps:        s.CheckpointOps,
+		RestoreOps:           s.RestoreOps,
+		CheckpointThroughput: s.CheckpointThroughput(),
+		RestoreThroughput:    s.RestoreThroughput(),
+		MeanPrefetchDistance: s.MeanPrefetchDistance(),
+		DeviationReads:       s.DeviationReads,
+	}
+}

@@ -1,0 +1,191 @@
+// Command ckptbench regenerates the paper's evaluation: each -exp value
+// reruns one table or figure of "GPU-Enabled Asynchronous Multi-level
+// Checkpoint Caching and Prefetching" (HPDC '23) on the simulated
+// DGX-A100 cluster and prints the corresponding rows.
+//
+// Usage:
+//
+//	ckptbench -exp fig5a              # one figure at paper scale
+//	ckptbench -exp all -scale small   # everything, 1/16 scale
+//	ckptbench -list                   # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"score/internal/experiments"
+	"score/internal/metrics"
+	"score/internal/report"
+)
+
+var experimentNames = []string{
+	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
+	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run: "+strings.Join(experimentNames, ", ")+", or 'all'")
+	scaleName := flag.String("scale", "full", "workload scale: full (paper) or small (1/16)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experimentNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ckptbench: -exp required (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "full":
+		scale = experiments.Full()
+	case "small":
+		scale = experiments.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "ckptbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experimentNames
+	}
+	for _, name := range names {
+		if err := run(name, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, scale experiments.Scale) error {
+	start := time.Now()
+	defer func() {
+		fmt.Printf("(%s completed in %v wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}()
+	switch name {
+	case "table1":
+		tab := report.NewTable("Table 1 — Compared approaches", "notation", "prefetch hints")
+		for _, c := range experiments.Table1() {
+			hints := map[experiments.HintMode]string{
+				experiments.NoHints: "0", experiments.SingleHint: "1", experiments.AllHints: "All",
+			}[c.Hints]
+			tab.AddRow(c.Label(), hints)
+		}
+		return tab.Render(os.Stdout)
+	case "fig4":
+		stats, err := experiments.Fig4(scale, 32)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Fig. 4 — Size distribution of 32 RTM snapshots",
+			"snapshot", "min", "avg", "max")
+		step := len(stats) / 24
+		if step == 0 {
+			step = 1
+		}
+		var avgs []float64
+		for i, st := range stats {
+			avgs = append(avgs, float64(st.Avg))
+			if i%step == 0 {
+				tab.AddRow(st.Snapshot, sizeMB(st.Min), sizeMB(st.Avg), sizeMB(st.Max))
+			}
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("avg-size curve: %s\n", report.Sparkline(avgs))
+		return nil
+	case "fig5a":
+		return renderFig(experiments.Fig5(scale, true))
+	case "fig5b":
+		return renderFig(experiments.Fig5(scale, false))
+	case "fig6a":
+		return renderFig(experiments.Fig6(scale, true))
+	case "fig6b":
+		return renderFig(experiments.Fig6(scale, false))
+	case "fig7":
+		fig, err := experiments.Fig7(scale)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		return renderFig7Series(fig)
+	case "fig8a":
+		return renderFig(experiments.Fig8a(scale, nil))
+	case "fig8b":
+		return renderFig(experiments.Fig8b(scale, nil))
+	case "fig9a":
+		return renderFig(experiments.Fig9(scale, true, nil))
+	case "fig9b":
+		return renderFig(experiments.Fig9(scale, false, nil))
+	case "ablations":
+		abl, err := experiments.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		return abl.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func renderFig(fig experiments.FigureResult, err error) error {
+	if err != nil {
+		return err
+	}
+	return fig.Render(os.Stdout)
+}
+
+// renderFig7Series prints the per-timestep restore rate and prefetch
+// distance curves (downsampled) for each hint budget.
+func renderFig7Series(fig experiments.FigureResult) error {
+	for _, hints := range []string{"No hints", "Single hint", "All hints"} {
+		series := fig.Series[hints]
+		if len(series) == 0 {
+			continue
+		}
+		tab := report.NewTable(fmt.Sprintf("Fig. 7 series — %s (Score)", hints),
+			"iteration", "restore rate", "next prefetches completed")
+		step := len(series) / 16
+		if step == 0 {
+			step = 1
+		}
+		var rates, dists []float64
+		for i, p := range series {
+			rate := float64(p.Bytes) / maxSeconds(p.Blocked)
+			rates = append(rates, rate)
+			dists = append(dists, float64(p.PrefetchDistance))
+			if i%step == 0 {
+				tab.AddRow(p.Iteration, metrics.FormatBytesPerSec(rate), p.PrefetchDistance)
+			}
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("restore-rate curve:     %s\n", report.Sparkline(rates))
+		fmt.Printf("prefetch-distance curve: %s\n\n", report.Sparkline(dists))
+	}
+	return nil
+}
+
+func maxSeconds(d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 1e-9
+	}
+	return s
+}
+
+func sizeMB(b int64) string { return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20)) }

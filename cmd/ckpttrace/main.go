@@ -1,0 +1,103 @@
+// Command ckpttrace runs a small Score adjoint shot with runtime tracing
+// enabled and writes the timeline in the Chrome trace-event format. Load
+// the output in chrome://tracing or https://ui.perfetto.dev to see the
+// application's checkpoint/restore blocking interleaved with the
+// asynchronous flusher and prefetcher activity of every GPU.
+//
+// Usage:
+//
+//	ckpttrace -o trace.json -gpus 2 -versions 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"score"
+)
+
+func main() {
+	out := flag.String("o", "trace.json", "output file (Chrome trace-event JSON)")
+	gpus := flag.Int("gpus", 2, "GPUs (processes) on the simulated node")
+	versions := flag.Int("versions", 24, "checkpoints per process")
+	size := flag.Int64("size", 64<<20, "checkpoint size in bytes")
+	interval := flag.Duration("interval", 10*time.Millisecond, "compute time between operations")
+	flag.Parse()
+
+	sim, err := score.NewSim(
+		score.WithTracing(),
+		score.WithGPUsPerNode(*gpus),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	sim.Run(func() {
+		wg := sim.NewWaitGroup()
+		errs := make([]error, *gpus)
+		for g := 0; g < *gpus; g++ {
+			g := g
+			wg.Add(1)
+			sim.Clock().Go(func() {
+				defer wg.Done()
+				errs[g] = runShot(sim, g, *versions, *size, *interval)
+			})
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				fatal(fmt.Errorf("gpu %d: %w", g, err))
+			}
+		}
+	})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := sim.WriteTrace(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d GPUs × %d checkpoints, %v simulated)\n",
+		*out, *gpus, *versions, sim.Clock().Now().Round(time.Millisecond))
+	fmt.Println("open it in chrome://tracing or https://ui.perfetto.dev")
+}
+
+// runShot is the Listing 1 pattern for one process.
+func runShot(sim *score.Sim, gpu, versions int, size int64, interval time.Duration) error {
+	c, err := sim.NewClient(0, gpu,
+		score.WithGPUCache(size*4),
+		score.WithHostCache(size*16),
+	)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for v := versions - 1; v >= 0; v-- {
+		c.PrefetchEnqueue(int64(v))
+	}
+	for v := 0; v < versions; v++ {
+		if err := c.CheckpointVirtual(int64(v), size); err != nil {
+			return err
+		}
+		c.Compute(interval)
+	}
+	if err := c.WaitFlush(); err != nil {
+		return err
+	}
+	c.PrefetchStart()
+	for v := versions - 1; v >= 0; v-- {
+		if _, err := c.Restart(int64(v)); err != nil {
+			return err
+		}
+		c.Compute(interval)
+	}
+	return c.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ckpttrace:", err)
+	os.Exit(1)
+}

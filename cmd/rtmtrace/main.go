@@ -1,0 +1,102 @@
+// Command rtmtrace generates and inspects the synthetic RTM shot traces
+// used by the benchmarks (the stand-in for the paper's 1600 production
+// shot traces, §5.3.3).
+//
+// Usage:
+//
+//	rtmtrace -ranks 8                       # summary per rank
+//	rtmtrace -ranks 32 -stats               # Fig. 4-style distribution
+//	rtmtrace -rank 0 -dump | head           # per-snapshot sizes, CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"score/internal/report"
+	"score/internal/rtm"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "number of ranks (shots) to generate")
+	rank := flag.Int("rank", -1, "dump a single rank's trace instead")
+	snapshots := flag.Int("snapshots", 384, "snapshots per shot")
+	seed := flag.Int64("seed", 2023, "generation seed")
+	stats := flag.Bool("stats", false, "print the Fig. 4 min/avg/max distribution")
+	dump := flag.Bool("dump", false, "with -rank: print snapshot,bytes CSV")
+	flag.Parse()
+
+	cfg := rtm.DefaultTraceConfig()
+	cfg.Snapshots = *snapshots
+	cfg.Seed = *seed
+
+	if *rank >= 0 {
+		shot, err := rtm.GenerateShot(cfg, *rank)
+		if err != nil {
+			fatal(err)
+		}
+		if *dump {
+			fmt.Println("snapshot,bytes")
+			for i, s := range shot.Sizes {
+				fmt.Printf("%d,%d\n", i, s)
+			}
+			return
+		}
+		printSummary([]rtm.Shot{shot})
+		return
+	}
+
+	shots := make([]rtm.Shot, *ranks)
+	for r := 0; r < *ranks; r++ {
+		s, err := rtm.GenerateShot(cfg, r)
+		if err != nil {
+			fatal(err)
+		}
+		shots[r] = s
+	}
+	if *stats {
+		st, err := rtm.Stats(shots)
+		if err != nil {
+			fatal(err)
+		}
+		tab := report.NewTable(
+			fmt.Sprintf("Snapshot size distribution across %d shots", *ranks),
+			"snapshot", "min MiB", "avg MiB", "max MiB")
+		step := len(st) / 32
+		if step == 0 {
+			step = 1
+		}
+		var avgs []float64
+		for i, row := range st {
+			avgs = append(avgs, float64(row.Avg))
+			if i%step == 0 {
+				tab.AddRow(row.Snapshot, mib(row.Min), mib(row.Avg), mib(row.Max))
+			}
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("avg curve: %s\n", report.Sparkline(avgs))
+		return
+	}
+	printSummary(shots)
+}
+
+func printSummary(shots []rtm.Shot) {
+	tab := report.NewTable("Shot summaries", "rank", "snapshots", "total GiB", "max MiB")
+	for _, s := range shots {
+		tab.AddRow(s.Rank, len(s.Sizes),
+			fmt.Sprintf("%.2f", float64(s.Total())/(1<<30)), mib(s.MaxSize()))
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func mib(b int64) string { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Package score is a Go reproduction of "GPU-Enabled Asynchronous
+// Multi-level Checkpoint Caching and Prefetching" (Maurya et al.,
+// HPDC '23): a checkpointing runtime for HPC applications that write and
+// read long histories of checkpoints at high frequency, as in adjoint
+// computations (reverse time migration, quantum optimal control),
+// reproducibility pipelines, and producer–consumer workflows.
+//
+// The runtime treats GPU memory as a first-class cache tier: checkpoints
+// block only for the copy into a pre-allocated device cache, then flush
+// asynchronously down the hierarchy (GPU → pinned host → node-local SSD →
+// parallel file system). Applications declare the order in which they
+// will read checkpoints back (prefetch hints); a background prefetcher
+// promotes them up the hierarchy ahead of the reads, and a gap-aware
+// score-based eviction policy decides, across the interleaving of flushes
+// and prefetches, which cached checkpoints to sacrifice.
+//
+// Because Go cannot drive real CUDA devices, the hardware is simulated: a
+// deterministic discrete-event clock, a max-min fair-sharing interconnect
+// fabric modeling the DGX-A100 topology, and a GPU model with HBM
+// accounting and allocation costs. The simulation exercises the complete
+// runtime — life-cycle state machine, eviction algorithm, flusher and
+// prefetcher tasks, multi-process contention — with full paper-scale
+// workloads in milliseconds of wall time.
+//
+// # Quick start
+//
+//	sim, err := score.NewSim()                   // one DGX-A100-like node
+//	if err != nil { ... }
+//	sim.Run(func() {
+//	    c, err := sim.NewClient(0, 0)            // node 0, GPU 0
+//	    if err != nil { ... }
+//	    defer c.Close()
+//
+//	    for v := int64(9); v >= 0; v-- {         // reverse restore order
+//	        c.PrefetchEnqueue(v)
+//	    }
+//	    for v := int64(0); v < 10; v++ {         // forward pass
+//	        c.Checkpoint(v, data[v])
+//	        c.Compute(10 * time.Millisecond)
+//	    }
+//	    c.PrefetchStart()
+//	    for v := int64(9); v >= 0; v-- {         // backward pass
+//	        restored, _ := c.Restart(v)
+//	        ...
+//	    }
+//	})
+//
+// The full evaluation of the paper (Figures 4–9, Table 1) is regenerated
+// by cmd/ckptbench and by the benchmarks in bench_test.go.
+package score

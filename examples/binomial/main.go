@@ -1,0 +1,160 @@
+// binomial demonstrates binomial checkpointing (REVOLVE): reversing a
+// long computation with a checkpoint budget far smaller than the step
+// count, the memory-bound automatic-differentiation pattern the paper's
+// introduction highlights (quantum optimal control, §1). The schedule
+// interleaves writes, reads, and recomputation — "the need to write and
+// read checkpoints in any predefined order" — and the example feeds every
+// scheduled Restore into the runtime's hint queue so the prefetcher can
+// exploit the schedule's perfect foreknowledge.
+//
+// Run with:
+//
+//	go run ./examples/binomial
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"score"
+	"score/internal/revolve"
+)
+
+const (
+	steps = 200 // primal steps to reverse
+	slots = 6   // simultaneous checkpoint budget
+)
+
+// state is the primal computation: a toy iterated map whose trajectory
+// the backward pass must revisit in exact reverse order.
+type state struct {
+	step int
+	x    uint64
+}
+
+func advance(s state, to int) state {
+	for s.step < to {
+		s.x = s.x*6364136223846793005 + 1442695040888963407 // LCG step
+		s.step++
+	}
+	return s
+}
+
+func encode(s state) []byte {
+	buf := make([]byte, 12+1<<16) // pad to a realistic checkpoint size
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s.x >> (8 * i))
+	}
+	for i := 0; i < 4; i++ {
+		buf[8+i] = byte(uint32(s.step) >> (8 * i))
+	}
+	return buf
+}
+
+func decode(buf []byte) state {
+	var s state
+	for i := 0; i < 8; i++ {
+		s.x |= uint64(buf[i]) << (8 * i)
+	}
+	var st uint32
+	for i := 0; i < 4; i++ {
+		st |= uint32(buf[8+i]) << (8 * i)
+	}
+	s.step = int(st)
+	return s
+}
+
+func main() {
+	schedule, err := revolve.Schedule(steps, slots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revolve schedule: %d actions, %d forward steps for %d primal steps (%.2fx recompute), peak %d/%d slots\n",
+		len(schedule), revolve.ForwardSteps(schedule), steps,
+		float64(revolve.ForwardSteps(schedule))/float64(steps),
+		revolve.PeakSlots(schedule), slots)
+
+	sim, err := score.NewSim()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Run(func() {
+		client, err := sim.NewClient(0, 0,
+			score.WithGPUCache(1<<20), // tiny tier: only ~3 slots fit
+			score.WithHostCache(8<<20),
+			score.WithAutoPrefetch(),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+
+		// The schedule is fully known: hint every Restore in order.
+		version := map[int]int64{} // primal step -> latest checkpoint version
+		next := int64(0)
+		plan := map[int]int64{}
+		for _, a := range schedule {
+			switch a.Kind {
+			case revolve.Store:
+				plan[a.Step] = next
+				next++
+			case revolve.Restore:
+				client.PrefetchEnqueue(plan[a.Step])
+			}
+		}
+
+		// Execute the schedule against the runtime.
+		cur := state{}
+		expected := make([]uint64, steps) // forward trajectory for verification
+		probe := state{}
+		for i := 0; i < steps; i++ {
+			expected[i] = probe.x
+			probe = advance(probe, i+1)
+		}
+
+		reversed := 0
+		next = 0
+		for _, a := range schedule {
+			switch a.Kind {
+			case revolve.Store:
+				version[a.Step] = next
+				if err := client.Checkpoint(next, encode(cur)); err != nil {
+					log.Fatalf("store step %d: %v", a.Step, err)
+				}
+				next++
+			case revolve.Restore:
+				buf, err := client.Restart(version[a.Step])
+				if err != nil {
+					log.Fatalf("restore step %d: %v", a.Step, err)
+				}
+				cur = decode(buf)
+				if cur.step != a.Step {
+					log.Fatalf("restored step %d, want %d", cur.step, a.Step)
+				}
+			case revolve.Advance:
+				cur = advance(cur, a.Target)
+				client.Compute(time.Duration(a.Target-a.Step) * time.Millisecond)
+			case revolve.Reverse:
+				if cur.x != expected[a.Step] {
+					log.Fatalf("adjoint of step %d sees state %#x, want %#x",
+						a.Step, cur.x, expected[a.Step])
+				}
+				reversed++
+				client.Compute(time.Millisecond)
+			case revolve.Discard:
+				// The runtime evicts lazily; nothing to do.
+			}
+		}
+		if reversed != steps {
+			log.Fatalf("reversed %d steps, want %d", reversed, steps)
+		}
+
+		st := client.Stats()
+		fmt.Printf("reversed %d steps with %d checkpoint writes and %d restores (all verified)\n",
+			steps, st.CheckpointOps, st.RestoreOps)
+		fmt.Printf("application-observed: ckpt %.2f GB/s, restore %.2f GB/s\n",
+			st.CheckpointThroughput/(1<<30), st.RestoreThroughput/(1<<30))
+		fmt.Printf("simulated time: %v\n", sim.Clock().Now().Round(time.Microsecond))
+	})
+}

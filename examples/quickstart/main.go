@@ -1,0 +1,76 @@
+// Quickstart: the Listing 1 pattern from the paper — a forward pass that
+// writes ten checkpoints, prefetch hints declaring they will be read back
+// in reverse, and a backward pass that restores them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"score"
+)
+
+func main() {
+	sim, err := score.NewSim() // one DGX-A100-like node
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Run(func() {
+		client, err := sim.NewClient(0, 0,
+			score.WithGPUCache(64<<20),   // small caches so evictions happen
+			score.WithHostCache(256<<20), // even in this toy run
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+
+		const versions = 10
+		payloads := make([][]byte, versions)
+
+		// Declare the restore order up front (VELOC_Prefetch_enqueue):
+		// the backward pass will read in reverse.
+		for v := int64(versions - 1); v >= 0; v-- {
+			client.PrefetchEnqueue(v)
+		}
+
+		// Forward pass: compute, checkpoint (VELOC_Checkpoint).
+		for v := 0; v < versions; v++ {
+			payloads[v] = bytes.Repeat([]byte{byte('A' + v)}, 16<<20)
+			if err := client.Checkpoint(int64(v), payloads[v]); err != nil {
+				log.Fatalf("checkpoint %d: %v", v, err)
+			}
+			client.Compute(10 * time.Millisecond)
+		}
+
+		// Begin prefetching now that the forward pass's flushes are no
+		// longer competing for bandwidth (VELOC_Prefetch_start).
+		client.PrefetchStart()
+
+		// Backward pass: restore in reverse (VELOC_Restart).
+		for v := versions - 1; v >= 0; v-- {
+			restored, err := client.Restart(int64(v))
+			if err != nil {
+				log.Fatalf("restart %d: %v", v, err)
+			}
+			if !bytes.Equal(restored, payloads[v]) {
+				log.Fatalf("restart %d: data mismatch", v)
+			}
+			client.Compute(10 * time.Millisecond)
+		}
+
+		st := client.Stats()
+		fmt.Printf("checkpointed %d versions (%d MiB) at %.2f GB/s application-observed\n",
+			st.CheckpointOps, st.CheckpointBytes>>20, st.CheckpointThroughput/(1<<30))
+		fmt.Printf("restored     %d versions (%d MiB) at %.2f GB/s application-observed\n",
+			st.RestoreOps, st.RestoreBytes>>20, st.RestoreThroughput/(1<<30))
+		fmt.Printf("mean prefetch distance: %.2f checkpoints ahead\n", st.MeanPrefetchDistance)
+		fmt.Printf("simulated time: %v\n", sim.Clock().Now().Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,3 @@
+module score
+
+go 1.22

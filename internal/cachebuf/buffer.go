@@ -1,0 +1,750 @@
+// Package cachebuf implements the contiguous cache buffer of the paper's
+// §4.1.4–4.1.6 and the gap-aware, score-based, sliding-window eviction
+// policy of §4.2 (Algorithm 1).
+//
+// A Buffer manages one pre-allocated contiguous region on one cache tier
+// (GPU HBM or pinned host memory). Resident checkpoints and the gaps
+// between them form an ordered fragment list. When a new checkpoint (or a
+// prefetch) needs space and no single gap is large enough, the policy
+// slides a variable-size window over the fragment list to find the set of
+// consecutive fragments whose eviction blocks future restores the least:
+//
+//   - p_score: the estimated total time until every fragment in the window
+//     becomes evictable (0 for gaps and already-evictable checkpoints, +Inf
+//     for pinned fragments — replicas being written/read or prefetched but
+//     not yet consumed, which are never evicted, §2 condition 4);
+//   - s_score: the total prefetch distance of the window's checkpoints
+//     (how far from the head of the restore-order queue they are; gaps
+//     count as infinitely far).
+//
+// The window with minimal p_score wins; ties break toward maximal s_score
+// (evict what will be restored last). Scores update incrementally as the
+// window slides, keeping the scan O(N).
+//
+// Geometry invariants maintained at every step:
+//  1. fragments are sorted by offset and tile [0, capacity) exactly;
+//  2. no two gaps are adjacent (gaps coalesce eagerly);
+//  3. every checkpoint id appears at most once.
+package cachebuf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"score/internal/simclock"
+)
+
+// ID identifies a checkpoint (unique per buffer). Negative values are
+// reserved for gaps internally.
+type ID int64
+
+const gapID ID = -1
+
+// GapDistance is the prefetch distance attributed to gaps: farther than
+// any real hint, so windows containing gaps win s_score ties (gaps have
+// "the highest eviction priority", §4.1.6).
+const GapDistance = int(1) << 40
+
+// Oracle supplies the dynamic checkpoint state the eviction policy needs.
+// It is implemented by the runtime from the life-cycle FSM, the restore
+// order queue, and the fabric's bandwidth estimators.
+type Oracle interface {
+	// Evictable reports whether id may be evicted right now (replica is
+	// FLUSHED or CONSUMED).
+	Evictable(id ID) bool
+	// TimeToEvictable estimates how long until id becomes evictable.
+	// ok=false means the replica is pinned indefinitely (prefetched but
+	// not yet consumed, or mid-read) and must never be evicted.
+	TimeToEvictable(id ID) (d time.Duration, ok bool)
+	// PrefetchDistance returns the number of queue positions between
+	// the head of the restore-order queue and id's hint; ids without a
+	// hint return a value >= GapDistance-1.
+	PrefetchDistance(id ID) int
+	// Evicted notifies the runtime that id's replica left this buffer.
+	Evicted(id ID)
+}
+
+// Errors returned by Reserve and TryReserve.
+var (
+	// ErrTooLarge: the request exceeds the buffer capacity outright.
+	ErrTooLarge = errors.New("cachebuf: request larger than buffer capacity")
+	// ErrClosed: the buffer was closed while waiting.
+	ErrClosed = errors.New("cachebuf: buffer closed")
+	// ErrWouldBlock: TryReserve found no immediately usable window.
+	ErrWouldBlock = errors.New("cachebuf: reservation would block")
+	// ErrDuplicate: the id is already resident.
+	ErrDuplicate = errors.New("cachebuf: checkpoint already resident")
+)
+
+// Policy selects how eviction windows are scored. PolicyScore is the
+// paper's Algorithm 1; PolicyLRU and PolicyFIFO are classic baselines used
+// by the ablation benchmarks (they still honor pinning — eviction of a
+// pinned replica would lose data — but ignore flush estimates and
+// prefetch distances).
+type Policy int
+
+const (
+	// PolicyScore is the gap-aware sliding-window scored policy (§4.2).
+	PolicyScore Policy = iota
+	// PolicyLRU evicts the window whose most recently touched fragment
+	// is least recent.
+	PolicyLRU
+	// PolicyFIFO evicts the window whose most recently inserted
+	// fragment is oldest.
+	PolicyFIFO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyScore:
+		return "score"
+	case PolicyLRU:
+		return "lru"
+	case PolicyFIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// frag is one fragment: a resident checkpoint or a gap.
+type frag struct {
+	id   ID // gapID for gaps
+	off  int64
+	size int64
+
+	insertSeq int64 // buffer-wide insertion counter (FIFO)
+	touchSeq  int64 // last access counter (LRU)
+
+	// claimed marks the fragment as part of an eviction window another
+	// reservation has selected and is waiting on: no other reservation
+	// may place into, select, or coalesce across it.
+	claimed bool
+}
+
+func (f frag) isGap() bool { return f.id == gapID }
+
+// Stats aggregates buffer activity for the evaluation harness.
+type Stats struct {
+	// Evictions counts evicted checkpoints (not gaps).
+	Evictions int64
+	// BytesEvicted counts evicted checkpoint bytes.
+	BytesEvicted int64
+	// EvictionWait is total simulated time Reserve spent waiting for
+	// windows to become evictable.
+	EvictionWait time.Duration
+	// Reservations counts successful reservations.
+	Reservations int64
+	// WindowScans counts sliding-window scans performed.
+	WindowScans int64
+}
+
+// Buffer is one tier's pre-allocated contiguous cache region.
+type Buffer struct {
+	clk      simclock.Clock
+	name     string
+	capacity int64
+	oracle   Oracle
+
+	mu        sync.Mutex
+	cond      simclock.Cond
+	frags     []frag
+	resident  map[ID]struct{}
+	reserving bool // serializes window selection + eviction
+	closed    bool
+	policy    Policy
+	seq       int64 // insertion/touch counter
+	stats     Stats
+}
+
+// New creates a buffer of the given capacity. The oracle must be non-nil.
+func New(clk simclock.Clock, name string, capacity int64, oracle Oracle) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cachebuf: %s: capacity must be positive, got %d", name, capacity))
+	}
+	if oracle == nil {
+		panic("cachebuf: nil oracle")
+	}
+	b := &Buffer{
+		clk:      clk,
+		name:     name,
+		capacity: capacity,
+		oracle:   oracle,
+		frags:    []frag{{id: gapID, off: 0, size: capacity}},
+		resident: make(map[ID]struct{}),
+	}
+	b.cond = clk.NewCond(&b.mu)
+	return b
+}
+
+// SetPolicy selects the eviction policy (default PolicyScore). Intended
+// for configuration at construction time, before concurrent use.
+func (b *Buffer) SetPolicy(p Policy) { b.policy = p }
+
+// Touch records an access to id for the LRU policy; the runtime calls it
+// when a resident checkpoint serves a read.
+func (b *Buffer) Touch(id ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.frags {
+		if b.frags[i].id == id {
+			b.seq++
+			b.frags[i].touchSeq = b.seq
+			return
+		}
+	}
+}
+
+// Name returns the buffer's name (for diagnostics).
+func (b *Buffer) Name() string { return b.name }
+
+// Capacity returns the buffer capacity in bytes.
+func (b *Buffer) Capacity() int64 { return b.capacity }
+
+// Reserve finds (evicting if needed) a contiguous region of size bytes and
+// registers id there, blocking in simulated time until space is available.
+// It returns the assigned offset.
+func (b *Buffer) Reserve(id ID, size int64) (int64, error) {
+	return b.reserve(id, size, true)
+}
+
+// TryReserve is Reserve but fails with ErrWouldBlock instead of waiting
+// (used by the prefetcher to avoid stalling behind pinned windows).
+func (b *Buffer) TryReserve(id ID, size int64) (int64, error) {
+	return b.reserve(id, size, false)
+}
+
+func (b *Buffer) reserve(id ID, size int64, wait bool) (int64, error) {
+	if id < 0 {
+		return 0, fmt.Errorf("cachebuf: %s: invalid id %d", b.name, id)
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("cachebuf: %s: invalid size %d", b.name, size)
+	}
+	if size > b.capacity {
+		return 0, ErrTooLarge
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.resident[id]; dup {
+		return 0, ErrDuplicate
+	}
+	if b.closed {
+		return 0, ErrClosed
+	}
+
+	// Fast path before any serialization: if a single gap already fits,
+	// place there immediately. This keeps concurrent reservations (e.g.
+	// the co-located clients of a shared host pool) from convoying
+	// behind one client's eviction wait.
+	if off, ok := b.placeInGapLocked(id, size); ok {
+		b.stats.Reservations++
+		return off, nil
+	}
+
+	for {
+		if b.closed {
+			return 0, ErrClosed
+		}
+		// Fast path: a single unclaimed gap fits (best-fit to limit
+		// fragmentation of large gaps).
+		if off, ok := b.placeInGapLocked(id, size); ok {
+			b.stats.Reservations++
+			return off, nil
+		}
+
+		// Window selection is serialized: two overlapping scans could
+		// otherwise pick each other's fragments. The serialization covers
+		// only the scan and the claim — NOT the wait for evictability —
+		// so concurrent reservations (e.g. the co-located clients of a
+		// shared host pool) do not convoy behind one client's flush.
+		if b.reserving {
+			if !wait {
+				return 0, ErrWouldBlock
+			}
+			b.cond.Wait()
+			continue
+		}
+		b.reserving = true
+
+		// Slow path: Algorithm 1 — find the best eviction window among
+		// unclaimed, unpinned fragments.
+		start, end, feasible := b.bestWindowLocked(size)
+		if !feasible {
+			b.reserving = false
+			b.cond.Broadcast()
+			// Every candidate window crosses a pinned or claimed
+			// fragment.
+			if !wait {
+				return 0, ErrWouldBlock
+			}
+			if b.closed {
+				return 0, ErrClosed
+			}
+			// Wait for a state change (consume/flush) and rescan.
+			waitStart := b.clk.Now()
+			b.cond.Wait()
+			b.stats.EvictionWait += b.clk.Now() - waitStart
+			continue
+		}
+		if !wait && !b.windowEvictableLocked(start, end) {
+			b.reserving = false
+			b.cond.Broadcast()
+			return 0, ErrWouldBlock
+		}
+
+		// Claim the window, then release the scan serialization before
+		// waiting for the claimed fragments to become evictable.
+		startOff := b.frags[start].off
+		endOff := b.frags[end-1].off + b.frags[end-1].size
+		for i := start; i < end; i++ {
+			b.frags[i].claimed = true
+		}
+		b.reserving = false
+		b.cond.Broadcast()
+
+		off, ok := b.evictClaimedLocked(id, size, startOff, endOff)
+		if ok {
+			b.stats.Reservations++
+			return off, nil
+		}
+		// Closed while waiting: the claim was released.
+		return 0, ErrClosed
+	}
+}
+
+// placeInGapLocked looks for the tightest single gap that fits size and
+// splits it. Returns the allocated offset.
+func (b *Buffer) placeInGapLocked(id ID, size int64) (int64, bool) {
+	best := -1
+	var bestSize int64 = math.MaxInt64
+	for i, f := range b.frags {
+		if f.isGap() && !f.claimed && f.size >= size && f.size < bestSize {
+			best, bestSize = i, f.size
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	g := b.frags[best]
+	b.seq++
+	nf := frag{id: id, off: g.off, size: size, insertSeq: b.seq, touchSeq: b.seq}
+	if g.size == size {
+		b.frags[best] = nf
+	} else {
+		rest := frag{id: gapID, off: g.off + size, size: g.size - size}
+		b.frags[best] = nf
+		b.frags = append(b.frags, frag{})
+		copy(b.frags[best+2:], b.frags[best+1:])
+		b.frags[best+1] = rest
+	}
+	b.resident[id] = struct{}{}
+	return nf.off, true
+}
+
+// windowEvictableLocked reports whether every checkpoint in frags[start:end]
+// is evictable right now.
+func (b *Buffer) windowEvictableLocked(start, end int) bool {
+	for i := start; i < end; i++ {
+		f := b.frags[i]
+		if !f.isGap() && !b.oracle.Evictable(f.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// evictClaimedLocked waits (releasing the lock) for every checkpoint in
+// the claimed window [startOff, endOff) to become evictable, then erases
+// the window and installs the new fragment. The claim keeps the window's
+// boundaries stable while waiting: no other reservation can place into,
+// select, or coalesce across it (Release inside it only turns checkpoints
+// into claimed gaps). Returns ok=false — with the claim released — if the
+// buffer closes while waiting.
+func (b *Buffer) evictClaimedLocked(id ID, size int64, startOff, endOff int64) (int64, bool) {
+	// Wait for evictability (Algorithm 1 line 24: "wait until A[i]
+	// evictable"). Release(id) and Notify() broadcast the cond.
+	for {
+		i, ok := b.fragAtLocked(startOff)
+		if !ok {
+			panic(fmt.Sprintf("cachebuf: %s: claimed window at %d vanished", b.name, startOff))
+		}
+		allEvictable := true
+		for ; i < len(b.frags) && b.frags[i].off < endOff; i++ {
+			f := b.frags[i]
+			if f.isGap() {
+				continue
+			}
+			if !b.oracle.Evictable(f.id) {
+				allEvictable = false
+				break
+			}
+		}
+		if allEvictable {
+			break
+		}
+		if b.closed {
+			b.unclaimLocked(startOff, endOff)
+			return 0, false
+		}
+		waitStart := b.clk.Now()
+		b.cond.Wait()
+		b.stats.EvictionWait += b.clk.Now() - waitStart
+	}
+
+	// Erase every fragment overlapping [startOff, endOff).
+	first, _ := b.fragAtLocked(startOff)
+	last := first
+	for last < len(b.frags) && b.frags[last].off < endOff {
+		f := b.frags[last]
+		if !f.isGap() {
+			delete(b.resident, f.id)
+			b.stats.Evictions++
+			b.stats.BytesEvicted += f.size
+			b.oracle.Evicted(f.id)
+		}
+		last++
+	}
+	windowBytes := b.frags[last-1].off + b.frags[last-1].size - startOff
+	if windowBytes < size {
+		// Should not happen: the scan guaranteed the window fits.
+		panic(fmt.Sprintf("cachebuf: %s: selected window of %d bytes < request %d",
+			b.name, windowBytes, size))
+	}
+
+	b.seq++
+	newFrags := []frag{{id: id, off: startOff, size: size, insertSeq: b.seq, touchSeq: b.seq}}
+	if rest := windowBytes - size; rest > 0 {
+		newFrags = append(newFrags, frag{id: gapID, off: startOff + size, size: rest})
+	}
+	tail := append([]frag{}, b.frags[last:]...)
+	b.frags = append(b.frags[:first], append(newFrags, tail...)...)
+	b.coalesceLocked()
+	b.resident[id] = struct{}{}
+	b.cond.Broadcast()
+	return startOff, true
+}
+
+// unclaimLocked clears the claim on every fragment in [startOff, endOff)
+// and re-merges any gap seams the claim boundaries held apart.
+func (b *Buffer) unclaimLocked(startOff, endOff int64) {
+	for i := range b.frags {
+		if b.frags[i].off >= startOff && b.frags[i].off < endOff {
+			b.frags[i].claimed = false
+		}
+	}
+	b.coalesceLocked()
+	b.cond.Broadcast()
+}
+
+// fragAtLocked returns the index of the fragment starting at off.
+func (b *Buffer) fragAtLocked(off int64) (int, bool) {
+	for i, f := range b.frags {
+		if f.off == off {
+			return i, true
+		}
+		if f.off > off {
+			break
+		}
+	}
+	return 0, false
+}
+
+// bestWindowLocked runs the sliding-window scan of Algorithm 1 and returns
+// the chosen window as a fragment index range [start, end). feasible is
+// false when no window of sufficient size avoids pinned fragments.
+func (b *Buffer) bestWindowLocked(sizeNew int64) (start, end int, feasible bool) {
+	b.stats.WindowScans++
+	if b.policy != PolicyScore {
+		return b.recencyWindowLocked(sizeNew)
+	}
+	n := len(b.frags)
+	j := 0
+	var window int64
+	var pScore, sScore float64
+	var pinned int // pinned fragments in the current window
+	minP := math.Inf(1)
+	maxS := -1.0
+	rStart, rEnd := -1, -1
+
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			prev := b.frags[i-1]
+			p, pin := b.fragPScoreLocked(prev)
+			pScore -= p
+			if pin {
+				pinned--
+			}
+			sScore -= b.fragSScoreLocked(prev)
+			window -= prev.size
+		}
+		for window < sizeNew && j < n {
+			f := b.frags[j]
+			p, pin := b.fragPScoreLocked(f)
+			pScore += p
+			if pin {
+				pinned++
+			}
+			sScore += b.fragSScoreLocked(f)
+			window += f.size
+			j++
+		}
+		if window < sizeNew {
+			break // suffix too small; no further window can fit
+		}
+		if pinned > 0 {
+			continue // window crosses a pinned fragment: infeasible
+		}
+		if pScore < minP || (pScore == minP && sScore > maxS) {
+			minP, maxS = pScore, sScore
+			rStart, rEnd = i, j
+		}
+	}
+	if rStart < 0 {
+		return 0, 0, false
+	}
+	return rStart, rEnd, true
+}
+
+// recencyWindowLocked implements the LRU and FIFO ablation policies: the
+// candidate window minimizing the maximum recency (touch or insertion
+// sequence) of its fragments wins. Pinned fragments still exclude a
+// window. O(N²) over the fragment list, which is small.
+func (b *Buffer) recencyWindowLocked(sizeNew int64) (start, end int, feasible bool) {
+	n := len(b.frags)
+	bestScore := int64(math.MaxInt64)
+	rStart, rEnd := -1, -1
+	for i := 0; i < n; i++ {
+		var window int64
+		var maxSeq int64
+		for j := i; j < n; j++ {
+			f := b.frags[j]
+			if f.claimed {
+				break
+			}
+			if !f.isGap() {
+				if _, pinned := b.fragPScoreLocked(f); pinned {
+					break
+				}
+				seq := f.touchSeq
+				if b.policy == PolicyFIFO {
+					seq = f.insertSeq
+				}
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+			}
+			window += f.size
+			if window >= sizeNew {
+				if maxSeq < bestScore {
+					bestScore = maxSeq
+					rStart, rEnd = i, j+1
+				}
+				break
+			}
+		}
+	}
+	if rStart < 0 {
+		return 0, 0, false
+	}
+	return rStart, rEnd, true
+}
+
+// fragPScoreLocked returns the estimated seconds until the fragment
+// becomes evictable plus whether it is pinned (never evictable); gaps
+// score 0, unpinned.
+func (b *Buffer) fragPScoreLocked(f frag) (score float64, pinned bool) {
+	if f.claimed {
+		return 0, true // another reservation owns this window
+	}
+	if f.isGap() {
+		return 0, false
+	}
+	d, ok := b.oracle.TimeToEvictable(f.id)
+	if !ok {
+		return 0, true
+	}
+	return d.Seconds(), false
+}
+
+// fragSScoreLocked is the fragment's prefetch distance (gaps farthest).
+func (b *Buffer) fragSScoreLocked(f frag) float64 {
+	if f.isGap() {
+		return float64(GapDistance)
+	}
+	return float64(b.oracle.PrefetchDistance(f.id))
+}
+
+// Release removes id from the buffer (after consumption and discard, or
+// when invalidating), turning its fragment into a gap. It reports whether
+// the id was resident. Unlike eviction, Release does not consult the
+// oracle.
+func (b *Buffer) Release(id ID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.resident[id]; !ok {
+		return false
+	}
+	for i := range b.frags {
+		if b.frags[i].id == id {
+			b.frags[i].id = gapID
+			break
+		}
+	}
+	delete(b.resident, id)
+	b.coalesceLocked()
+	b.cond.Broadcast()
+	return true
+}
+
+// Contains reports id's fragment placement if resident.
+func (b *Buffer) Contains(id ID) (off, size int64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, res := b.resident[id]; !res {
+		return 0, 0, false
+	}
+	for _, f := range b.frags {
+		if f.id == id {
+			return f.off, f.size, true
+		}
+	}
+	panic(fmt.Sprintf("cachebuf: %s: resident id %d missing from fragment list", b.name, id))
+}
+
+// IfResident runs fn under the buffer's lock if id is resident and reports
+// whether it ran. Eviction holds the same lock from its final
+// evictability check through fragment erasure, so a state change made
+// inside fn (e.g. pinning the replica by moving its FSM to READ_COMPLETE)
+// cannot race an in-flight eviction of the same fragment: either fn runs
+// first and the eviction re-check sees the pin, or the eviction wins and
+// fn never runs. fn must not call back into the buffer.
+func (b *Buffer) IfResident(id ID, fn func()) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.resident[id]; !ok {
+		return false
+	}
+	fn()
+	return true
+}
+
+// Resident returns the number of cached checkpoints.
+func (b *Buffer) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.resident)
+}
+
+// FreeBytes returns the total gap bytes.
+func (b *Buffer) FreeBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var free int64
+	for _, f := range b.frags {
+		if f.isGap() {
+			free += f.size
+		}
+	}
+	return free
+}
+
+// LargestGap returns the size of the largest single gap.
+func (b *Buffer) LargestGap() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var max int64
+	for _, f := range b.frags {
+		if f.isGap() && f.size > max {
+			max = f.size
+		}
+	}
+	return max
+}
+
+// FragmentCount returns the number of fragments (checkpoints + gaps).
+func (b *Buffer) FragmentCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frags)
+}
+
+// Notify wakes any reservation waiting for evictability; the runtime calls
+// it whenever a checkpoint's life-cycle state changes.
+func (b *Buffer) Notify() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Close unblocks all waiters with ErrClosed; subsequent reservations fail.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Snapshot returns a copy of the buffer statistics.
+func (b *Buffer) Snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// coalesceLocked merges adjacent gaps with the same claim state,
+// restoring invariant 2 while keeping claimed windows' boundaries intact.
+func (b *Buffer) coalesceLocked() {
+	out := b.frags[:0]
+	for _, f := range b.frags {
+		if n := len(out); n > 0 && out[n-1].isGap() && f.isGap() &&
+			out[n-1].claimed == f.claimed {
+			out[n-1].size += f.size
+			continue
+		}
+		out = append(out, f)
+	}
+	b.frags = out
+}
+
+// CheckInvariants validates the geometry invariants; tests call it after
+// random operation sequences.
+func (b *Buffer) CheckInvariants() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var off int64
+	seen := make(map[ID]struct{})
+	for i, f := range b.frags {
+		if f.off != off {
+			return fmt.Errorf("fragment %d starts at %d, want %d (hole or overlap)", i, f.off, off)
+		}
+		if f.size <= 0 {
+			return fmt.Errorf("fragment %d has non-positive size %d", i, f.size)
+		}
+		if f.isGap() && i > 0 && b.frags[i-1].isGap() &&
+			f.claimed == b.frags[i-1].claimed {
+			return fmt.Errorf("adjacent gaps at fragments %d-%d", i-1, i)
+		}
+		if !f.isGap() {
+			if _, dup := seen[f.id]; dup {
+				return fmt.Errorf("duplicate checkpoint id %d", f.id)
+			}
+			seen[f.id] = struct{}{}
+			if _, ok := b.resident[f.id]; !ok {
+				return fmt.Errorf("fragment id %d not in resident set", f.id)
+			}
+		}
+		off += f.size
+	}
+	if off != b.capacity {
+		return fmt.Errorf("fragments cover %d bytes, want %d", off, b.capacity)
+	}
+	if len(seen) != len(b.resident) {
+		return fmt.Errorf("resident set has %d ids, fragments have %d", len(b.resident), len(seen))
+	}
+	return nil
+}

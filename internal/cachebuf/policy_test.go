@@ -1,0 +1,126 @@
+package cachebuf
+
+import (
+	"testing"
+	"time"
+
+	"score/internal/simclock"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyScore.String() != "score" || PolicyLRU.String() != "lru" || PolicyFIFO.String() != "fifo" {
+		t.Error("unexpected policy names")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("out-of-range policy should format numerically")
+	}
+}
+
+func TestLRUPolicyEvictsLeastRecentlyTouched(t *testing.T) {
+	runSim(t, func(clk *simclock.Virtual) {
+		o := newFakeOracle()
+		b := New(clk, "gpu", 300, o)
+		b.SetPolicy(PolicyLRU)
+		for i := ID(0); i < 3; i++ {
+			o.mark(i)
+			if _, err := b.Reserve(i, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Touch 0 and 1: checkpoint 2 becomes the coldest despite being
+		// the most recently inserted.
+		b.Touch(0)
+		b.Touch(1)
+		if _, err := b.Reserve(10, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := b.Contains(2); ok {
+			t.Error("LRU should have evicted untouched checkpoint 2")
+		}
+		for _, id := range []ID{0, 1} {
+			if _, _, ok := b.Contains(id); !ok {
+				t.Errorf("touched checkpoint %d evicted", id)
+			}
+		}
+	})
+}
+
+func TestFIFOPolicyEvictsOldestInsertion(t *testing.T) {
+	runSim(t, func(clk *simclock.Virtual) {
+		o := newFakeOracle()
+		b := New(clk, "gpu", 300, o)
+		b.SetPolicy(PolicyFIFO)
+		for i := ID(0); i < 3; i++ {
+			o.mark(i)
+			if _, err := b.Reserve(i, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Touching must NOT matter for FIFO.
+		b.Touch(0)
+		b.Touch(0)
+		if _, err := b.Reserve(10, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := b.Contains(0); ok {
+			t.Error("FIFO should have evicted the first-inserted checkpoint 0")
+		}
+	})
+}
+
+func TestRecencyPoliciesHonorPinning(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyFIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			runSim(t, func(clk *simclock.Virtual) {
+				o := newFakeOracle()
+				b := New(clk, "gpu", 200, o)
+				b.SetPolicy(pol)
+				o.mark(0, 1)
+				if _, err := b.Reserve(0, 100); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.Reserve(1, 100); err != nil {
+					t.Fatal(err)
+				}
+				// Pin the would-be victim (oldest/coldest = 0).
+				o.pinned[0] = true
+				if _, err := b.Reserve(10, 100); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, ok := b.Contains(0); !ok {
+					t.Error("pinned checkpoint evicted by recency policy")
+				}
+				if _, _, ok := b.Contains(1); ok {
+					t.Error("unpinned checkpoint survived instead")
+				}
+			})
+		})
+	}
+}
+
+func TestRecencyPolicyWaitsForEvictability(t *testing.T) {
+	// Recency policies pick windows by recency but still wait for the
+	// life cycle to allow the eviction.
+	runSim(t, func(clk *simclock.Virtual) {
+		o := newFakeOracle()
+		b := New(clk, "gpu", 100, o)
+		b.SetPolicy(PolicyLRU)
+		if _, err := b.Reserve(0, 100); err != nil {
+			t.Fatal(err)
+		}
+		o.evictable[0], o.timeTo[0] = false, time.Second
+		clk.Go(func() {
+			clk.Sleep(time.Second)
+			o.mark(0)
+			b.Notify()
+		})
+		start := clk.Now()
+		if _, err := b.Reserve(1, 100); err != nil {
+			t.Fatal(err)
+		}
+		if waited := clk.Now() - start; waited != time.Second {
+			t.Errorf("waited %v, want 1s", waited)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openT(t *testing.T, dir string) (*Store, []error) {
+	t.Helper()
+	s, corrupt, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, corrupt
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	data := []byte("wavefield snapshot #7")
+	if err := s.Put(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("payload mismatch")
+	}
+	if !s.Has(7) || s.Has(8) {
+		t.Error("Has is wrong")
+	}
+	if n, err := s.Size(7); err != nil || n != int64(len(data)) {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if s.TotalBytes() != int64(len(data)) {
+		t.Errorf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestPutRejectsDuplicates(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if err := s.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("b")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Put: %v, want ErrExists", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if _, err := s.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size(missing) = %v", err)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	for i := int64(0); i < 10; i++ {
+		if err := s.Put(i, bytes.Repeat([]byte{byte(i)}, int(i+1)*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-open: the index must be rebuilt from disk alone.
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 0 {
+		t.Fatalf("unexpected corrupt files: %v", corrupt)
+	}
+	ids := s2.IDs()
+	if len(ids) != 10 {
+		t.Fatalf("recovered %d ids, want 10", len(ids))
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Errorf("ids[%d] = %d", i, id)
+		}
+	}
+	got, err := s2.Get(3)
+	if err != nil || len(got) != 400 {
+		t.Errorf("Get(3) after reopen: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestCorruptFilesDetectedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Put(1, []byte("good checkpoint payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, []byte("to be corrupted payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of checkpoint 2.
+	path := filepath.Join(dir, "2.ckpt")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[headerSize+3] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Also drop a truncated file and a stale temp file.
+	if err := os.WriteFile(filepath.Join(dir, "9.ckpt"), buf[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "5.ckpt.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 2 {
+		t.Fatalf("corrupt reports = %d (%v), want 2", len(corrupt), corrupt)
+	}
+	if !s2.Has(1) {
+		t.Error("valid checkpoint 1 lost")
+	}
+	if s2.Has(2) || s2.Has(9) {
+		t.Error("corrupt checkpoints indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "5.ckpt.tmp")); !os.IsNotExist(err) {
+		t.Error("stale temp file not cleaned up")
+	}
+}
+
+func TestCorruptHeaderDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Put(3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "3.ckpt")
+	buf, _ := os.ReadFile(path)
+	buf[9] ^= 0xFF // id byte: header CRC must catch it
+	os.WriteFile(path, buf, 0o644)
+	_, corrupt := openT(t, dir)
+	if len(corrupt) != 1 {
+		t.Errorf("header corruption not detected: %v", corrupt)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if err := s.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(1) {
+		t.Error("deleted checkpoint still indexed")
+	}
+	if err := s.Delete(1); err != nil {
+		t.Errorf("deleting absent id: %v", err)
+	}
+	// After deletion the id may be written again.
+	if err := s.Put(1, []byte("y")); err != nil {
+		t.Errorf("re-put after delete: %v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if err := s.Put(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty payload round trip: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	next := int64(0)
+	f := func(data []byte) bool {
+		id := next
+		next++
+		if err := s.Put(id, data); err != nil {
+			return false
+		}
+		got, err := s.Get(id)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Everything written must survive a reopen.
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 0 {
+		t.Fatalf("corrupt after property run: %v", corrupt)
+	}
+	if int64(len(s2.IDs())) != next {
+		t.Errorf("recovered %d ids, want %d", len(s2.IDs()), next)
+	}
+}

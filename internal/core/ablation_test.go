@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"score/internal/cachebuf"
+	"score/internal/simclock"
+)
+
+// runAdjointShot executes a small forward+backward adjoint shot and
+// returns total restore blocking time. Used to compare ablated
+// configurations against the full design.
+func runAdjointShot(t *testing.T, mutate func(*Params)) (restoreBlocked, ckptBlocked time.Duration) {
+	t.Helper()
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		r := newRig(t, clk, mutate)
+		defer r.client.Close()
+		const n = 16
+		for i := n - 1; i >= 0; i-- {
+			r.client.PrefetchEnqueue(ID(i))
+		}
+		for i := ID(0); i < n; i++ {
+			start := clk.Now()
+			if err := r.client.Checkpoint(i, pay(1*MB)); err != nil {
+				t.Fatal(err)
+			}
+			ckptBlocked += clk.Now() - start
+			r.gpu.Compute(2 * time.Millisecond)
+		}
+		if err := r.client.WaitFlush(); err != nil {
+			t.Fatal(err)
+		}
+		r.client.PrefetchStart()
+		for i := ID(n - 1); i >= 0; i-- {
+			start := clk.Now()
+			if _, err := r.client.Restore(i); err != nil {
+				t.Fatal(err)
+			}
+			restoreBlocked += clk.Now() - start
+			r.gpu.Compute(5 * time.Millisecond)
+		}
+		if err := r.client.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return restoreBlocked, ckptBlocked
+}
+
+func TestAblationSplitCacheStillCorrect(t *testing.T) {
+	// The split cache must remain functionally correct; with half the
+	// space per role it cannot beat the shared design.
+	shared, _ := runAdjointShot(t, nil)
+	split, _ := runAdjointShot(t, func(p *Params) { p.SplitCache = true })
+	if split < shared {
+		t.Logf("note: split %v < shared %v (allowed on tiny shots, but unexpected)", split, shared)
+	}
+}
+
+func TestAblationNoPinningStillCorrect(t *testing.T) {
+	runAdjointShot(t, func(p *Params) { p.NoPinning = true })
+}
+
+func TestAblationOnDemandAllocSlowsWrites(t *testing.T) {
+	_, pre := runAdjointShot(t, nil)
+	_, onDemand := runAdjointShot(t, func(p *Params) { p.OnDemandAlloc = true })
+	if onDemand <= pre {
+		t.Errorf("on-demand allocation blocked writes for %v, pre-allocated %v: expected slower",
+			onDemand, pre)
+	}
+}
+
+func TestAblationEvictionPoliciesCorrect(t *testing.T) {
+	for _, pol := range []cachebuf.Policy{cachebuf.PolicyLRU, cachebuf.PolicyFIFO} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			runAdjointShot(t, func(p *Params) { p.GPUEvictionPolicy = pol })
+		})
+	}
+}

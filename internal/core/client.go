@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"score/internal/cachebuf"
+	"score/internal/lifecycle"
+	"score/internal/metrics"
+	"score/internal/payload"
+	"score/internal/simclock"
+	"score/internal/trace"
+)
+
+// Client is the Score runtime instance for one process (one GPU). It
+// exposes the VELOC-style API the paper extends: Checkpoint (blocking only
+// for the copy into the GPU cache), Restore, PrefetchEnqueue and
+// PrefetchStart (the new primitives of §4.3), plus WaitFlush to drain the
+// asynchronous flush chain.
+//
+// Lock ordering: cachebuf.Buffer's internal lock may be taken before
+// Client.mu (the eviction oracle runs under it); therefore no Client
+// method may call into a Buffer while holding Client.mu.
+type Client struct {
+	p    Params
+	clk  simclock.Clock
+	rec  *metrics.Recorder
+	gpuC *cachebuf.Buffer // device cache (write side when SplitCache)
+	gpuP *cachebuf.Buffer // prefetch-side device cache (SplitCache only)
+	hstC *cachebuf.Buffer // pinned host cache
+
+	mu   sync.Mutex
+	cond simclock.Cond
+
+	ckpts   map[ID]*checkpoint
+	q       restoreQueue
+	started bool // prefetcher activated
+	closed  bool
+	err     error // first asynchronous failure
+
+	d2hQ, h2fQ []ID // flush queues (FIFO)
+	d2hBusy    bool
+	h2fBusy    bool
+
+	hostReadyAt time.Duration // pinned host cache registration completes
+	hostNS      int64         // namespace in a shared host cache; -1 = private
+	restoreIter int
+	stagedBytes int64  // host-stager budget accounting
+	events      uint64 // progress generation: bumped on real state changes
+
+	daemons *simclock.WaitGroup
+}
+
+// New creates and starts a Client. The caller must Close it to stop the
+// background flusher and prefetcher tasks.
+func New(p Params) (*Client, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		p:     p,
+		clk:   p.Clock,
+		rec:   metrics.NewRecorder(),
+		ckpts: make(map[ID]*checkpoint),
+	}
+	c.cond = c.clk.NewCond(&c.mu)
+	c.daemons = simclock.NewWaitGroup(c.clk)
+
+	// Pre-allocate the contiguous device cache (§4.1.4). The HBM
+	// allocation itself is fast (~1 TB/s).
+	if err := p.GPU.AllocDevice(p.GPUCacheSize); err != nil {
+		return nil, fmt.Errorf("core: allocating GPU cache: %w", err)
+	}
+	gpuOracle := &tierOracle{c: c, tier: TierGPU}
+	if p.SplitCache {
+		// Ablation of §4.1.2: separate half-size regions for flushing
+		// and prefetching instead of one shared cache.
+		half := p.GPUCacheSize / 2
+		c.gpuC = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-writecache", p.GPU.ID()), half, gpuOracle)
+		c.gpuP = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-readcache", p.GPU.ID()), half, gpuOracle)
+	} else {
+		c.gpuC = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-cache", p.GPU.ID()),
+			p.GPUCacheSize, gpuOracle)
+	}
+	c.gpuC.SetPolicy(p.GPUEvictionPolicy)
+	if c.gpuP != nil {
+		c.gpuP.SetPolicy(p.GPUEvictionPolicy)
+	}
+	c.hostNS = -1
+	if p.SharedHost != nil {
+		c.hstC = p.SharedHost.buf
+		c.hostNS = p.SharedHost.register(c)
+		p.HostCacheSize = p.SharedHost.Capacity()
+		c.p.HostCacheSize = p.HostCacheSize
+	} else {
+		c.hstC = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-hostcache", p.GPU.ID()),
+			p.HostCacheSize, &tierOracle{c: c, tier: TierHost})
+	}
+
+	// Pinned host cache registration is slow (~4 GB/s, §4.1.4): either
+	// pay it upfront, overlap it with the run (the paper observes the
+	// latter limits early checkpoint throughput, §5.4.2), or — in the
+	// on-demand ablation — skip it and pay per flush instead. A shared
+	// pool carries its own (once-only) registration schedule.
+	switch {
+	case p.SharedHost != nil:
+		// Each participating process pins one chunk of the pool in
+		// parallel at its own registration rate.
+		c.hostReadyAt = p.SharedHost.createdAt +
+			pinnedAllocDuration(p.SharedHost.pinChunk, p.GPU.Costs().PinnedHostBytesPerSec)
+	case p.OnDemandAlloc:
+		c.hostReadyAt = c.clk.Now()
+	case p.AsyncHostInit:
+		c.hostReadyAt = c.clk.Now() + pinnedAllocDuration(p.HostCacheSize, p.GPU.Costs().PinnedHostBytesPerSec)
+	default:
+		p.GPU.AllocPinnedHost(p.HostCacheSize)
+		c.hostReadyAt = c.clk.Now()
+	}
+
+	if p.Store != nil {
+		c.recoverFromStore()
+	}
+
+	c.started = p.AutoStartPrefetch
+	c.daemons.Add(4)
+	c.clk.Go(func() { defer c.daemons.Done(); c.flusherD2H() })
+	c.clk.Go(func() { defer c.daemons.Done(); c.flusherH2F() })
+	c.clk.Go(func() { defer c.daemons.Done(); c.prefetcher() })
+	c.clk.Go(func() { defer c.daemons.Done(); c.hostStager() })
+	return c, nil
+}
+
+// recoverFromStore rebuilds the checkpoint table from the durable store:
+// every valid stored checkpoint reappears as an SSD-tier replica in the
+// FLUSHED state, restorable through the normal promotion path.
+func (c *Client) recoverFromStore() {
+	for _, id := range c.p.Store.IDs() {
+		size, err := c.p.Store.Size(id)
+		if err != nil {
+			continue
+		}
+		fsm := lifecycle.NewMachine(c.clk)
+		fsm.MustTo(lifecycle.WriteInProgress)
+		fsm.MustTo(lifecycle.WriteComplete)
+		fsm.MustTo(lifecycle.Flushed)
+		ck := &checkpoint{
+			id:   ID(id),
+			size: size,
+			pay:  &storePayload{store: c.p.Store, id: id, size: size},
+			replicas: map[Tier]*replica{
+				TierSSD: {tier: TierSSD, fsm: fsm},
+			},
+		}
+		c.ckpts[ck.id] = ck
+	}
+}
+
+// Recovered returns the versions restored from the durable store at
+// construction, in ascending order.
+func (c *Client) Recovered() []ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ID
+	for id, ck := range c.ckpts {
+		if _, ok := ck.pay.(*storePayload); ok {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// bumpLocked records real progress (a flush completed, a checkpoint was
+// consumed, a hint arrived, a promotion landed) and wakes every parked
+// task. Retry loops key off the generation counter, so spurious wakeups
+// (e.g. a peer clearing its in-flight flag after a failed attempt) do not
+// trigger fruitless re-attempts — the discipline that prevents broadcast
+// ping-pong livelock under the virtual clock. Caller holds c.mu.
+func (c *Client) bumpLocked() {
+	c.events++
+	c.cond.Broadcast()
+}
+
+// releaseStagedLocked returns ck's bytes to the stager budget once its
+// staged host copy has served its purpose. Caller holds c.mu.
+func (c *Client) releaseStagedLocked(ck *checkpoint) {
+	if ck.stagedHost {
+		ck.stagedHost = false
+		c.stagedBytes -= ck.size
+	}
+}
+
+func pinnedAllocDuration(size int64, rate float64) time.Duration {
+	return time.Duration(float64(size) / rate * 1e9)
+}
+
+// waitHostReady blocks until the pinned host cache is registered.
+func (c *Client) waitHostReady() {
+	if d := c.hostReadyAt - c.clk.Now(); d > 0 {
+		c.clk.Sleep(d)
+	}
+}
+
+// Close stops the background tasks and unblocks all waiters. It is safe
+// to call once all application requests have returned.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.gpuC.Close()
+	if c.gpuP != nil {
+		c.gpuP.Close()
+	}
+	if c.hostNS < 0 {
+		c.hstC.Close()
+	} else {
+		// Shared pool: stay open for the other clients, but wake this
+		// client's parked daemons so they can observe closed.
+		c.hstC.Notify()
+	}
+	c.daemons.Wait()
+}
+
+// notifyGPU wakes reservations on every GPU-side buffer.
+func (c *Client) notifyGPU() {
+	c.gpuC.Notify()
+	if c.gpuP != nil {
+		c.gpuP.Notify()
+	}
+}
+
+// prefetchBuf returns the buffer promotions land in.
+func (c *Client) prefetchBuf() *cachebuf.Buffer {
+	if c.gpuP != nil {
+		return c.gpuP
+	}
+	return c.gpuC
+}
+
+// Err returns the first asynchronous flusher/prefetcher failure, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Metrics returns the recorder collecting this client's measurements.
+func (c *Client) Metrics() *metrics.Recorder { return c.rec }
+
+// CacheStats returns eviction statistics for the GPU and host cache tiers.
+func (c *Client) CacheStats() (gpu, host cachebuf.Stats) {
+	return c.gpuC.Snapshot(), c.hstC.Snapshot()
+}
+
+// Checkpoint writes version id with the given payload. Per §2 condition 1
+// it blocks until the data is copied into the GPU cache (evicting earlier
+// checkpoints if needed under the score-based policy), then returns while
+// the flush chain drains asynchronously.
+func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
+	if id < 0 {
+		return fmt.Errorf("core: invalid checkpoint id %d", id)
+	}
+	start := c.clk.Now()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := c.ckpts[id]; dup {
+		c.mu.Unlock()
+		return ErrDuplicateCheckpoint
+	}
+	ck := &checkpoint{
+		id:        id,
+		size:      pay.Size(),
+		pay:       pay,
+		replicas:  map[Tier]*replica{},
+		writtenAt: start,
+	}
+	rep := &replica{tier: TierGPU, fsm: lifecycle.NewMachine(c.clk)}
+	ck.replicas[TierGPU] = rep
+	c.ckpts[id] = ck
+	c.mu.Unlock()
+
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
+		fmt.Sprintf("checkpoint %d", id))()
+
+	// Reserve GPU cache space; Algorithm 1 picks and evicts the best
+	// window, blocking until it is evictable ("any delays due to
+	// evictions" count toward application-observed blocking, §5.4.1).
+	if _, err := c.gpuC.Reserve(cachebuf.ID(id), ck.size); err != nil {
+		c.mu.Lock()
+		delete(c.ckpts, id)
+		c.mu.Unlock()
+		if err == cachebuf.ErrClosed {
+			return ErrClosed
+		}
+		return fmt.Errorf("core: checkpoint %d: GPU cache reservation: %w", id, err)
+	}
+
+	rep.fsm.MustTo(lifecycle.WriteInProgress)
+	if c.p.OnDemandAlloc {
+		// §4.1.4 ablation: a fresh device region is allocated for each
+		// checkpoint instead of reusing the pre-allocated buffer.
+		c.p.GPU.ChargeDeviceAlloc(ck.size)
+	}
+	c.p.GPU.CopyD2D(ck.size) // application buffer → GPU cache
+	rep.fsm.MustTo(lifecycle.WriteComplete)
+
+	// Hand off to T_D2H and return control to the application.
+	c.mu.Lock()
+	ck.enqueuedD2H = true
+	c.d2hQ = append(c.d2hQ, id)
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.notifyGPU()
+
+	c.rec.Checkpoint(ck.size, c.clk.Now()-start)
+	return nil
+}
+
+// RestoreSize returns the size of a previously written checkpoint
+// (VELOC_Recover_size).
+func (c *Client) RestoreSize(id ID) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ck, ok := c.ckpts[id]
+	if !ok {
+		return 0, ErrUnknownCheckpoint
+	}
+	return ck.size, nil
+}
+
+// PrefetchEnqueue appends a hint about the next checkpoint the process
+// intends to restore (§4.1.1). Hints may be enqueued at any time,
+// interleaved with checkpoints and restores, and cannot be revoked.
+func (c *Client) PrefetchEnqueue(id ID) {
+	c.mu.Lock()
+	c.q.enqueue(id)
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// PrefetchStart activates the prefetcher; useful to avoid interference
+// with the flushes of a forward pass (Listing 1).
+func (c *Client) PrefetchStart() {
+	c.mu.Lock()
+	c.started = true
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// Hinted returns the number of pending (unconsumed) hints.
+func (c *Client) Hinted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.q.pending()
+}
+
+// Restore reads back checkpoint id into the application's device buffer,
+// blocking until the data is available on the GPU. The returned payload
+// is the one passed to Checkpoint.
+func (c *Client) Restore(id ID) (payload.Payload, error) {
+	start := c.clk.Now()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ck, ok := c.ckpts[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, ErrUnknownCheckpoint
+	}
+	iter := c.restoreIter
+	c.restoreIter++
+	pfDist := c.prefetchDistanceLocked(id)
+	c.mu.Unlock()
+
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackApp, "restore",
+		fmt.Sprintf("restore %d", id))()
+
+	for {
+		served, err := c.tryServeFromGPU(ck)
+		if err != nil {
+			return nil, err
+		}
+		if served {
+			break
+		}
+		// Not on the GPU: promote (or bypass the caches if they are
+		// saturated with pinned prefetches — deviating reads must not
+		// deadlock, they just pay a penalty, §4.1.1).
+		done, err := c.promoteOrBypass(ck)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+
+	// Consumption: pop the hint, record deviation, mark consumed.
+	c.mu.Lock()
+	deviated := c.q.consume(id)
+	ck.consumed = true
+	c.releaseStagedLocked(ck)
+	c.bumpLocked()
+	c.mu.Unlock()
+	if deviated {
+		c.rec.Deviation()
+	}
+	// Consumed replicas become evictable; wake blocked reservations.
+	c.notifyGPU()
+	c.hstC.Notify()
+
+	c.rec.Restore(iter, ck.size, c.clk.Now()-start, pfDist)
+	return ck.pay, nil
+}
+
+// tryServeFromGPU claims the GPU replica (pinning it READ_COMPLETE under
+// the buffer lock so eviction cannot race), copies it to the application
+// buffer, and marks it CONSUMED. Returns served=false if the checkpoint
+// has no readable GPU replica.
+func (c *Client) tryServeFromGPU(ck *checkpoint) (served bool, err error) {
+	c.mu.Lock()
+	rep := ck.replicas[TierGPU]
+	c.mu.Unlock()
+	if rep == nil {
+		return false, nil
+	}
+
+	switch rep.fsm.State() {
+	case lifecycle.Init, lifecycle.WriteInProgress:
+		// Another thread's write is landing; wait for it.
+		rep.fsm.WaitFor(lifecycle.WriteComplete, lifecycle.Flushed,
+			lifecycle.ReadComplete, lifecycle.Consumed)
+	case lifecycle.ReadInProgress:
+		// A promotion is in flight; wait for the data.
+		rep.fsm.WaitFor(lifecycle.ReadComplete, lifecycle.Consumed)
+	}
+
+	claim := func() {
+		// WRITE_COMPLETE/FLUSHED/CONSUMED → READ_COMPLETE pins the
+		// replica for the duration of the copy-out (Fig. 1).
+		if rep.fsm.State() != lifecycle.ReadComplete {
+			rep.fsm.MustTo(lifecycle.ReadComplete)
+		}
+	}
+	claimed := c.gpuC.IfResident(cachebuf.ID(ck.id), claim)
+	if !claimed && c.gpuP != nil {
+		claimed = c.gpuP.IfResident(cachebuf.ID(ck.id), claim)
+	}
+	if claimed {
+		c.gpuC.Touch(cachebuf.ID(ck.id)) // recency signal for LRU ablation
+	}
+	if !claimed {
+		return false, nil // evicted underneath us; promote instead
+	}
+	c.p.GPU.CopyD2D(ck.size) // GPU cache → application buffer
+	rep.fsm.MustTo(lifecycle.Consumed)
+	return true, nil
+}
+
+// prefetchDistanceLocked implements the §5.4.4 metric: the number of
+// successor checkpoints (per the hint queue, beyond the one being
+// restored) already readable on the GPU cache at the moment of a read.
+func (c *Client) prefetchDistanceLocked(current ID) int {
+	dist := 0
+	for i := 0; ; i++ {
+		id, ok := c.q.at(i)
+		if !ok {
+			break
+		}
+		if id == current {
+			continue
+		}
+		ck := c.ckpts[id]
+		if ck == nil || !ck.dataOn(TierGPU) {
+			break
+		}
+		dist++
+	}
+	return dist
+}
+
+// WaitFlush blocks until the asynchronous flush chain has fully drained —
+// the "restore phase waits for checkpoint phase" scenario of §5.4.2.
+func (c *Client) WaitFlush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.d2hQ) > 0 || len(c.h2fQ) > 0 || c.d2hBusy || c.h2fBusy {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.err != nil {
+			return c.err
+		}
+		c.cond.Wait()
+	}
+	return c.err
+}
+
+// Resident reports how many checkpoints are currently cached on each tier
+// (diagnostics).
+func (c *Client) Resident() (gpu, host int) {
+	gpu = c.gpuC.Resident()
+	if c.gpuP != nil {
+		gpu += c.gpuP.Resident()
+	}
+	return gpu, c.hstC.Resident()
+}

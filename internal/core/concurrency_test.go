@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"score/internal/device"
+	"score/internal/fabric"
+	"score/internal/payload"
+	"score/internal/simclock"
+)
+
+// TestConcurrentProducerConsumer exercises the full interleaving the
+// unified life cycle exists for (§4.1.3): one task streams checkpoints
+// while another concurrently consumes them with hints, so flushes and
+// prefetches overlap on the same cache tiers throughout.
+func TestConcurrentProducerConsumer(t *testing.T) {
+	run(t, func(clk *simclock.Virtual) {
+		r := newRig(t, clk, func(p *Params) { p.AutoStartPrefetch = true })
+		defer r.client.Close()
+		const n = 24
+
+		// The consumer announces its (sequential) order up front.
+		for i := ID(0); i < n; i++ {
+			r.client.PrefetchEnqueue(i)
+		}
+
+		written := make([]atomic.Bool, n)
+		wg := simclock.NewWaitGroup(clk)
+		wg.Add(2)
+		var prodErr, consErr error
+		clk.Go(func() {
+			defer wg.Done()
+			for i := ID(0); i < n; i++ {
+				if err := r.client.Checkpoint(i, payload.NewVirtual(1*MB)); err != nil {
+					prodErr = err
+					return
+				}
+				written[i].Store(true)
+				clk.Sleep(3 * time.Millisecond)
+			}
+		})
+		clk.Go(func() {
+			defer wg.Done()
+			for i := ID(0); i < n; i++ {
+				for !written[i].Load() {
+					clk.Sleep(time.Millisecond)
+				}
+				if _, err := r.client.Restore(i); err != nil {
+					consErr = err
+					return
+				}
+				clk.Sleep(4 * time.Millisecond)
+			}
+		})
+		wg.Wait()
+		if prodErr != nil {
+			t.Fatalf("producer: %v", prodErr)
+		}
+		if consErr != nil {
+			t.Fatalf("consumer: %v", consErr)
+		}
+		if err := r.client.Err(); err != nil {
+			t.Fatal(err)
+		}
+		sum := r.client.Metrics().Snapshot()
+		if sum.CheckpointOps != n || sum.RestoreOps != n {
+			t.Errorf("ops = %d/%d, want %d/%d", sum.CheckpointOps, sum.RestoreOps, n, n)
+		}
+	})
+}
+
+// TestTwoClientsShareNodeLinks runs two clients whose flush chains
+// contend on the same PCIe pair and NVMe link.
+func TestTwoClientsShareNodeLinks(t *testing.T) {
+	run(t, func(clk *simclock.Virtual) {
+		r := newRig(t, clk, nil)
+		defer r.client.Close()
+		d2d2, pcie2 := r.cluster.Nodes[0].GPULinks(1)
+		dev2 := newSecondGPU(clk, d2d2, pcie2)
+		c2, err := New(Params{
+			Clock: clk, GPU: dev2, NVMe: r.cluster.Nodes[0].NVMe, PFS: r.cluster.PFS,
+			GPUCacheSize: 4 * MB, HostCacheSize: 16 * MB,
+			AsyncHostInit: false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c2.Close()
+
+		wg := simclock.NewWaitGroup(clk)
+		errs := make([]error, 2)
+		for idx, cl := range []*Client{r.client, c2} {
+			idx, cl := idx, cl
+			wg.Add(1)
+			clk.Go(func() {
+				defer wg.Done()
+				for i := ID(0); i < 8; i++ {
+					if err := cl.Checkpoint(i, payload.NewVirtual(1*MB)); err != nil {
+						errs[idx] = err
+						return
+					}
+				}
+				errs[idx] = cl.WaitFlush()
+			})
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}
+		// Both clients' data must be fully flushed despite contention.
+		for _, cl := range []*Client{r.client, c2} {
+			cl.mu.Lock()
+			for id, ck := range cl.ckpts {
+				if !ck.dataOn(TierSSD) {
+					t.Errorf("checkpoint %d not on SSD", id)
+				}
+			}
+			cl.mu.Unlock()
+		}
+	})
+}
+
+// TestRestoreDuringActiveFlushBacklog reads the oldest checkpoint while
+// the flush queue is still deep — the promotion path must coexist with
+// in-flight flushes of other checkpoints.
+func TestRestoreDuringActiveFlushBacklog(t *testing.T) {
+	run(t, func(clk *simclock.Virtual) {
+		r := newRig(t, clk, nil)
+		defer r.client.Close()
+		for i := ID(0); i < 10; i++ {
+			if err := r.client.Checkpoint(i, payload.NewVirtual(1*MB)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// No WaitFlush: the D2H/H2F queues are still draining.
+		for i := ID(0); i < 10; i++ {
+			if _, err := r.client.Restore(i); err != nil {
+				t.Fatalf("restore %d mid-backlog: %v", i, err)
+			}
+		}
+		if err := r.client.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// newSecondGPU builds a GPU on the given links for multi-client tests.
+func newSecondGPU(clk simclock.Clock, d2d, pcie *fabric.Link) *device.GPU {
+	return device.NewGPU(clk, 1, 64*MB, d2d, pcie, device.AllocCosts{
+		DeviceBytesPerSec:     1000 * MB,
+		PinnedHostBytesPerSec: 400 * MB,
+	})
+}

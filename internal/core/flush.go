@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"score/internal/cachebuf"
+	"score/internal/ckptstore"
+	"score/internal/lifecycle"
+	"score/internal/trace"
+)
+
+// flusherD2H is T_D2H (§4.3.1): it drains the GPU→host flush queue in
+// FIFO order, reserving host cache space (evicting under the score
+// policy), copying over PCIe, and promoting the GPU replica to FLUSHED so
+// it becomes evictable.
+func (c *Client) flusherD2H() {
+	for {
+		id, ok := c.popFlushJob(&c.d2hQ, &c.d2hBusy)
+		if !ok {
+			return // closed
+		}
+		c.runD2H(id)
+		c.finishFlushJob(&c.d2hBusy)
+	}
+}
+
+// flusherH2F is T_H2F: host → node-local SSD (→ PFS when persistence is
+// requested).
+func (c *Client) flusherH2F() {
+	for {
+		id, ok := c.popFlushJob(&c.h2fQ, &c.h2fBusy)
+		if !ok {
+			return
+		}
+		c.runH2F(id)
+		c.finishFlushJob(&c.h2fBusy)
+	}
+}
+
+// popFlushJob blocks for the next queued id; ok=false on close.
+func (c *Client) popFlushJob(q *[]ID, busy *bool) (ID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(*q) == 0 {
+		if c.closed {
+			return 0, false
+		}
+		c.cond.Wait()
+	}
+	id := (*q)[0]
+	*q = (*q)[1:]
+	*busy = true
+	return id, true
+}
+
+func (c *Client) finishFlushJob(busy *bool) {
+	c.mu.Lock()
+	*busy = false
+	c.bumpLocked()
+	c.mu.Unlock()
+	// Flush completions change evictability estimates on both tiers.
+	c.notifyGPU()
+	c.hstC.Notify()
+}
+
+// skipFlush implements §2 condition 5: "if a checkpoint was consumed and
+// can be discarded, any of its pending flushes ... are not required to
+// complete".
+func (c *Client) skipFlush(ck *checkpoint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ck.consumed && c.p.DiscardAfterRestore
+}
+
+func (c *Client) runD2H(id ID) {
+	c.mu.Lock()
+	ck := c.ckpts[id]
+	c.mu.Unlock()
+	if ck == nil || c.skipFlush(ck) {
+		return
+	}
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackD2H, "flush",
+		fmt.Sprintf("flush %d gpu→host", id))()
+	if c.p.GPUDirectStorage {
+		// Future-work mode: flush GPU → SSD directly (PCIe + NVMe),
+		// bypassing the host cache.
+		c.directToSSD(ck, true)
+		c.markFlushed(ck, TierGPU)
+		return
+	}
+	// The host tier only becomes usable once pinned registration
+	// completes (§4.1.4).
+	c.waitHostReady()
+
+	c.mu.Lock()
+	if ck.dataOn(TierHost) || ck.dataOn(TierSSD) {
+		// Already flushed (e.g. by an earlier bypass); just promote
+		// the GPU replica.
+		c.mu.Unlock()
+		c.markFlushed(ck, TierGPU)
+		c.enqueueH2F(ck)
+		return
+	}
+	hostRep := &replica{tier: TierHost, fsm: lifecycle.NewMachine(c.clk)}
+	ck.replicas[TierHost] = hostRep
+	c.mu.Unlock()
+
+	if _, err := c.hstC.Reserve(c.hostKey(id), ck.size); err != nil {
+		c.mu.Lock()
+		delete(ck.replicas, TierHost)
+		c.mu.Unlock()
+		switch err {
+		case cachebuf.ErrClosed:
+			return
+		case cachebuf.ErrTooLarge:
+			// Checkpoint larger than the host cache: flush GPU → SSD
+			// directly (still via PCIe + NVMe).
+			c.directToSSD(ck, true)
+			c.markFlushed(ck, TierGPU)
+			return
+		default:
+			c.fail(fmt.Errorf("core: D2H flush of %d: %w", id, err))
+			return
+		}
+	}
+
+	hostRep.fsm.MustTo(lifecycle.WriteInProgress)
+	if c.p.OnDemandAlloc {
+		// §4.1.4 ablation: allocate+register pinned host memory for this
+		// checkpoint at ~4 GB/s instead of reusing the pre-pinned cache.
+		c.p.GPU.AllocPinnedHost(ck.size)
+	}
+	c.p.GPU.CopyD2H(ck.size)
+	hostRep.fsm.MustTo(lifecycle.WriteComplete)
+	c.hstC.Notify()
+
+	// Host copy landed: the GPU replica is now redundant → FLUSHED.
+	c.markFlushed(ck, TierGPU)
+	c.enqueueH2F(ck)
+}
+
+func (c *Client) enqueueH2F(ck *checkpoint) {
+	c.mu.Lock()
+	if !ck.enqueuedH2F {
+		ck.enqueuedH2F = true
+		c.h2fQ = append(c.h2fQ, ck.id)
+		c.bumpLocked()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) runH2F(id ID) {
+	c.mu.Lock()
+	ck := c.ckpts[id]
+	c.mu.Unlock()
+	if ck == nil || c.skipFlush(ck) {
+		return
+	}
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackH2F, "flush",
+		fmt.Sprintf("flush %d host→ssd", id))()
+	c.mu.Lock()
+	hostRep := ck.replicas[TierHost]
+	alreadyOnSSD := ck.dataOn(TierSSD)
+	c.mu.Unlock()
+	if alreadyOnSSD {
+		if hostRep != nil {
+			c.markFlushed(ck, TierHost)
+		}
+		return
+	}
+	if hostRep == nil || !hostRep.hasData() {
+		// The host replica vanished (evicted after consumption); the
+		// data is either consumed+discardable or still on the GPU.
+		// Nothing to flush from here.
+		return
+	}
+	c.directToSSD(ck, false)
+	c.markFlushed(ck, TierHost)
+}
+
+// directToSSD writes the checkpoint to the node-local SSD tier (and PFS if
+// persistence is enabled). fromGPU additionally charges the PCIe hop.
+func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) {
+	c.mu.Lock()
+	ssdRep := ck.replicas[TierSSD]
+	if ssdRep == nil {
+		ssdRep = &replica{tier: TierSSD, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierSSD] = ssdRep
+	}
+	c.mu.Unlock()
+	if ssdRep.hasData() {
+		return
+	}
+	ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
+	if fromGPU {
+		c.p.GPU.CopyD2H(ck.size)
+	}
+	c.p.NVMe.Transfer(ck.size)
+	if c.p.Store != nil {
+		if data := ck.pay.Bytes(); data != nil {
+			if err := c.p.Store.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
+				c.fail(fmt.Errorf("core: persisting checkpoint %d: %w", ck.id, err))
+			}
+		}
+	}
+	ssdRep.fsm.MustTo(lifecycle.WriteComplete)
+
+	if c.p.PersistToPFS {
+		pfsRep := &replica{tier: TierPFS, fsm: lifecycle.NewMachine(c.clk)}
+		c.mu.Lock()
+		ck.replicas[TierPFS] = pfsRep
+		c.mu.Unlock()
+		pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
+		c.p.PFS.Transfer(ck.size)
+		pfsRep.fsm.MustTo(lifecycle.WriteComplete)
+		pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
+	}
+	// The SSD tier is durable for this scenario (it holds a full
+	// node's checkpoints, §2): its replica is immediately FLUSHED.
+	ssdRep.fsm.MustTo(lifecycle.Flushed)
+	c.notifyGPU()
+	c.hstC.Notify()
+}
+
+// markFlushed moves a tier's replica WRITE_COMPLETE → FLUSHED if it is
+// still in WRITE_COMPLETE (a restore may have claimed it to READ_COMPLETE
+// in the meantime, which is fine — the shortcut edge of Fig. 1).
+func (c *Client) markFlushed(ck *checkpoint, tier Tier) {
+	c.mu.Lock()
+	rep := ck.replicas[tier]
+	c.mu.Unlock()
+	if rep == nil {
+		return
+	}
+	if err := rep.fsm.To(lifecycle.Flushed); err == nil {
+		switch tier {
+		case TierGPU:
+			c.notifyGPU()
+		case TierHost:
+			c.hstC.Notify()
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+
+	"score/internal/cachebuf"
+	"score/internal/lifecycle"
+	"score/internal/trace"
+)
+
+// prefetcher is T_PF (§4.3.1): it walks the restore-order queue in hint
+// order and promotes each checkpoint up the tier chain ahead of its
+// restore. It never blocks inside a cache reservation — it uses
+// TryReserve and parks on the client condition variable instead — so a
+// cache saturated with pinned (prefetched-but-unconsumed) checkpoints
+// throttles prefetching exactly as §2 condition 4 requires, without ever
+// deadlocking deviating readers.
+func (c *Client) prefetcher() {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if !c.started {
+			c.cond.Wait()
+			continue
+		}
+		id, ok := c.q.nextPrefetch()
+		if !ok {
+			c.cond.Wait()
+			continue
+		}
+		ck := c.ckpts[id]
+		if ck == nil {
+			// Hinted but not written yet (hints may precede the
+			// forward pass entirely, Listing 1): wait for the write.
+			c.cond.Wait()
+			continue
+		}
+		if ck.dataOn(TierGPU) || ck.consumed {
+			c.q.advancePrefetch()
+			continue
+		}
+		if rep := ck.replicas[TierGPU]; rep != nil {
+			// The write (or another promotion) is landing on the GPU
+			// right now; wait for it to settle.
+			c.cond.Wait()
+			continue
+		}
+		if ck.promoting {
+			// A restore is already promoting it on demand.
+			c.cond.Wait()
+			continue
+		}
+		ck.promoting = true
+		seen := c.events
+		c.mu.Unlock()
+
+		promoted, err := c.promoteToGPU(ck, false)
+
+		c.mu.Lock()
+		ck.promoting = false
+		c.cond.Broadcast() // wake flag-waiters (restores of this ckpt)
+		if err != nil {
+			c.mu.Unlock()
+			c.fail(fmt.Errorf("core: prefetch of %d: %w", id, err))
+			c.mu.Lock()
+			continue
+		}
+		if promoted {
+			c.q.advancePrefetch()
+			c.bumpLocked()
+			continue
+		}
+		// The GPU (or host) cache had no immediately evictable window:
+		// wait for real progress (a consumption or flush completion),
+		// then retry the same hint — prefetching must stay in restore
+		// order to respect the pinning discipline. Waiting on the
+		// generation counter (not just any broadcast) prevents
+		// broadcast ping-pong with the host stager.
+		for c.events == seen && !c.closed {
+			c.cond.Wait()
+		}
+	}
+}
+
+// promoteOrBypass is the on-demand path taken by Restore when the
+// checkpoint is not on the GPU. It first waits out any in-flight
+// promotion of the same checkpoint; then attempts a promotion itself; if
+// the caches are saturated with pinned fragments it serves the read by
+// streaming straight to the application buffer (the deviation penalty
+// path). Returns done=true when the read was fully served by the bypass.
+func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
+	c.mu.Lock()
+	for ck.promoting || ck.stagingHost {
+		// An in-flight promotion or SSD→host stage of this checkpoint
+		// will land its data shortly; duplicating the transfer (or
+		// bypassing to a direct NVMe read) would waste the bandwidth
+		// it is already consuming.
+		if c.closed {
+			c.mu.Unlock()
+			return false, ErrClosed
+		}
+		c.cond.Wait()
+	}
+	if ck.dataOn(TierGPU) {
+		c.mu.Unlock()
+		return false, nil // promoted meanwhile; serve from GPU
+	}
+	ck.promoting = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		ck.promoting = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
+
+	promoted, err := c.promoteToGPU(ck, true)
+	if err != nil {
+		return false, err
+	}
+	if promoted {
+		return false, nil // now on GPU; caller serves from there
+	}
+
+	// Bypass: no cacheable window available. Stream from the fastest
+	// tier that has the data directly into the application buffer.
+	c.mu.Lock()
+	onHost := ck.dataOn(TierHost)
+	onSSD := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
+	c.mu.Unlock()
+	switch {
+	case onHost:
+		c.p.GPU.CopyH2D(ck.size)
+	case onSSD:
+		c.p.NVMe.Transfer(ck.size)
+		c.p.GPU.CopyH2D(ck.size)
+	default:
+		return false, fmt.Errorf("core: checkpoint %d has no readable replica on any tier", ck.id)
+	}
+	return true, nil
+}
+
+// promoteToGPU moves ck's data to the GPU cache, staging through the host
+// cache when the source is the SSD/PFS. When block is false it only uses
+// immediately evictable windows (TryReserve); when block is true it still
+// uses TryReserve (blocking here could deadlock a deviating read behind
+// pinned prefetches) but reports wouldBlock via promoted=false.
+func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err error) {
+	_ = block // both paths use TryReserve; see doc comment
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackPF, "prefetch",
+		fmt.Sprintf("promote %d →gpu", ck.id))()
+	// Stage 1: ensure the data is on the host tier.
+	c.mu.Lock()
+	onHost := ck.dataOn(TierHost)
+	onLower := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
+	c.mu.Unlock()
+
+	if !onHost && c.p.GPUDirectStorage && onLower {
+		// Future-work mode: promote SSD → GPU directly. The NVMe read
+		// and the PCIe hop are both charged; no host copy appears.
+		return c.promoteDirect(ck)
+	}
+	if !onHost {
+		if !onLower {
+			// Data only on the GPU (or nowhere): if a GPU replica
+			// exists it is either readable or a write is landing —
+			// either way there is nothing to promote from below.
+			c.mu.Lock()
+			gpuRep := ck.replicas[TierGPU]
+			onGPU := ck.dataOn(TierGPU)
+			c.mu.Unlock()
+			if onGPU {
+				return true, nil
+			}
+			if gpuRep != nil {
+				return false, nil // write in flight; retry after it lands
+			}
+			return false, fmt.Errorf("core: checkpoint %d lost: no replica holds data", ck.id)
+		}
+		ok, err := c.promoteSSDToHost(ck)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+
+	// Stage 2: host → GPU.
+	c.waitHostReady()
+	c.mu.Lock()
+	gpuRep := ck.replicas[TierGPU]
+	if gpuRep != nil && gpuRep.hasData() {
+		c.mu.Unlock()
+		return true, nil
+	}
+	fresh := gpuRep == nil
+	if fresh {
+		gpuRep = &replica{tier: TierGPU, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierGPU] = gpuRep
+	}
+	c.mu.Unlock()
+
+	if _, err := c.prefetchBuf().TryReserve(cachebuf.ID(ck.id), ck.size); err != nil {
+		c.mu.Lock()
+		if fresh {
+			delete(ck.replicas, TierGPU)
+		}
+		c.mu.Unlock()
+		switch err {
+		case cachebuf.ErrWouldBlock, cachebuf.ErrTooLarge, cachebuf.ErrDuplicate:
+			return false, nil
+		case cachebuf.ErrClosed:
+			return false, ErrClosed
+		default:
+			return false, err
+		}
+	}
+
+	// Pin the host source replica (READ_COMPLETE) while copying up, then
+	// consume it ("the checkpoint is copied to the reserved space on the
+	// faster tier and marked Read Completed, while the original is
+	// marked Read Consumed", §4.3.2).
+	hostRep := c.claimSource(ck, TierHost)
+
+	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
+	c.p.GPU.CopyH2D(ck.size)
+	gpuRep.fsm.MustTo(lifecycle.ReadComplete)
+	c.notifyGPU()
+
+	if hostRep != nil {
+		if err := hostRep.fsm.To(lifecycle.Consumed); err == nil {
+			c.hstC.Notify()
+		}
+	}
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return true, nil
+}
+
+// promoteDirect is the GPUDirect promotion path: SSD → GPU without a
+// host replica. ok=false means the GPU cache had no immediately
+// evictable window.
+func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
+	c.mu.Lock()
+	gpuRep := ck.replicas[TierGPU]
+	if gpuRep != nil && gpuRep.hasData() {
+		c.mu.Unlock()
+		return true, nil
+	}
+	fresh := gpuRep == nil
+	if fresh {
+		gpuRep = &replica{tier: TierGPU, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierGPU] = gpuRep
+	}
+	c.mu.Unlock()
+
+	if _, err := c.prefetchBuf().TryReserve(cachebuf.ID(ck.id), ck.size); err != nil {
+		c.mu.Lock()
+		if fresh {
+			delete(ck.replicas, TierGPU)
+		}
+		c.mu.Unlock()
+		switch err {
+		case cachebuf.ErrWouldBlock, cachebuf.ErrTooLarge, cachebuf.ErrDuplicate:
+			return false, nil
+		case cachebuf.ErrClosed:
+			return false, ErrClosed
+		default:
+			return false, err
+		}
+	}
+	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
+	c.p.NVMe.Transfer(ck.size)
+	c.p.GPU.CopyH2D(ck.size) // PCIe hop of the direct path
+	gpuRep.fsm.MustTo(lifecycle.ReadComplete)
+	c.notifyGPU()
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+	return true, nil
+}
+
+// promoteSSDToHost stages a checkpoint from the SSD/PFS into the host
+// cache. ok=false means the host cache had no immediately evictable
+// window.
+func (c *Client) promoteSSDToHost(ck *checkpoint) (ok bool, err error) {
+	c.waitHostReady()
+	c.mu.Lock()
+	hostRep := ck.replicas[TierHost]
+	if hostRep != nil && hostRep.hasData() {
+		c.mu.Unlock()
+		return true, nil
+	}
+	fresh := hostRep == nil
+	if fresh {
+		hostRep = &replica{tier: TierHost, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierHost] = hostRep
+	}
+	c.mu.Unlock()
+
+	if _, err := c.hstC.TryReserve(c.hostKey(ck.id), ck.size); err != nil {
+		c.mu.Lock()
+		if fresh {
+			delete(ck.replicas, TierHost)
+		}
+		c.mu.Unlock()
+		switch err {
+		case cachebuf.ErrWouldBlock, cachebuf.ErrTooLarge, cachebuf.ErrDuplicate:
+			return false, nil
+		case cachebuf.ErrClosed:
+			return false, ErrClosed
+		default:
+			return false, err
+		}
+	}
+	hostRep.fsm.MustTo(lifecycle.ReadInProgress) // legal from Init and Consumed
+	c.p.NVMe.Transfer(ck.size)                   // SSD → host staging read
+	hostRep.fsm.MustTo(lifecycle.ReadComplete)
+	c.hstC.Notify()
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return true, nil
+}
+
+// claimSource pins tier's replica in READ_COMPLETE under the buffer lock
+// so eviction cannot take it while we copy from it. Returns nil when the
+// replica is not resident (e.g. the data also lives on the SSD and the
+// host copy was evicted mid-flight — the copy then proceeds from DRAM
+// semantics-wise; timing is unaffected since the transfer was already
+// charged).
+func (c *Client) claimSource(ck *checkpoint, tier Tier) *replica {
+	type target struct {
+		buf *cachebuf.Buffer
+		key cachebuf.ID
+	}
+	targets := []target{{c.hstC, c.hostKey(ck.id)}}
+	if tier == TierGPU {
+		targets = []target{{c.gpuC, cachebuf.ID(ck.id)}}
+		if c.gpuP != nil {
+			targets = append(targets, target{c.gpuP, cachebuf.ID(ck.id)})
+		}
+	}
+	c.mu.Lock()
+	rep := ck.replicas[tier]
+	c.mu.Unlock()
+	if rep == nil {
+		return nil
+	}
+	claim := func() {
+		if rep.fsm.State() != lifecycle.ReadComplete {
+			if err := rep.fsm.To(lifecycle.ReadComplete); err != nil {
+				rep = nil // not claimable (mid-write); treat as absent
+			}
+		}
+	}
+	for _, tg := range targets {
+		if tg.buf.IfResident(tg.key, claim) {
+			return rep
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import "score/internal/cachebuf"
+
+// restoreQueue is the per-process restore-order queue of §4.1.1: the
+// application (or higher-level middleware) enqueues hints about future
+// restores; hints cannot be revoked; reads may deviate from the hints at a
+// performance penalty.
+//
+// All methods require external synchronization (the Client's mutex).
+type restoreQueue struct {
+	hints []ID
+	head  int // hints[:head] have been consumed or removed
+	pf    int // next index the prefetcher should work on (>= head)
+
+	// pos caches each id's first pending absolute index (-1 = known
+	// absent); nil means invalid (rebuilt lazily). The eviction oracle
+	// calls distance for every fragment of every window scan, so the
+	// naive O(pending) scan per call is a real hot spot.
+	pos map[ID]int
+}
+
+// enqueue appends a hint.
+func (q *restoreQueue) enqueue(id ID) {
+	if q.pos != nil {
+		if p, ok := q.pos[id]; !ok || p == -1 {
+			q.pos[id] = len(q.hints)
+		}
+	}
+	q.hints = append(q.hints, id)
+}
+
+// pending returns the number of unconsumed hints.
+func (q *restoreQueue) pending() int { return len(q.hints) - q.head }
+
+// headID returns the next hinted restore, if any.
+func (q *restoreQueue) headID() (ID, bool) {
+	if q.head < len(q.hints) {
+		return q.hints[q.head], true
+	}
+	return 0, false
+}
+
+// at returns the hint at queue position i (0 = head).
+func (q *restoreQueue) at(i int) (ID, bool) {
+	idx := q.head + i
+	if idx < len(q.hints) {
+		return q.hints[idx], true
+	}
+	return 0, false
+}
+
+// consume removes id's first pending occurrence. It reports whether the
+// restore deviated from the hint order (id was hinted but not at the
+// head). Unhinted ids leave the queue untouched and do not count as
+// deviations of the queue itself.
+func (q *restoreQueue) consume(id ID) (deviated bool) {
+	if q.head < len(q.hints) && q.hints[q.head] == id {
+		q.head++
+		if q.pf < q.head {
+			q.pf = q.head
+		}
+		// A later duplicate hint (re-reads) may exist: drop the cache
+		// entry so the next distance() rescans for it.
+		delete(q.pos, id)
+		return false
+	}
+	for i := q.head; i < len(q.hints); i++ {
+		if q.hints[i] == id {
+			copy(q.hints[i:], q.hints[i+1:])
+			q.hints = q.hints[:len(q.hints)-1]
+			if q.pf > i {
+				q.pf--
+			}
+			q.pos = nil // mid-queue removal shifts every index
+			return true
+		}
+	}
+	return false
+}
+
+// distance returns the number of queue positions between the head and id's
+// first pending hint; ids without a pending hint return
+// cachebuf.GapDistance-1 ("no prefetching hint available" scores as
+// farthest, §4.1.6).
+func (q *restoreQueue) distance(id ID) int {
+	if q.pos == nil {
+		q.rebuildPos()
+	}
+	if p, ok := q.pos[id]; ok {
+		if p == -1 {
+			return cachebuf.GapDistance - 1
+		}
+		if p >= q.head && p < len(q.hints) && q.hints[p] == id {
+			return p - q.head
+		}
+	}
+	// Miss or stale entry: rescan once and cache the answer.
+	for i := q.head; i < len(q.hints); i++ {
+		if q.hints[i] == id {
+			q.pos[id] = i
+			return i - q.head
+		}
+	}
+	q.pos[id] = -1
+	return cachebuf.GapDistance - 1
+}
+
+// rebuildPos re-derives the position cache. Iterating backward leaves the
+// FIRST pending occurrence of each id in the map.
+func (q *restoreQueue) rebuildPos() {
+	q.pos = make(map[ID]int, len(q.hints)-q.head)
+	for i := len(q.hints) - 1; i >= q.head; i-- {
+		q.pos[q.hints[i]] = i
+	}
+}
+
+// nextPrefetch returns the hint the prefetcher should promote next.
+func (q *restoreQueue) nextPrefetch() (ID, bool) {
+	if q.pf < q.head {
+		q.pf = q.head
+	}
+	if q.pf < len(q.hints) {
+		return q.hints[q.pf], true
+	}
+	return 0, false
+}
+
+// advancePrefetch moves past the current prefetch target.
+func (q *restoreQueue) advancePrefetch() { q.pf++ }

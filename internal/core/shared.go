@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"score/internal/cachebuf"
+	"score/internal/simclock"
+)
+
+// nsShift positions the client namespace above the checkpoint version in
+// a shared cache key; versions must stay below 2^40.
+const nsShift = 40
+
+// SharedHostCache implements the paper's first future-work item ("share
+// the host cache across different processes and nodes to load balance
+// variable-sized checkpoints"): one pinned host cache pool serving every
+// co-located client. Each client's checkpoints are namespaced inside the
+// shared buffer, and the gap-aware eviction policy sees all of them at
+// once — a client with large checkpoints can borrow capacity a client
+// with small ones does not need.
+type SharedHostCache struct {
+	buf       *cachebuf.Buffer
+	router    *routerOracle
+	createdAt time.Duration
+	pinChunk  int64 // bytes each participating process pins in parallel
+}
+
+// NewSharedHostCache creates a pool of the given capacity on clk. The
+// pool's pinned registration is charged once, overlapped with the run:
+// the participating processes pin it in parallel chunks (one chunk per
+// expected client), so the pool becomes usable when the slowest chunk
+// finishes — the same per-process registration time a private cache of
+// capacity/clients would cost.
+func NewSharedHostCache(clk simclock.Clock, name string, capacity int64) *SharedHostCache {
+	return NewSharedHostCachePinnedBy(clk, name, capacity, 8)
+}
+
+// NewSharedHostCachePinnedBy is NewSharedHostCache with an explicit
+// number of parallel pinning processes.
+func NewSharedHostCachePinnedBy(clk simclock.Clock, name string, capacity int64, pinners int) *SharedHostCache {
+	if pinners < 1 {
+		pinners = 1
+	}
+	r := &routerOracle{clients: map[int64]*tierOracle{}}
+	s := &SharedHostCache{router: r, createdAt: clk.Now()}
+	s.buf = cachebuf.New(clk, name, capacity, r)
+	s.pinChunk = (capacity + int64(pinners) - 1) / int64(pinners)
+	return s
+}
+
+// Capacity returns the pool capacity in bytes.
+func (s *SharedHostCache) Capacity() int64 { return s.buf.Capacity() }
+
+// Resident returns the number of checkpoints cached across all clients.
+func (s *SharedHostCache) Resident() int { return s.buf.Resident() }
+
+// Close unblocks all waiters; call once every participating client is
+// closed.
+func (s *SharedHostCache) Close() { s.buf.Close() }
+
+// register adds a client and returns its namespace.
+func (s *SharedHostCache) register(c *Client) int64 {
+	return s.router.register(&tierOracle{c: c, tier: TierHost})
+}
+
+// routerOracle demultiplexes shared-buffer oracle queries to the owning
+// client's host-tier oracle by namespace.
+type routerOracle struct {
+	mu      sync.Mutex
+	nextNS  int64
+	clients map[int64]*tierOracle
+}
+
+func (r *routerOracle) register(o *tierOracle) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ns := r.nextNS
+	r.nextNS++
+	r.clients[ns] = o
+	return ns
+}
+
+func (r *routerOracle) route(id cachebuf.ID) (*tierOracle, cachebuf.ID) {
+	ns := int64(id) >> nsShift
+	local := cachebuf.ID(int64(id) & ((1 << nsShift) - 1))
+	r.mu.Lock()
+	o := r.clients[ns]
+	r.mu.Unlock()
+	return o, local
+}
+
+// Evictable implements cachebuf.Oracle.
+func (r *routerOracle) Evictable(id cachebuf.ID) bool {
+	o, local := r.route(id)
+	if o == nil {
+		return true
+	}
+	return o.Evictable(local)
+}
+
+// TimeToEvictable implements cachebuf.Oracle.
+func (r *routerOracle) TimeToEvictable(id cachebuf.ID) (d time.Duration, ok bool) {
+	o, local := r.route(id)
+	if o == nil {
+		return 0, true
+	}
+	return o.TimeToEvictable(local)
+}
+
+// PrefetchDistance implements cachebuf.Oracle.
+func (r *routerOracle) PrefetchDistance(id cachebuf.ID) int {
+	o, local := r.route(id)
+	if o == nil {
+		return cachebuf.GapDistance - 1
+	}
+	return o.PrefetchDistance(local)
+}
+
+// Evicted implements cachebuf.Oracle.
+func (r *routerOracle) Evicted(id cachebuf.ID) {
+	o, local := r.route(id)
+	if o == nil {
+		return
+	}
+	o.Evicted(local)
+}
+
+// hostKey maps a checkpoint id to its key in the host cache buffer
+// (namespaced when the cache is shared).
+func (c *Client) hostKey(id ID) cachebuf.ID {
+	if c.hostNS >= 0 {
+		if int64(id) >= 1<<nsShift {
+			panic(fmt.Sprintf("core: checkpoint id %d exceeds shared-cache namespace capacity", id))
+		}
+		return cachebuf.ID(c.hostNS<<nsShift | int64(id))
+	}
+	return cachebuf.ID(id)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"score/internal/cachebuf"
+	"score/internal/lifecycle"
+	"score/internal/trace"
+)
+
+// hostStager is the SSD→host half of T_PF. The paper's prefetcher works
+// on all tiers concurrently (§4.3.1: "prefetches on all tiers: T_PF");
+// running the slow NVMe staging ahead of (and overlapped with) the
+// host→GPU promotions keeps the SSD link busy during the compute windows
+// instead of serializing both hops inside each promotion.
+//
+// The stager walks the restore-order queue with its own cursor, staging
+// hinted checkpoints whose data is only on the SSD/PFS into the host
+// cache. A byte budget of half the host cache bounds how far ahead it
+// runs, so it cannot evict the near-future host-resident checkpoints the
+// backward pass is about to read.
+func (c *Client) hostStager() {
+	if c.p.NoHostStager || c.p.GPUDirectStorage {
+		return
+	}
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if !c.started {
+			c.cond.Wait()
+			continue
+		}
+		// Free-space lookup must happen outside c.mu (buffer lock
+		// precedes client lock); the value is advisory only.
+		c.mu.Unlock()
+		free := c.hstC.FreeBytes()
+		c.mu.Lock()
+		ck := c.nextStageTargetLocked(free)
+		if ck == nil {
+			c.cond.Wait()
+			continue
+		}
+		ck.stagingHost = true
+		seen := c.events
+		c.mu.Unlock()
+
+		staged, err := c.stageToHost(ck)
+
+		c.mu.Lock()
+		ck.stagingHost = false
+		if staged {
+			ck.stagedHost = true
+			c.stagedBytes += ck.size
+			c.bumpLocked()
+		} else {
+			c.cond.Broadcast() // wake flag-waiters only
+		}
+		if err != nil {
+			c.mu.Unlock()
+			c.fail(err)
+			c.mu.Lock()
+			continue
+		}
+		if !staged {
+			// Host cache saturated (or a racing flush materialized the
+			// data): wait for real progress before retrying.
+			for c.events == seen && !c.closed {
+				c.cond.Wait()
+			}
+		}
+	}
+}
+
+// nextStageTargetLocked scans the pending hints (within the byte budget)
+// for the first checkpoint whose only data is below the host tier AND
+// whose staging would improve the host cache: either free space exists,
+// or some host-resident checkpoint is needed strictly later than the
+// candidate (so the eviction the staging forces trades a farther
+// checkpoint for a nearer one). Without the second condition, staging in
+// reverse-order shots would evict near-future host residents to make room
+// for the always-farther SSD tail — a strict loss.
+func (c *Client) nextStageTargetLocked(freeHostBytes int64) *checkpoint {
+	budget := c.p.HostCacheSize / 2
+	if c.stagedBytes >= budget {
+		return nil
+	}
+	maxResidentDist := c.maxHostResidentDistanceLocked()
+	var scanned int64
+	for i := 0; ; i++ {
+		id, ok := c.q.at(i)
+		if !ok {
+			return nil
+		}
+		ck := c.ckpts[id]
+		if ck == nil {
+			return nil // not written yet; later hints cannot help
+		}
+		scanned += ck.size
+		if scanned > budget {
+			return nil // deep enough; stay near the queue head
+		}
+		if ck.consumed || ck.stagingHost || ck.promoting {
+			continue
+		}
+		if ck.dataOn(TierGPU) || ck.dataOn(TierHost) {
+			continue
+		}
+		if rep := ck.replicas[TierHost]; rep != nil {
+			continue // a flush or another promotion is materializing it
+		}
+		if !ck.dataOn(TierSSD) && !ck.dataOn(TierPFS) {
+			continue // still being flushed down; the flusher will land it
+		}
+		if freeHostBytes < ck.size && i >= maxResidentDist {
+			// No free room and every host resident is needed sooner
+			// than this candidate: staging would only hurt.
+			return nil
+		}
+		return ck
+	}
+}
+
+// maxHostResidentDistanceLocked returns the largest prefetch distance of
+// any unpinned host-resident checkpoint (consumed checkpoints and
+// checkpoints without hints count as farthest).
+func (c *Client) maxHostResidentDistanceLocked() int {
+	max := -1
+	for id, ck := range c.ckpts {
+		rep := ck.replicas[TierHost]
+		if rep == nil {
+			continue
+		}
+		st := rep.fsm.State()
+		switch st {
+		case lifecycle.WriteComplete, lifecycle.Flushed, lifecycle.Consumed:
+		default:
+			continue // no data, or pinned by a read: not a victim
+		}
+		if ck.consumed {
+			// Consumed residents are free wins for staging.
+			return cachebuf.GapDistance - 1
+		}
+		if d := c.q.distance(id); d > max {
+			max = d
+			if max >= cachebuf.GapDistance-1 {
+				return max
+			}
+		}
+	}
+	return max
+}
+
+// stageToHost copies ck from the SSD into the host cache (non-blocking
+// reservation). staged=false means no immediately evictable host window.
+func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackStage, "prefetch",
+		fmt.Sprintf("stage %d ssd→host", ck.id))()
+	c.waitHostReady()
+	c.mu.Lock()
+	if ck.dataOn(TierHost) || ck.replicas[TierHost] != nil {
+		c.mu.Unlock()
+		return false, nil
+	}
+	hostRep := &replica{tier: TierHost, fsm: lifecycle.NewMachine(c.clk)}
+	ck.replicas[TierHost] = hostRep
+	c.mu.Unlock()
+
+	if _, err := c.hstC.TryReserve(c.hostKey(ck.id), ck.size); err != nil {
+		c.mu.Lock()
+		if ck.replicas[TierHost] == hostRep {
+			delete(ck.replicas, TierHost)
+		}
+		c.mu.Unlock()
+		switch err {
+		case cachebuf.ErrWouldBlock, cachebuf.ErrTooLarge, cachebuf.ErrDuplicate:
+			return false, nil
+		case cachebuf.ErrClosed:
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+	hostRep.fsm.MustTo(lifecycle.ReadInProgress)
+	c.p.NVMe.Transfer(ck.size)
+	hostRep.fsm.MustTo(lifecycle.ReadComplete)
+	c.hstC.Notify()
+	return true, nil
+}

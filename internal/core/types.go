@@ -1,0 +1,271 @@
+// Package core implements Score, the paper's asynchronous multi-level
+// checkpoint caching and prefetching runtime (§4). One Client serves one
+// process (one GPU): it manages a pre-allocated GPU cache and pinned host
+// cache (§4.1.4), flushes checkpoints asynchronously down the tier chain
+// (GPU → host → node-local SSD → optional PFS) with dedicated background
+// tasks (T_D2H, T_H2F, §4.3.1), and prefetches checkpoints back up the
+// chain (T_PF) following the application's restore-order hints (§4.1.1).
+// Evictions on the cache tiers use the gap-aware score-based policy of
+// §4.2 via internal/cachebuf, with evictability governed by the per-
+// replica life-cycle FSM of Figure 1 via internal/lifecycle.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"score/internal/cachebuf"
+	"score/internal/ckptstore"
+	"score/internal/device"
+	"score/internal/fabric"
+	"score/internal/lifecycle"
+	"score/internal/payload"
+	"score/internal/simclock"
+	"score/internal/trace"
+)
+
+// ID identifies a checkpoint version within one client.
+type ID int64
+
+// Tier enumerates the storage hierarchy levels.
+type Tier int
+
+const (
+	// TierGPU is the per-process GPU HBM cache (fastest).
+	TierGPU Tier = iota
+	// TierHost is the per-process pinned host-memory cache.
+	TierHost
+	// TierSSD is the node-local NVMe tier, shared by co-located
+	// processes.
+	TierSSD
+	// TierPFS is the globally shared parallel file system (slowest).
+	TierPFS
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierGPU:
+		return "gpu"
+	case TierHost:
+		return "host"
+	case TierSSD:
+		return "ssd"
+	case TierPFS:
+		return "pfs"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Errors returned by Client operations.
+var (
+	// ErrUnknownCheckpoint: restore of a version that was never written.
+	ErrUnknownCheckpoint = errors.New("core: unknown checkpoint")
+	// ErrClosed: the client has been closed.
+	ErrClosed = errors.New("core: client closed")
+	// ErrDuplicateCheckpoint: a version was written twice (checkpoints
+	// are immutable, §1).
+	ErrDuplicateCheckpoint = errors.New("core: checkpoint version already written")
+)
+
+// Params configures a Client.
+type Params struct {
+	// Clock drives all timing; required.
+	Clock simclock.Clock
+	// GPU is the simulated device this process owns; required.
+	GPU *device.GPU
+	// NVMe is the node-shared SSD link; required.
+	NVMe *fabric.Link
+	// PFS is the cluster-shared parallel file system link; required
+	// when PersistToPFS is set, optional otherwise.
+	PFS *fabric.Link
+
+	// GPUCacheSize is the device cache reservation in bytes (paper
+	// default: 4 GiB, 10% of an A100).
+	GPUCacheSize int64
+	// HostCacheSize is the pinned host cache reservation in bytes
+	// (paper default: 32 GiB per process).
+	HostCacheSize int64
+
+	// DiscardAfterRestore makes consumed checkpoints discardable:
+	// pending flushes are cancelled (§2 condition 5) and any replica
+	// becomes evictable. This matches adjoint workloads; reproducibility
+	// workloads set it to false.
+	DiscardAfterRestore bool
+	// PersistToPFS extends the flush chain beyond the node-local SSD.
+	PersistToPFS bool
+	// AutoStartPrefetch activates the prefetcher as soon as hints are
+	// available instead of waiting for PrefetchStart (the paper's
+	// VELOC_Prefetch_start is optional).
+	AutoStartPrefetch bool
+	// AsyncHostInit overlaps the expensive pinned host cache
+	// registration (§4.1.4: ~4 GB/s) with the start of the run; the
+	// host tier only becomes usable once registration completes. When
+	// false, New blocks for the registration time instead.
+	AsyncHostInit bool
+
+	// The remaining options disable individual design principles for the
+	// ablation benchmarks; production use leaves them all false.
+
+	// SplitCache abandons §4.1.2's shared flush/prefetch cache: the GPU
+	// cache is split into two half-size regions, one dedicated to
+	// writes and one to prefetches ("a naive strategy could simply
+	// manage a separate space on each tier").
+	SplitCache bool
+	// NoPinning abandons §4.1.3's unified life cycle: prefetched-but-
+	// unconsumed replicas become evictable (risking thrashing), as when
+	// flushing and prefetching are tracked independently.
+	NoPinning bool
+	// OnDemandAlloc abandons §4.1.4's pre-allocated pinned buffers:
+	// every flush pays the pinned host allocation cost (~4 GB/s) and
+	// every checkpoint the device allocation cost for its own region.
+	OnDemandAlloc bool
+	// GPUEvictionPolicy overrides the GPU cache eviction policy for the
+	// ablation benchmarks (default: the paper's scored policy).
+	GPUEvictionPolicy cachebuf.Policy
+	// NoHostStager disables the SSD→host prefetch stage of T_PF,
+	// serializing both promotion hops inside each GPU promotion.
+	NoHostStager bool
+	// SharedHost, when set, replaces the per-process pinned host cache
+	// with a pool shared by every client registered to it (the paper's
+	// future-work load balancing for variable-sized checkpoints);
+	// HostCacheSize is then ignored.
+	SharedHost *SharedHostCache
+	// GPUDirectStorage implements the paper's future-work item
+	// ("incorporate support for Nvidia GPUDirect storage"): flushes move
+	// GPU→SSD and prefetches SSD→GPU directly, without staging through
+	// the pinned host cache. The host tier is bypassed entirely; the
+	// trade-off is losing its capacity as a middle cache level.
+	GPUDirectStorage bool
+
+	// Tracer, when set, records checkpoint/restore/flush/prefetch spans
+	// on the simulated timeline for Chrome-trace export. Nil disables
+	// tracing with zero overhead.
+	Tracer *trace.Tracer
+
+	// Store, when set, makes the SSD tier genuinely durable for real
+	// (byte-backed) payloads: flushes that reach the SSD persist the
+	// bytes, and New recovers the checkpoint table from whatever the
+	// store holds — the VELOC-style restart-after-failure capability.
+	// Virtual (size-only) payloads are simulated as before.
+	Store *ckptstore.Store
+}
+
+// withDefaults fills unset sizes with the paper's §5.3.4 configuration.
+func (p Params) withDefaults() Params {
+	if p.GPUCacheSize == 0 {
+		p.GPUCacheSize = 4 * fabric.GB
+	}
+	if p.HostCacheSize == 0 {
+		p.HostCacheSize = 32 * fabric.GB
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Clock == nil:
+		return errors.New("core: Params.Clock is required")
+	case p.GPU == nil:
+		return errors.New("core: Params.GPU is required")
+	case p.NVMe == nil:
+		return errors.New("core: Params.NVMe is required")
+	case p.PersistToPFS && p.PFS == nil:
+		return errors.New("core: Params.PFS required when PersistToPFS is set")
+	case p.GPUCacheSize <= 0 || p.HostCacheSize <= 0:
+		return errors.New("core: cache sizes must be positive")
+	}
+	return nil
+}
+
+// replica is one copy of a checkpoint on one tier, with its own life-cycle
+// machine (Fig. 1: "a life cycle for every checkpoint instance on all
+// cache tiers").
+type replica struct {
+	tier Tier
+	fsm  *lifecycle.Machine
+}
+
+// hasData reports whether the replica currently holds a readable copy.
+func (r *replica) hasData() bool {
+	switch r.fsm.State() {
+	case lifecycle.WriteComplete, lifecycle.Flushed,
+		lifecycle.ReadComplete, lifecycle.Consumed:
+		return true
+	}
+	return false
+}
+
+// checkpoint is the client-wide record of one version.
+type checkpoint struct {
+	id       ID
+	size     int64
+	pay      payload.Payload
+	replicas map[Tier]*replica
+
+	consumed    bool // restored at least once
+	promoting   bool // a promotion toward the GPU tier is in flight
+	stagingHost bool // the host stager is copying SSD → host right now
+	stagedHost  bool // counted against the stager's byte budget
+	enqueuedD2H,
+	enqueuedH2F bool
+	writtenAt time.Duration
+}
+
+// dataOn reports whether the checkpoint has a readable replica on tier.
+func (ck *checkpoint) dataOn(tier Tier) bool {
+	r := ck.replicas[tier]
+	return r != nil && r.hasData()
+}
+
+// durableBelow reports whether a readable copy exists on any tier slower
+// than t — the safety condition for evicting the replica on t without
+// losing data.
+func (ck *checkpoint) durableBelow(t Tier) bool {
+	for tier := t + 1; tier <= TierPFS; tier++ {
+		if ck.dataOn(tier) {
+			return true
+		}
+	}
+	return false
+}
+
+// storePayload is a lazily loaded payload backed by the durable store,
+// used for checkpoints recovered after a restart.
+type storePayload struct {
+	store *ckptstore.Store
+	id    int64
+	size  int64
+
+	once sync.Once
+	data []byte
+	err  error
+}
+
+func (p *storePayload) load() {
+	p.once.Do(func() { p.data, p.err = p.store.Get(p.id) })
+}
+
+// Size implements payload.Payload.
+func (p *storePayload) Size() int64 { return p.size }
+
+// Checksum implements payload.Payload.
+func (p *storePayload) Checksum() uint64 {
+	p.load()
+	if p.err != nil {
+		return 0
+	}
+	return payload.NewReal(p.data).Checksum()
+}
+
+// Bytes implements payload.Payload; nil if the durable read failed (the
+// caller's checksum verification will then fail loudly).
+func (p *storePayload) Bytes() []byte {
+	p.load()
+	if p.err != nil {
+		return nil
+	}
+	return p.data
+}

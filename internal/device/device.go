@@ -1,0 +1,152 @@
+// Package device models the GPU and host-memory resources a Score client
+// uses: HBM capacity accounting, timed memory allocation (the paper's
+// §4.1.4 motivates pre-allocating and pinning cache buffers because
+// on-demand allocation can cost more than the transfer itself), copy
+// engines over the fabric links, and compute-kernel emulation.
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"score/internal/fabric"
+	"score/internal/simclock"
+)
+
+// AllocCosts models memory-allocation throughput on each tier (paper
+// §4.1.4: "memory allocation speed [on A100 HBM] ... about 1 TB/s ...
+// pinned memory can be allocated on the host cache at about 4 GB/s").
+type AllocCosts struct {
+	// DeviceBytesPerSec is the HBM allocation rate.
+	DeviceBytesPerSec float64
+	// PinnedHostBytesPerSec is the pinned host allocation+registration
+	// rate.
+	PinnedHostBytesPerSec float64
+}
+
+// DefaultAllocCosts returns the paper's measured A100 allocation rates.
+func DefaultAllocCosts() AllocCosts {
+	return AllocCosts{
+		DeviceBytesPerSec:     1000 * fabric.GB,
+		PinnedHostBytesPerSec: 4 * fabric.GB,
+	}
+}
+
+// GPU is one simulated accelerator: a bounded HBM pool plus the links that
+// connect it to its own memory (D2D), to host memory (PCIe), and through
+// the host to storage.
+type GPU struct {
+	clk   simclock.Clock
+	id    int
+	hbm   int64 // total HBM bytes
+	costs AllocCosts
+
+	d2d  *fabric.Link
+	pcie *fabric.Link
+
+	mu   sync.Mutex
+	used int64
+}
+
+// NewGPU creates GPU id with hbmCapacity bytes of device memory attached
+// to the given fabric links.
+func NewGPU(clk simclock.Clock, id int, hbmCapacity int64, d2d, pcie *fabric.Link, costs AllocCosts) *GPU {
+	if hbmCapacity <= 0 {
+		panic(fmt.Sprintf("device: GPU %d: HBM capacity must be positive", id))
+	}
+	if costs.DeviceBytesPerSec <= 0 || costs.PinnedHostBytesPerSec <= 0 {
+		panic("device: allocation rates must be positive")
+	}
+	return &GPU{clk: clk, id: id, hbm: hbmCapacity, costs: costs, d2d: d2d, pcie: pcie}
+}
+
+// ID returns the GPU's index on its node.
+func (g *GPU) ID() int { return g.id }
+
+// Costs returns the GPU's allocation-cost model.
+func (g *GPU) Costs() AllocCosts { return g.costs }
+
+// ChargeDeviceAlloc charges the simulated time of allocating size bytes
+// of device memory without reserving capacity (used by the on-demand
+// allocation ablation, where the region is logically transient).
+func (g *GPU) ChargeDeviceAlloc(size int64) {
+	g.clk.Sleep(allocDuration(size, g.costs.DeviceBytesPerSec))
+}
+
+// HBMCapacity returns the total device memory in bytes.
+func (g *GPU) HBMCapacity() int64 { return g.hbm }
+
+// HBMUsed returns the currently allocated device memory in bytes.
+func (g *GPU) HBMUsed() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// AllocDevice reserves size bytes of HBM, charging the simulated
+// allocation time. It fails if the device is out of memory.
+func (g *GPU) AllocDevice(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("device: GPU %d: negative allocation %d", g.id, size)
+	}
+	g.mu.Lock()
+	if g.used+size > g.hbm {
+		defer g.mu.Unlock()
+		return fmt.Errorf("device: GPU %d: out of memory: %d used + %d requested > %d HBM",
+			g.id, g.used, size, g.hbm)
+	}
+	g.used += size
+	g.mu.Unlock()
+	g.clk.Sleep(allocDuration(size, g.costs.DeviceBytesPerSec))
+	return nil
+}
+
+// FreeDevice releases size bytes of HBM.
+func (g *GPU) FreeDevice(size int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.used -= size
+	if g.used < 0 {
+		panic(fmt.Sprintf("device: GPU %d: negative HBM usage", g.id))
+	}
+}
+
+// AllocPinnedHost charges the simulated time to allocate and register size
+// bytes of pinned host memory. (Host capacity bookkeeping is the
+// runtime's responsibility; this models only the registration cost that
+// makes pre-allocation worthwhile.)
+func (g *GPU) AllocPinnedHost(size int64) {
+	if size <= 0 {
+		return
+	}
+	g.clk.Sleep(allocDuration(size, g.costs.PinnedHostBytesPerSec))
+}
+
+// CopyD2D moves size bytes within device memory (e.g. application buffer
+// → GPU cache) and returns the simulated duration.
+func (g *GPU) CopyD2D(size int64) time.Duration { return g.d2d.Transfer(size) }
+
+// CopyD2H moves size bytes from device to host over PCIe.
+func (g *GPU) CopyD2H(size int64) time.Duration { return g.pcie.Transfer(size) }
+
+// CopyH2D moves size bytes from host to device over PCIe.
+func (g *GPU) CopyH2D(size int64) time.Duration { return g.pcie.Transfer(size) }
+
+// D2DLink returns the device's D2D link (used for eviction-time
+// estimates).
+func (g *GPU) D2DLink() *fabric.Link { return g.d2d }
+
+// PCIeLink returns the device's PCIe link.
+func (g *GPU) PCIeLink() *fabric.Link { return g.pcie }
+
+// Compute emulates a kernel of the given duration (the paper's benchmark
+// "runs trivial iterations, by sleeping to simulate computations").
+func (g *GPU) Compute(d time.Duration) { g.clk.Sleep(d) }
+
+func allocDuration(size int64, rate float64) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / rate * 1e9)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsSmokeAndShapes(t *testing.T) {
+	// tiny() with a roomier GPU cache: the split-cache variant halves
+	// it, and each half must still hold the largest variable checkpoint.
+	scale := tiny()
+	scale.GPUCache *= 4
+	abl, err := Ablations(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Rows) != 10 {
+		t.Fatalf("ablation rows = %d, want 10", len(abl.Rows))
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range abl.Rows {
+		byKey[r.Principle+"/"+r.Variant] = r
+	}
+	// Pre-allocation must beat on-demand on checkpoint throughput.
+	pre := byKey["pre-allocation (§4.1.4)/preallocated"]
+	ond := byKey["pre-allocation (§4.1.4)/on-demand"]
+	if pre.CkptBps <= ond.CkptBps {
+		t.Errorf("prealloc ckpt %.0f <= on-demand %.0f", pre.CkptBps, ond.CkptBps)
+	}
+	// At this reduced scale the io-wait difference can be small; allow
+	// 10% tolerance (the full-scale run shows a clear 1.5x gap).
+	if pre.IOWait > ond.IOWait*11/10 {
+		t.Errorf("prealloc io-wait %v far above on-demand %v", pre.IOWait, ond.IOWait)
+	}
+	// The staged prefetcher must not be slower than serialized on the
+	// SSD-tail shot.
+	staged := byKey["multi-tier T_PF (§4.3.1)/staged"]
+	serial := byKey["multi-tier T_PF (§4.3.1)/serialized"]
+	if staged.RestBps < serial.RestBps*95/100 {
+		t.Errorf("staged restore %.0f well below serialized %.0f", staged.RestBps, serial.RestBps)
+	}
+	var b strings.Builder
+	if err := abl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eviction policy") {
+		t.Error("rendered table missing rows")
+	}
+}

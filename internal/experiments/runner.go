@@ -1,0 +1,482 @@
+// Package experiments reproduces the paper's evaluation (§5): it wires
+// clusters, devices, and the three compared runtimes (ADIOS2, optimized
+// UVM, Score) into the RTM shot benchmark, and provides one driver per
+// table and figure. All experiments run on the deterministic virtual
+// clock, so a full paper-scale shot (48 GB per GPU, 8–32 GPUs) completes
+// in wall-clock milliseconds while reproducing the contention behavior of
+// the real testbed.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"score/internal/adiossim"
+	"score/internal/cachebuf"
+	"score/internal/core"
+	"score/internal/device"
+	"score/internal/fabric"
+	"score/internal/metrics"
+	"score/internal/payload"
+	"score/internal/rtm"
+	"score/internal/simclock"
+	"score/internal/uvmsim"
+)
+
+// Approach identifies a compared runtime (§5.2).
+type Approach int
+
+const (
+	// ADIOS2 is the BP5 deferred-I/O baseline.
+	ADIOS2 Approach = iota
+	// UVM is the optimized unified-virtual-memory baseline.
+	UVM
+	// Score is the paper's proposal.
+	Score
+)
+
+// String names the approach as in the figures.
+func (a Approach) String() string {
+	switch a {
+	case ADIOS2:
+		return "ADIOS2"
+	case UVM:
+		return "UVM"
+	case Score:
+		return "Score"
+	}
+	return fmt.Sprintf("Approach(%d)", int(a))
+}
+
+// HintMode is the degree of foreknowledge (Table 1).
+type HintMode int
+
+const (
+	// NoHints: direct reads, no foreknowledge.
+	NoHints HintMode = iota
+	// SingleHint: one hint at a time, issued an iteration ahead.
+	SingleHint
+	// AllHints: the full restore order is known in advance.
+	AllHints
+)
+
+// String names the hint mode as in Table 1.
+func (h HintMode) String() string {
+	switch h {
+	case NoHints:
+		return "No hints"
+	case SingleHint:
+		return "Single hint"
+	case AllHints:
+		return "All hints"
+	}
+	return fmt.Sprintf("HintMode(%d)", int(h))
+}
+
+// Combo is one Table 1 row: an approach with a hint budget.
+type Combo struct {
+	Approach Approach
+	Hints    HintMode
+}
+
+// Label renders the Table 1 row name.
+func (c Combo) Label() string { return fmt.Sprintf("%s, %s", c.Hints, c.Approach) }
+
+// Table1 returns the seven compared configurations of Table 1.
+func Table1() []Combo {
+	return []Combo{
+		{ADIOS2, NoHints},
+		{UVM, NoHints},
+		{Score, NoHints},
+		{UVM, SingleHint},
+		{Score, SingleHint},
+		{UVM, AllHints},
+		{Score, AllHints},
+	}
+}
+
+// Runtime is the contract the shot driver needs; all three approaches
+// satisfy it.
+type Runtime interface {
+	Checkpoint(id int64, pay payload.Payload) error
+	Restore(id int64) (payload.Payload, error)
+	PrefetchEnqueue(id int64)
+	PrefetchStart()
+	WaitFlush() error
+	Metrics() *metrics.Recorder
+	Err() error
+	Close()
+}
+
+// scoreRuntime adapts core.Client's typed IDs to the Runtime contract.
+type scoreRuntime struct{ *core.Client }
+
+func (s scoreRuntime) Checkpoint(id int64, pay payload.Payload) error {
+	return s.Client.Checkpoint(core.ID(id), pay)
+}
+func (s scoreRuntime) Restore(id int64) (payload.Payload, error) {
+	return s.Client.Restore(core.ID(id))
+}
+func (s scoreRuntime) PrefetchEnqueue(id int64) { s.Client.PrefetchEnqueue(core.ID(id)) }
+
+// ShotConfig describes one benchmark run (§5.3).
+type ShotConfig struct {
+	// Nodes and GPUsPerNode give the process count (§5.1: up to 4 nodes
+	// × 8 GPUs).
+	Nodes, GPUsPerNode int
+	// Node is the interconnect model (defaults to DGXA100).
+	Node fabric.NodeConfig
+	// HBMPerGPU is the device memory size (A100: 40 GiB).
+	HBMPerGPU int64
+
+	// Snapshots per shot and their sizes: Uniform uses UniformSize for
+	// every snapshot; otherwise Trace generates variable sizes.
+	Snapshots   int
+	Uniform     bool
+	UniformSize int64
+	Trace       rtm.TraceConfig
+
+	// Order is the backward-pass restore order.
+	Order rtm.Order
+	// Interval is the compute time between consecutive checkpoints and
+	// between consecutive restores (paper default: 10 ms).
+	Interval time.Duration
+	// WaitForFlush inserts a full flush drain between the forward and
+	// backward passes (Fig. 5) instead of restoring immediately
+	// (Fig. 6).
+	WaitForFlush bool
+	// TightlyCoupled adds a barrier across all processes at every
+	// iteration (Fig. 9a).
+	TightlyCoupled bool
+
+	// GPUCache and HostCache are the per-process cache reservations
+	// (§5.3.4 defaults: 4 GiB and 32 GiB).
+	GPUCache, HostCache int64
+
+	// Combo selects the runtime and hint budget.
+	Combo Combo
+	// Seed controls trace generation and irregular orders.
+	Seed int64
+	// BWScale scales every link bandwidth (for reduced-scale runs whose
+	// data sizes shrink by the same factor, preserving the paper's
+	// bandwidth-to-working-set ratios). 0 or 1 means paper bandwidths.
+	BWScale float64
+
+	// Extension knobs (Score only): the paper's future-work items.
+	// SharedHostPerNode pools the host caches of a node's clients;
+	// GPUDirect bypasses the host tier entirely.
+	SharedHostPerNode bool
+	GPUDirect         bool
+
+	// Ablation knobs (Score only).
+	SplitCache, NoPinning, OnDemandAlloc, NoHostStager bool
+	// UpfrontHostInit charges the pinned host cache registration during
+	// client construction (before the measured shot) instead of
+	// overlapping it with the run — the §4.1.4 pre-allocation design in
+	// its pure form, used by the allocation ablation.
+	UpfrontHostInit bool
+	EvictionPolicy  cachebuf.Policy
+}
+
+// withDefaults fills the paper's defaults.
+func (c ShotConfig) withDefaults() ShotConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 8
+	}
+	if c.Node.GPUs == 0 {
+		c.Node = fabric.DGXA100()
+		c.Node.GPUs = c.GPUsPerNode
+	}
+	if c.HBMPerGPU == 0 {
+		c.HBMPerGPU = 40 * fabric.GB
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 384
+	}
+	if c.UniformSize == 0 {
+		c.UniformSize = 128 << 20
+	}
+	if c.Trace.Snapshots == 0 {
+		c.Trace = rtm.DefaultTraceConfig()
+	}
+	c.Trace.Snapshots = c.Snapshots
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.GPUCache == 0 {
+		c.GPUCache = 4 * fabric.GB
+	}
+	if c.HostCache == 0 {
+		c.HostCache = 32 * fabric.GB
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.BWScale > 0 && c.BWScale != 1 {
+		c.Node.D2DBandwidth *= c.BWScale
+		c.Node.PCIeBandwidth *= c.BWScale
+		c.Node.NVMePerDrive *= c.BWScale
+		c.Node.PFSBandwidth *= c.BWScale
+	}
+	return c
+}
+
+// RankResult is one process's measurements.
+type RankResult struct {
+	Rank    int
+	Summary metrics.Summary
+}
+
+// ShotResult aggregates a run.
+type ShotResult struct {
+	Config   ShotConfig
+	PerRank  []RankResult
+	Duration time.Duration // simulated makespan
+}
+
+// MeanCheckpointThroughput is the per-GPU application-observed write
+// throughput, computed as the aggregate ratio (total bytes over total
+// blocking time across ranks — the harmonic mean of per-rank rates).
+// The arithmetic mean of per-rank ratios is unstable: one rank whose
+// restores all hit the cache divides by near-zero blocking and dominates
+// the average, so the figures report the aggregate ratio.
+func (r ShotResult) MeanCheckpointThroughput() float64 {
+	var bytes int64
+	var blocked time.Duration
+	for _, rr := range r.PerRank {
+		bytes += rr.Summary.CheckpointBytes
+		blocked += rr.Summary.CheckpointBlocked
+	}
+	return ratio(bytes, blocked)
+}
+
+// MeanRestoreThroughput is the per-GPU read throughput (aggregate ratio;
+// see MeanCheckpointThroughput).
+func (r ShotResult) MeanRestoreThroughput() float64 {
+	var bytes int64
+	var blocked time.Duration
+	for _, rr := range r.PerRank {
+		bytes += rr.Summary.RestoreBytes
+		blocked += rr.Summary.RestoreBlocked
+	}
+	return ratio(bytes, blocked)
+}
+
+func ratio(bytes int64, blocked time.Duration) float64 {
+	if blocked <= 0 {
+		if bytes > 0 {
+			return float64(bytes) * 1e9
+		}
+		return 0
+	}
+	return float64(bytes) / blocked.Seconds()
+}
+
+// TotalIOWait sums blocked time across ranks and phases.
+func (r ShotResult) TotalIOWait() time.Duration {
+	var t time.Duration
+	for _, rr := range r.PerRank {
+		t += rr.Summary.CheckpointBlocked + rr.Summary.RestoreBlocked
+	}
+	return t
+}
+
+// RunShot executes one full shot benchmark on a fresh virtual clock.
+func RunShot(cfg ShotConfig) (ShotResult, error) {
+	cfg = cfg.withDefaults()
+	clk := simclock.NewVirtual()
+	var res ShotResult
+	var err error
+	clk.Run(func() { res, err = runShot(clk, cfg) })
+	return res, err
+}
+
+func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
+	cluster, err := fabric.NewCluster(clk, cfg.Nodes, cfg.Node)
+	if err != nil {
+		return ShotResult{}, err
+	}
+	ranks := cfg.Nodes * cfg.GPUsPerNode
+
+	var sharedPools []*core.SharedHostCache
+	if cfg.SharedHostPerNode && cfg.Combo.Approach == Score {
+		sharedPools = make([]*core.SharedHostCache, cfg.Nodes)
+		for n := range sharedPools {
+			sharedPools[n] = core.NewSharedHostCachePinnedBy(clk,
+				fmt.Sprintf("node%d-sharedhost", n),
+				cfg.HostCache*int64(cfg.GPUsPerNode), cfg.GPUsPerNode)
+		}
+		defer func() {
+			for _, p := range sharedPools {
+				p.Close()
+			}
+		}()
+	}
+
+	// Build one runtime per rank. Every constructed runtime is closed on
+	// every exit path: a leaked runtime leaves parked daemon tasks that
+	// the virtual clock correctly reports as a deadlock.
+	rts := make([]Runtime, ranks)
+	defer func() {
+		for _, rt := range rts {
+			if rt != nil {
+				rt.Close()
+			}
+		}
+	}()
+	shots := make([]rtm.Shot, ranks)
+	orders := make([][]int, ranks)
+	costs := device.DefaultAllocCosts()
+	if cfg.BWScale > 0 && cfg.BWScale != 1 {
+		// Allocation rates scale with the rest of the hardware so
+		// reduced-scale runs keep the paper's cost ratios (e.g. pinned
+		// allocation slower than the transfers it enables, §4.1.4).
+		costs.DeviceBytesPerSec *= cfg.BWScale
+		costs.PinnedHostBytesPerSec *= cfg.BWScale
+	}
+	for rank := 0; rank < ranks; rank++ {
+		node := cluster.Nodes[rank/cfg.GPUsPerNode]
+		local := rank % cfg.GPUsPerNode
+		d2d, pcie := node.GPULinks(local)
+		gpu := device.NewGPU(clk, local, cfg.HBMPerGPU, d2d, pcie, costs)
+
+		var pool *core.SharedHostCache
+		if sharedPools != nil {
+			pool = sharedPools[rank/cfg.GPUsPerNode]
+		}
+		rt, err := buildRuntime(clk, cfg, gpu, node, pool)
+		if err != nil {
+			return ShotResult{}, err
+		}
+		rts[rank] = rt
+
+		if cfg.Uniform {
+			shots[rank] = rtm.UniformShot(rank, cfg.Snapshots, cfg.UniformSize)
+		} else {
+			shots[rank], err = rtm.GenerateShot(cfg.Trace, rank)
+			if err != nil {
+				return ShotResult{}, err
+			}
+		}
+		orders[rank] = cfg.Order.Sequence(cfg.Snapshots, cfg.Seed+int64(rank))
+	}
+
+	var barrier *simclock.Barrier
+	if cfg.TightlyCoupled {
+		barrier = simclock.NewBarrier(clk, ranks)
+	}
+
+	errs := make([]error, ranks)
+	wg := simclock.NewWaitGroup(clk)
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		wg.Add(1)
+		clk.Go(func() {
+			defer wg.Done()
+			errs[rank] = runRank(clk, cfg, rts[rank], shots[rank], orders[rank], barrier)
+		})
+	}
+	wg.Wait()
+
+	res := ShotResult{Config: cfg, Duration: clk.Now()}
+	for rank := 0; rank < ranks; rank++ {
+		if errs[rank] != nil {
+			return res, fmt.Errorf("rank %d: %w", rank, errs[rank])
+		}
+		if err := rts[rank].Err(); err != nil {
+			return res, fmt.Errorf("rank %d async: %w", rank, err)
+		}
+		res.PerRank = append(res.PerRank, RankResult{Rank: rank, Summary: rts[rank].Metrics().Snapshot()})
+	}
+	return res, nil
+}
+
+func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fabric.Node, pool *core.SharedHostCache) (Runtime, error) {
+	switch cfg.Combo.Approach {
+	case ADIOS2:
+		return adiossim.New(adiossim.Config{
+			Clock: clk, GPU: gpu, NVMe: node.NVMe, HostBufferSize: cfg.HostCache,
+		})
+	case UVM:
+		return uvmsim.New(uvmsim.Config{
+			Clock: clk, GPU: gpu, NVMe: node.NVMe,
+			DeviceCacheSize: cfg.GPUCache, HostCacheSize: cfg.HostCache,
+			DiscardAfterRestore: !cfg.WaitForFlush,
+			AsyncHostInit:       true,
+		})
+	case Score:
+		client, err := core.New(core.Params{
+			Clock: clk, GPU: gpu, NVMe: node.NVMe, PFS: node.PFS,
+			GPUCacheSize: cfg.GPUCache, HostCacheSize: cfg.HostCache,
+			DiscardAfterRestore: !cfg.WaitForFlush,
+			AsyncHostInit:       !cfg.UpfrontHostInit,
+			SplitCache:          cfg.SplitCache,
+			NoPinning:           cfg.NoPinning,
+			OnDemandAlloc:       cfg.OnDemandAlloc,
+			NoHostStager:        cfg.NoHostStager,
+			GPUEvictionPolicy:   cfg.EvictionPolicy,
+			SharedHost:          pool,
+			GPUDirectStorage:    cfg.GPUDirect,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return scoreRuntime{client}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown approach %v", cfg.Combo.Approach)
+}
+
+// runRank executes the Listing 1 pattern for one process: enqueue hints
+// (per the hint budget), forward pass, optional flush drain, prefetch
+// start, backward pass.
+func runRank(clk simclock.Clock, cfg ShotConfig, rt Runtime, shot rtm.Shot, order []int, barrier *simclock.Barrier) error {
+	n := cfg.Snapshots
+
+	if cfg.Combo.Hints == AllHints {
+		for _, idx := range order {
+			rt.PrefetchEnqueue(int64(idx))
+		}
+	}
+
+	// Forward pass: compute (sleep), checkpoint.
+	for i := 0; i < n; i++ {
+		clk.Sleep(cfg.Interval)
+		if err := rt.Checkpoint(int64(i), payload.NewVirtual(shot.Sizes[i])); err != nil {
+			return fmt.Errorf("checkpoint %d: %w", i, err)
+		}
+		if barrier != nil {
+			barrier.Await()
+		}
+	}
+
+	if cfg.WaitForFlush {
+		if err := rt.WaitFlush(); err != nil {
+			return fmt.Errorf("wait flush: %w", err)
+		}
+		if barrier != nil {
+			barrier.Await()
+		}
+	}
+
+	rt.PrefetchStart()
+
+	// Backward pass: restore per the order, compute between restores.
+	for k, idx := range order {
+		if cfg.Combo.Hints == SingleHint && k+1 < len(order) {
+			// One hint at a time: announce the next iteration's
+			// restore at the beginning of the current one (§5.2.4).
+			rt.PrefetchEnqueue(int64(order[k+1]))
+		}
+		if _, err := rt.Restore(int64(idx)); err != nil {
+			return fmt.Errorf("restore %d: %w", idx, err)
+		}
+		clk.Sleep(cfg.Interval)
+		if barrier != nil {
+			barrier.Await()
+		}
+	}
+	return nil
+}

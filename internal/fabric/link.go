@@ -1,0 +1,206 @@
+// Package fabric simulates the interconnects of a GPU compute node: the
+// per-GPU device-to-device paths (HBM/NVSwitch), the PCIe links to host
+// memory (shared by pairs of GPUs on a DGX-A100), the node-local NVMe
+// drives, and the globally shared parallel file system.
+//
+// Each Link divides its bandwidth among all in-flight transfers using
+// max-min fair sharing, re-evaluated whenever a transfer starts or
+// finishes. This is the property that makes the paper's evaluation
+// meaningful in simulation: asynchronous flushes and prefetches that
+// overlap on a shared link slow each other down exactly as they would on
+// real hardware.
+//
+// All timing flows through a simclock.Clock, so the same fabric runs
+// deterministically under a virtual clock or proportionally under a scaled
+// real clock.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"score/internal/simclock"
+)
+
+// GB is one gigabyte in bytes, the natural unit for link bandwidths.
+const GB = 1 << 30
+
+// A Link is a shared communication resource with a fixed total bandwidth
+// (bytes per simulated second) and a fixed per-transfer latency. Bandwidth
+// is divided evenly among concurrent transfers (max-min fair share).
+type Link struct {
+	clk     simclock.Clock
+	name    string
+	bw      float64 // bytes per simulated second
+	latency time.Duration
+
+	mu         sync.Mutex
+	cond       simclock.Cond
+	active     map[*transfer]struct{}
+	lastSettle time.Duration
+
+	// Statistics, guarded by mu.
+	totalBytes     int64
+	totalTransfers int64
+	peakConcurrent int
+}
+
+type transfer struct {
+	remaining float64 // bytes left to move
+}
+
+// NewLink creates a link named name with the given bandwidth in bytes per
+// simulated second and fixed per-transfer latency.
+func NewLink(clk simclock.Clock, name string, bandwidth float64, latency time.Duration) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("fabric: link %q: bandwidth must be positive, got %v", name, bandwidth))
+	}
+	l := &Link{
+		clk:     clk,
+		name:    name,
+		bw:      bandwidth,
+		latency: latency,
+		active:  make(map[*transfer]struct{}),
+	}
+	l.cond = clk.NewCond(&l.mu)
+	return l
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns the link's total bandwidth in bytes per simulated
+// second.
+func (l *Link) Bandwidth() float64 { return l.bw }
+
+// Transfer moves size bytes across the link, blocking the calling task for
+// the simulated duration, which depends on concurrent load. It returns the
+// simulated time the transfer took (including latency). Transfers of
+// non-positive size complete immediately.
+func (l *Link) Transfer(size int64) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	start := l.clk.Now()
+	if l.latency > 0 {
+		l.clk.Sleep(l.latency)
+	}
+	t := &transfer{remaining: float64(size)}
+
+	l.mu.Lock()
+	l.settleLocked()
+	l.active[t] = struct{}{}
+	if n := len(l.active); n > l.peakConcurrent {
+		l.peakConcurrent = n
+	}
+	l.totalBytes += size
+	l.totalTransfers++
+	// Membership changed: everyone's share changed.
+	l.cond.Broadcast()
+
+	for t.remaining > 0.5 { // sub-byte residue counts as done
+		share := l.bw / float64(len(l.active))
+		dur := durationFor(t.remaining, share)
+		// Either our own completion timer fires, or membership
+		// changes and we re-evaluate with the new share.
+		l.cond.WaitTimeout(dur)
+		l.settleLocked()
+	}
+	delete(l.active, t)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	return l.clk.Now() - start
+}
+
+// Estimate predicts how long transferring size bytes would take if it
+// started now, given the current load (assuming load stays constant). It
+// is used by the eviction policy's predict_evictable estimator and never
+// blocks.
+func (l *Link) Estimate(size int64) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	n := len(l.active) + 1
+	l.mu.Unlock()
+	return l.latency + durationFor(float64(size), l.bw/float64(n))
+}
+
+// InFlight returns the number of transfers currently using the link.
+func (l *Link) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.active)
+}
+
+// Stats reports cumulative transfer statistics.
+func (l *Link) Stats() (bytes, transfers int64, peakConcurrent int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalBytes, l.totalTransfers, l.peakConcurrent
+}
+
+// settleLocked credits progress to every active transfer for the simulated
+// time elapsed since the last settlement, at the fair share that was in
+// effect over that interval. Must be called with l.mu held, and after
+// every event that could change shares.
+func (l *Link) settleLocked() {
+	now := l.clk.Now()
+	elapsed := now - l.lastSettle
+	l.lastSettle = now
+	if elapsed <= 0 || len(l.active) == 0 {
+		return
+	}
+	share := l.bw / float64(len(l.active))
+	credit := share * elapsed.Seconds()
+	for t := range l.active {
+		t.remaining -= credit
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// durationFor returns the simulated time to move bytes at rate bytes/sec,
+// rounded up to the next nanosecond so that a full wait always completes
+// the transfer.
+func durationFor(bytes, rate float64) time.Duration {
+	if rate <= 0 {
+		panic("fabric: non-positive rate")
+	}
+	ns := math.Ceil(bytes / rate * 1e9)
+	if ns < 1 {
+		ns = 1
+	}
+	if ns > math.MaxInt64 {
+		panic(fmt.Sprintf("fabric: transfer duration overflow (%v bytes at %v B/s)", bytes, rate))
+	}
+	return time.Duration(ns)
+}
+
+// A Path is a sequence of links crossed store-and-forward. Most routes in
+// the DGX topology are single-link; multi-hop paths (e.g. host→SSD→PFS)
+// are modeled conservatively as sequential hops.
+type Path []*Link
+
+// Transfer moves size bytes across every hop in order and returns the
+// total simulated duration.
+func (p Path) Transfer(size int64) time.Duration {
+	var total time.Duration
+	for _, l := range p {
+		total += l.Transfer(size)
+	}
+	return total
+}
+
+// Estimate sums the per-hop estimates for size bytes.
+func (p Path) Estimate(size int64) time.Duration {
+	var total time.Duration
+	for _, l := range p {
+		total += l.Estimate(size)
+	}
+	return total
+}

@@ -1,0 +1,196 @@
+// Package metrics collects the performance measurements the paper's
+// evaluation reports: application-observed checkpoint and restore
+// throughput (total bytes divided by blocking time, §5.4.1), per-iteration
+// restore rate, prefetch distance (§5.4.4), and I/O wait time.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates measurements for one process (one GPU).
+// All methods are safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+
+	ckptBytes   int64
+	ckptBlocked time.Duration
+	ckptOps     int64
+
+	restBytes   int64
+	restBlocked time.Duration
+	restOps     int64
+
+	// Per-operation series, in issue order.
+	restoreSeries  []SeriesPoint
+	prefetchDist   []int
+	evictionWait   time.Duration
+	deviationReads int64 // restores that deviated from the hint order
+}
+
+// SeriesPoint is one restore operation's measurement.
+type SeriesPoint struct {
+	// Iteration is the restore index within the shot.
+	Iteration int
+	// Bytes restored by this operation.
+	Bytes int64
+	// Blocked is the application-observed blocking time.
+	Blocked time.Duration
+	// PrefetchDistance is the number of successor checkpoints already
+	// resident on the fastest tier when this restore was issued.
+	PrefetchDistance int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Checkpoint records one checkpoint operation that moved bytes and blocked
+// the application for blocked.
+func (r *Recorder) Checkpoint(bytes int64, blocked time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ckptBytes += bytes
+	r.ckptBlocked += blocked
+	r.ckptOps++
+}
+
+// Restore records one restore operation.
+func (r *Recorder) Restore(iter int, bytes int64, blocked time.Duration, prefetchDistance int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.restBytes += bytes
+	r.restBlocked += blocked
+	r.restOps++
+	r.restoreSeries = append(r.restoreSeries, SeriesPoint{
+		Iteration:        iter,
+		Bytes:            bytes,
+		Blocked:          blocked,
+		PrefetchDistance: prefetchDistance,
+	})
+	r.prefetchDist = append(r.prefetchDist, prefetchDistance)
+}
+
+// EvictionWait accumulates time spent blocked on evictions.
+func (r *Recorder) EvictionWait(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictionWait += d
+}
+
+// Deviation records a restore that was not the next hinted checkpoint.
+func (r *Recorder) Deviation() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deviationReads++
+}
+
+// Summary is an immutable snapshot of a Recorder.
+type Summary struct {
+	CheckpointBytes   int64
+	CheckpointBlocked time.Duration
+	CheckpointOps     int64
+	RestoreBytes      int64
+	RestoreBlocked    time.Duration
+	RestoreOps        int64
+	RestoreSeries     []SeriesPoint
+	EvictionWait      time.Duration
+	DeviationReads    int64
+}
+
+// Snapshot returns the current totals.
+func (r *Recorder) Snapshot() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	series := make([]SeriesPoint, len(r.restoreSeries))
+	copy(series, r.restoreSeries)
+	return Summary{
+		CheckpointBytes:   r.ckptBytes,
+		CheckpointBlocked: r.ckptBlocked,
+		CheckpointOps:     r.ckptOps,
+		RestoreBytes:      r.restBytes,
+		RestoreBlocked:    r.restBlocked,
+		RestoreOps:        r.restOps,
+		RestoreSeries:     series,
+		EvictionWait:      r.evictionWait,
+		DeviationReads:    r.deviationReads,
+	}
+}
+
+// CheckpointThroughput returns application-observed write throughput in
+// bytes/second (total size over blocking time, §5.4.1).
+func (s Summary) CheckpointThroughput() float64 {
+	return throughput(s.CheckpointBytes, s.CheckpointBlocked)
+}
+
+// RestoreThroughput returns application-observed read throughput.
+func (s Summary) RestoreThroughput() float64 {
+	return throughput(s.RestoreBytes, s.RestoreBlocked)
+}
+
+// MeanPrefetchDistance averages the prefetch distance over all restores.
+func (s Summary) MeanPrefetchDistance() float64 {
+	if len(s.RestoreSeries) == 0 {
+		return 0
+	}
+	var sum int
+	for _, p := range s.RestoreSeries {
+		sum += p.PrefetchDistance
+	}
+	return float64(sum) / float64(len(s.RestoreSeries))
+}
+
+func throughput(bytes int64, blocked time.Duration) float64 {
+	if blocked <= 0 {
+		if bytes > 0 {
+			return float64(bytes) * 1e9 // effectively instant
+		}
+		return 0
+	}
+	return float64(bytes) / blocked.Seconds()
+}
+
+// Merge combines summaries from multiple processes: byte and time totals
+// add; series concatenate sorted by iteration.
+func Merge(parts ...Summary) Summary {
+	var out Summary
+	for _, p := range parts {
+		out.CheckpointBytes += p.CheckpointBytes
+		out.CheckpointBlocked += p.CheckpointBlocked
+		out.CheckpointOps += p.CheckpointOps
+		out.RestoreBytes += p.RestoreBytes
+		out.RestoreBlocked += p.RestoreBlocked
+		out.RestoreOps += p.RestoreOps
+		out.EvictionWait += p.EvictionWait
+		out.DeviationReads += p.DeviationReads
+		out.RestoreSeries = append(out.RestoreSeries, p.RestoreSeries...)
+	}
+	sort.SliceStable(out.RestoreSeries, func(i, j int) bool {
+		return out.RestoreSeries[i].Iteration < out.RestoreSeries[j].Iteration
+	})
+	return out
+}
+
+// FormatBytesPerSec renders a throughput human-readably (e.g. "25.0 GB/s").
+func FormatBytesPerSec(bps float64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+		tb = 1 << 40
+	)
+	switch {
+	case bps >= tb:
+		return fmt.Sprintf("%.2f TB/s", bps/tb)
+	case bps >= gb:
+		return fmt.Sprintf("%.2f GB/s", bps/gb)
+	case bps >= mb:
+		return fmt.Sprintf("%.2f MB/s", bps/mb)
+	case bps >= kb:
+		return fmt.Sprintf("%.2f KB/s", bps/kb)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}

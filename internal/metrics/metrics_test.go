@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughputComputation(t *testing.T) {
+	r := NewRecorder()
+	r.Checkpoint(1<<30, time.Second)
+	r.Checkpoint(1<<30, time.Second)
+	s := r.Snapshot()
+	if got := s.CheckpointThroughput(); got != 1<<30 {
+		t.Errorf("checkpoint throughput = %v, want 1 GiB/s", got)
+	}
+	if s.CheckpointOps != 2 {
+		t.Errorf("ops = %d, want 2", s.CheckpointOps)
+	}
+}
+
+func TestRestoreSeriesAndPrefetchDistance(t *testing.T) {
+	r := NewRecorder()
+	r.Restore(0, 100, time.Millisecond, 3)
+	r.Restore(1, 100, time.Millisecond, 5)
+	s := r.Snapshot()
+	if len(s.RestoreSeries) != 2 {
+		t.Fatalf("series length = %d", len(s.RestoreSeries))
+	}
+	if s.RestoreSeries[1].PrefetchDistance != 5 {
+		t.Errorf("series[1] distance = %d, want 5", s.RestoreSeries[1].PrefetchDistance)
+	}
+	if got := s.MeanPrefetchDistance(); got != 4 {
+		t.Errorf("mean prefetch distance = %v, want 4", got)
+	}
+}
+
+func TestZeroBlockedThroughput(t *testing.T) {
+	var s Summary
+	if s.CheckpointThroughput() != 0 {
+		t.Error("empty summary should have zero throughput")
+	}
+	s.CheckpointBytes = 100
+	if s.CheckpointThroughput() <= 0 {
+		t.Error("instant ops should report a huge, positive throughput")
+	}
+}
+
+func TestMergeAddsAndSorts(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Checkpoint(10, time.Second)
+	b.Checkpoint(20, time.Second)
+	a.Restore(1, 5, time.Millisecond, 0)
+	b.Restore(0, 5, time.Millisecond, 0)
+	a.Deviation()
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if m.CheckpointBytes != 30 || m.CheckpointBlocked != 2*time.Second {
+		t.Errorf("merged totals wrong: %+v", m)
+	}
+	if m.DeviationReads != 1 {
+		t.Errorf("deviations = %d", m.DeviationReads)
+	}
+	if m.RestoreSeries[0].Iteration != 0 || m.RestoreSeries[1].Iteration != 1 {
+		t.Error("merged series not sorted by iteration")
+	}
+}
+
+func TestEvictionWaitAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.EvictionWait(time.Second)
+	r.EvictionWait(2 * time.Second)
+	if got := r.Snapshot().EvictionWait; got != 3*time.Second {
+		t.Errorf("eviction wait = %v, want 3s", got)
+	}
+}
+
+func TestFormatBytesPerSec(t *testing.T) {
+	cases := map[float64]string{
+		512:             "512 B/s",
+		2 * 1024:        "2.00 KB/s",
+		3 << 20:         "3.00 MB/s",
+		25 << 30:        "25.00 GB/s",
+		1.5 * (1 << 40): "1.50 TB/s",
+	}
+	for in, want := range cases {
+		if got := FormatBytesPerSec(in); got != want {
+			t.Errorf("FormatBytesPerSec(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains(FormatBytesPerSec(0), "B/s") {
+		t.Error("zero should still carry a unit")
+	}
+}
+
+func TestMergePreservesTotalsProperty(t *testing.T) {
+	// Property: merging any split of operations equals recording them
+	// all in one recorder.
+	f := func(bytes []uint16) bool {
+		whole := NewRecorder()
+		a, b := NewRecorder(), NewRecorder()
+		for i, v := range bytes {
+			sz := int64(v) + 1
+			whole.Checkpoint(sz, time.Duration(sz))
+			if i%2 == 0 {
+				a.Checkpoint(sz, time.Duration(sz))
+			} else {
+				b.Checkpoint(sz, time.Duration(sz))
+			}
+		}
+		m := Merge(a.Snapshot(), b.Snapshot())
+		w := whole.Snapshot()
+		return m.CheckpointBytes == w.CheckpointBytes &&
+			m.CheckpointBlocked == w.CheckpointBlocked &&
+			m.CheckpointOps == w.CheckpointOps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type recorder struct{ hints []int64 }
+
+func (r *recorder) PrefetchEnqueue(v int64) { r.hints = append(r.hints, v) }
+
+func newT(t *testing.T, cfg Config) (*Predictor, *recorder) {
+	t.Helper()
+	r := &recorder{}
+	p, err := New(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestNoHintsBeforeConfidence(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 3, Lookahead: 4})
+	p.Observe(10)
+	p.Observe(11) // streak 1
+	if len(r.hints) != 0 {
+		t.Fatalf("hints before confidence: %v", r.hints)
+	}
+	if p.Stride() != 0 {
+		t.Errorf("stride reported before confidence: %d", p.Stride())
+	}
+}
+
+func TestSequentialPattern(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 3, Lookahead: 4})
+	p.Observe(0)
+	p.Observe(1)
+	p.Observe(2) // confident now: hints 3..6
+	want := []int64{3, 4, 5, 6}
+	if len(r.hints) != len(want) {
+		t.Fatalf("hints = %v, want %v", r.hints, want)
+	}
+	for i := range want {
+		if r.hints[i] != want[i] {
+			t.Fatalf("hints = %v, want %v", r.hints, want)
+		}
+	}
+	// The next observation slides the horizon by one.
+	p.Observe(3)
+	if got := r.hints[len(r.hints)-1]; got != 7 {
+		t.Errorf("horizon hint = %d, want 7", got)
+	}
+	if p.Stride() != 1 {
+		t.Errorf("stride = %d, want 1", p.Stride())
+	}
+}
+
+func TestReversePattern(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 3, Lookahead: 3, MinVersion: 0})
+	p.Observe(9)
+	p.Observe(8)
+	p.Observe(7)
+	want := []int64{6, 5, 4}
+	for i := range want {
+		if r.hints[i] != want[i] {
+			t.Fatalf("hints = %v, want %v", r.hints, want)
+		}
+	}
+	if p.Stride() != -1 {
+		t.Errorf("stride = %d", p.Stride())
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 2, Lookahead: 2})
+	p.Observe(0)
+	p.Observe(4)
+	if len(r.hints) != 2 || r.hints[0] != 8 || r.hints[1] != 12 {
+		t.Fatalf("strided hints = %v, want [8 12]", r.hints)
+	}
+}
+
+func TestPatternBreakResetsConfidence(t *testing.T) {
+	// Confidence 3 = three consecutive observations must fit one stride.
+	p, r := newT(t, Config{Confidence: 3, Lookahead: 2})
+	p.Observe(0)
+	p.Observe(1)
+	p.Observe(2)
+	n := len(r.hints)
+	if n == 0 {
+		t.Fatal("no hints after a confident run")
+	}
+	p.Observe(10) // break: two-observation run (2, 10) is not confident
+	if len(r.hints) != n {
+		t.Error("hints emitted on a pattern break")
+	}
+	p.Observe(11) // still only (10, 11): not confident for 3
+	if len(r.hints) != n {
+		t.Error("hints emitted before the new pattern reached confidence")
+	}
+	p.Observe(12) // (10, 11, 12): confident again
+	if len(r.hints) == n {
+		t.Error("no hints after re-establishing a pattern")
+	}
+	if p.Stride() != 1 {
+		t.Errorf("stride = %d", p.Stride())
+	}
+}
+
+func TestRangeClamping(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 2, Lookahead: 10, MinVersion: 0, MaxVersion: 5})
+	p.Observe(2)
+	p.Observe(3)
+	for _, h := range r.hints {
+		if h < 0 || h > 5 {
+			t.Errorf("hint %d outside [0,5]", h)
+		}
+	}
+	if len(r.hints) != 2 { // 4, 5 only
+		t.Errorf("hints = %v, want [4 5]", r.hints)
+	}
+	// Reverse at the low boundary.
+	p2, r2 := newT(t, Config{Confidence: 2, Lookahead: 10, MinVersion: 0, MaxVersion: 5})
+	p2.Observe(2)
+	p2.Observe(1)
+	if len(r2.hints) != 1 || r2.hints[0] != 0 {
+		t.Errorf("reverse clamped hints = %v, want [0]", r2.hints)
+	}
+}
+
+func TestRereadsIgnored(t *testing.T) {
+	p, r := newT(t, Config{Confidence: 2, Lookahead: 2})
+	p.Observe(1)
+	p.Observe(1) // stride 0: ignore
+	p.Observe(2)
+	p.Observe(3)
+	if len(r.hints) == 0 {
+		t.Error("re-read broke pattern detection permanently")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil hinter accepted")
+	}
+	if _, err := New(&recorder{}, Config{Confidence: -1}); err == nil {
+		t.Error("negative confidence accepted")
+	}
+}
+
+func TestHinterFunc(t *testing.T) {
+	var got []int64
+	p, _ := New(HinterFunc(func(v int64) { got = append(got, v) }), Config{Confidence: 2, Lookahead: 1})
+	p.Observe(5)
+	p.Observe(6)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("HinterFunc hints = %v", got)
+	}
+}
+
+func TestNoDuplicateHintsProperty(t *testing.T) {
+	// Property: for any monotone run observed, the predictor never
+	// emits the same version twice and never emits an observed version.
+	f := func(start int64, up bool, steps uint8) bool {
+		r := &recorder{}
+		p, _ := New(r, Config{Confidence: 2, Lookahead: 4})
+		stride := int64(1)
+		if !up {
+			stride = -1
+		}
+		v := start % 1000
+		observed := map[int64]bool{}
+		for i := 0; i < int(steps%50)+2; i++ {
+			p.Observe(v)
+			observed[v] = true
+			v += stride
+		}
+		seen := map[int64]bool{}
+		for _, h := range r.hints {
+			if seen[h] {
+				return false
+			}
+			seen[h] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAlignedColumns(t *testing.T) {
+	tab := NewTable("Fig X", "approach", "ckpt GB/s", "restore GB/s")
+	tab.AddRow("score-all-hints", 12.5, 30.25)
+	tab.AddRow("uvm", 1.0, 2.0)
+	out := tab.String()
+	if !strings.Contains(out, "Fig X") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "score-all-hints") || !strings.Contains(out, "12.50") {
+		t.Errorf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows() = %d, want 2", tab.Rows())
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2)
+	out := tab.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render minimal blocks: %q", flat)
+		}
+	}
+}

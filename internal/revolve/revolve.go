@@ -1,0 +1,237 @@
+// Package revolve implements binomial checkpointing (Griewank & Walther's
+// REVOLVE), the adjoint-scheduling technique the paper's introduction
+// highlights for memory-bound automatic differentiation (quantum optimal
+// control, §1): the forward pass stores only a subset of checkpoints and
+// the backward pass recomputes missing states by re-running short forward
+// segments from stored checkpoints.
+//
+// Schedule produces the offline action sequence for reversing n steps
+// with at most s simultaneously live checkpoints, using the classic
+// recursive bisection at the binomial midpoint. The resulting interleaved
+// writes and reads ("write and read checkpoints in any predefined order",
+// §1) are exactly the access pattern the Score runtime's hint queue is
+// designed for — see examples/binomial.
+package revolve
+
+import (
+	"fmt"
+)
+
+// Kind is the type of one schedule action.
+type Kind int
+
+const (
+	// Advance: run the forward model from state Step to state Target.
+	Advance Kind = iota
+	// Store: checkpoint the current state (at Step) into Slot.
+	Store
+	// Restore: reload the checkpoint of state Step from Slot.
+	Restore
+	// Reverse: perform one adjoint (backward) step for state Step,
+	// consuming the forward state at Step.
+	Reverse
+	// Discard: drop the checkpoint of state Step (its slot is free).
+	Discard
+)
+
+// String names the action kind.
+func (k Kind) String() string {
+	switch k {
+	case Advance:
+		return "advance"
+	case Store:
+		return "store"
+	case Restore:
+		return "restore"
+	case Reverse:
+		return "reverse"
+	case Discard:
+		return "discard"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Action is one step of a reversal schedule.
+type Action struct {
+	Kind Kind
+	// Step is the state index the action applies to.
+	Step int
+	// Target is the destination state for Advance.
+	Target int
+}
+
+// Schedule returns the action sequence that reverses steps [0, n) using
+// at most slots live checkpoints. It requires n >= 1 and slots >= 1.
+//
+// The sequence maintains these invariants (verified by tests):
+//   - Reverse actions appear for steps n-1, n-2, ..., 0 in that order;
+//   - at most `slots` checkpoints are live at any moment;
+//   - every Advance starts from a state the executor currently holds.
+func Schedule(n, slots int) ([]Action, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("revolve: need at least one step, got %d", n)
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("revolve: need at least one checkpoint slot, got %d", slots)
+	}
+	g := &generator{slots: slots, plan: newPlanner()}
+	// State 0 is always stored first (the primal input).
+	g.emit(Action{Kind: Store, Step: 0})
+	g.live++
+	g.reverseRange(0, n)
+	g.emit(Action{Kind: Discard, Step: 0})
+	g.live--
+	return g.out, nil
+}
+
+type generator struct {
+	out   []Action
+	slots int
+	live  int
+	peak  int
+	plan  *planner
+}
+
+func (g *generator) emit(a Action) { g.out = append(g.out, a) }
+
+// reverseRange reverses steps [begin, end), assuming state `begin` is
+// currently checkpointed (and counted in g.live).
+func (g *generator) reverseRange(begin, end int) {
+	length := end - begin
+	if length == 1 {
+		// Base case: advance to the state, reverse it.
+		g.emit(Action{Kind: Restore, Step: begin})
+		g.emit(Action{Kind: Reverse, Step: begin})
+		return
+	}
+	free := g.slots - g.live
+	var mid int
+	if free >= 1 {
+		mid = begin + g.plan.bestSplit(length, free)
+		// Advance from begin to mid and store mid.
+		g.emit(Action{Kind: Restore, Step: begin})
+		g.emit(Action{Kind: Advance, Step: begin, Target: mid})
+		g.emit(Action{Kind: Store, Step: mid})
+		g.live++
+		if g.live > g.peak {
+			g.peak = g.live
+		}
+		g.reverseRange(mid, end)
+		g.emit(Action{Kind: Discard, Step: mid})
+		g.live--
+		g.reverseRange(begin, mid)
+		return
+	}
+	// No free slots: recompute each tail state from begin, one by one
+	// (degenerate O(n²) reversal — the price of slots exhausted).
+	for step := end - 1; step > begin; step-- {
+		g.emit(Action{Kind: Restore, Step: begin})
+		g.emit(Action{Kind: Advance, Step: begin, Target: step})
+		g.emit(Action{Kind: Reverse, Step: step})
+	}
+	g.emit(Action{Kind: Restore, Step: begin})
+	g.emit(Action{Kind: Reverse, Step: begin})
+}
+
+// planner computes optimal split points by dynamic programming over the
+// schedule cost recurrence
+//
+//	t(l, f) = min_{1<=m<l} [ m + t(l-m, f-1) + t(m, f) ]
+//	t(1, f) = 0,  t(l, 0) = l(l-1)/2
+//
+// where l is the range length, f the free checkpoint slots, and the cost
+// counts primal forward steps. t is convex in the split point, so the
+// minimization uses ternary search with a final local scan; states are
+// memoized. For l = C(f+r, f) this reproduces the Griewank–Walther
+// binomial bound t = r·l − C(f+r, f−1).
+type planner struct {
+	memo  map[dpKey]int64
+	split map[dpKey]int
+}
+
+type dpKey struct{ l, f int }
+
+func newPlanner() *planner {
+	return &planner{memo: map[dpKey]int64{}, split: map[dpKey]int{}}
+}
+
+// cost returns t(l, f).
+func (p *planner) cost(l, f int) int64 {
+	if l <= 1 {
+		return 0
+	}
+	if f <= 0 {
+		return int64(l) * int64(l-1) / 2
+	}
+	k := dpKey{l, f}
+	if v, ok := p.memo[k]; ok {
+		return v
+	}
+	val := func(m int) int64 { return int64(m) + p.cost(l-m, f-1) + p.cost(m, f) }
+	lo, hi := 1, l-1
+	for hi-lo > 8 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if val(m1) <= val(m2) {
+			hi = m2 - 1
+		} else {
+			lo = m1 + 1
+		}
+	}
+	best, bestM := int64(1)<<62, lo
+	for m := lo; m <= hi; m++ {
+		if v := val(m); v < best {
+			best, bestM = v, m
+		}
+	}
+	p.memo[k] = best
+	p.split[k] = bestM
+	return best
+}
+
+// bestSplit returns the optimal first-checkpoint offset for a range of
+// the given length with free spare slots.
+func (p *planner) bestSplit(length, free int) int {
+	p.cost(length, free)
+	if m, ok := p.split[dpKey{length, free}]; ok {
+		return m
+	}
+	return maxInt(1, length/2)
+}
+
+// PeakSlots reports the maximum simultaneously live checkpoints of a
+// schedule (for validation).
+func PeakSlots(actions []Action) int {
+	live, peak := 0, 0
+	for _, a := range actions {
+		switch a.Kind {
+		case Store:
+			live++
+			if live > peak {
+				peak = live
+			}
+		case Discard:
+			live--
+		}
+	}
+	return peak
+}
+
+// ForwardSteps counts the total primal steps executed by a schedule (the
+// recomputation cost).
+func ForwardSteps(actions []Action) int {
+	total := 0
+	for _, a := range actions {
+		if a.Kind == Advance {
+			total += a.Target - a.Step
+		}
+	}
+	return total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

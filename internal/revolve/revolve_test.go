@@ -1,0 +1,198 @@
+package revolve
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// simulate executes a schedule against a model of the executor and
+// reports (reversedSteps in order, error string).
+func simulate(t *testing.T, n, slots int, actions []Action) []int {
+	t.Helper()
+	stored := map[int]bool{}
+	live := 0
+	current := -1 // state currently materialized in the executor
+	var reversed []int
+	for i, a := range actions {
+		switch a.Kind {
+		case Store:
+			if current != a.Step && !(i == 0 && a.Step == 0) {
+				t.Fatalf("action %d: Store(%d) but current state is %d", i, a.Step, current)
+			}
+			if stored[a.Step] {
+				t.Fatalf("action %d: Store(%d) already stored", i, a.Step)
+			}
+			stored[a.Step] = true
+			live++
+			if live > slots {
+				t.Fatalf("action %d: %d live checkpoints exceeds %d slots", i, live, slots)
+			}
+			if i == 0 {
+				current = a.Step
+			}
+		case Restore:
+			if !stored[a.Step] {
+				t.Fatalf("action %d: Restore(%d) not stored", i, a.Step)
+			}
+			current = a.Step
+		case Advance:
+			if current != a.Step {
+				t.Fatalf("action %d: Advance from %d but current state is %d", i, a.Step, current)
+			}
+			if a.Target <= a.Step {
+				t.Fatalf("action %d: Advance %d → %d not forward", i, a.Step, a.Target)
+			}
+			current = a.Target
+		case Reverse:
+			if current != a.Step {
+				t.Fatalf("action %d: Reverse(%d) but current state is %d", i, a.Step, current)
+			}
+			reversed = append(reversed, a.Step)
+		case Discard:
+			if !stored[a.Step] {
+				t.Fatalf("action %d: Discard(%d) not stored", i, a.Step)
+			}
+			delete(stored, a.Step)
+			live--
+		}
+	}
+	if live != 0 {
+		t.Fatalf("%d checkpoints leaked", live)
+	}
+	_ = n
+	return reversed
+}
+
+func checkReversal(t *testing.T, n, slots int) []Action {
+	t.Helper()
+	actions, err := Schedule(n, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := simulate(t, n, slots, actions)
+	if len(reversed) != n {
+		t.Fatalf("n=%d slots=%d: reversed %d steps, want %d", n, slots, len(reversed), n)
+	}
+	for i, s := range reversed {
+		if want := n - 1 - i; s != want {
+			t.Fatalf("n=%d slots=%d: reversal %d = step %d, want %d", n, slots, i, s, want)
+		}
+	}
+	return actions
+}
+
+func TestScheduleSmallCases(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		for slots := 1; slots <= 6; slots++ {
+			checkReversal(t, n, slots)
+		}
+	}
+}
+
+func TestScheduleLargerCases(t *testing.T) {
+	for _, tc := range []struct{ n, slots int }{
+		{100, 3}, {100, 8}, {384, 8}, {384, 16}, {1000, 10}, {57, 2},
+	} {
+		actions := checkReversal(t, tc.n, tc.slots)
+		if peak := PeakSlots(actions); peak > tc.slots {
+			t.Errorf("n=%d slots=%d: peak live %d exceeds budget", tc.n, tc.slots, peak)
+		}
+	}
+}
+
+func TestRecomputationBoundedWithAmpleSlots(t *testing.T) {
+	// With slots >= n, no recomputation beyond the initial forward pass
+	// is necessary: every state is stored once.
+	actions := checkReversal(t, 32, 32)
+	if fw := ForwardSteps(actions); fw > 32 {
+		t.Errorf("ample slots: %d forward steps, want <= 32 (no recomputation)", fw)
+	}
+}
+
+func TestRecomputationGrowsWhenSlotsShrink(t *testing.T) {
+	a8 := checkReversal(t, 200, 8)
+	a2 := checkReversal(t, 200, 2)
+	if ForwardSteps(a2) <= ForwardSteps(a8) {
+		t.Errorf("fewer slots must cost more recomputation: 2 slots → %d, 8 slots → %d",
+			ForwardSteps(a2), ForwardSteps(a8))
+	}
+	// Binomial schedules stay well below the quadratic worst case for
+	// reasonable budgets.
+	if fw := ForwardSteps(a8); fw > 200*6 {
+		t.Errorf("8-slot schedule executes %d forward steps; binomial bound ~3n expected", fw)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(0, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Schedule(4, 0); err == nil {
+		t.Error("slots=0 accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{Advance: "advance", Store: "store",
+		Restore: "restore", Reverse: "reverse", Discard: "discard"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("out-of-range kind should format numerically")
+	}
+}
+
+func TestScheduleValidityProperty(t *testing.T) {
+	// Property: any (n, slots) yields a schedule that reverses exactly
+	// n steps in descending order within the slot budget.
+	f := func(n, s uint8) bool {
+		steps := int(n%150) + 1
+		slots := int(s%10) + 1
+		actions, err := Schedule(steps, slots)
+		if err != nil {
+			return false
+		}
+		if PeakSlots(actions) > slots {
+			return false
+		}
+		// Light-weight re-simulation (no t.Fatal): count reversals.
+		stored := map[int]bool{}
+		current := -1
+		rev := 0
+		expect := steps - 1
+		for i, a := range actions {
+			switch a.Kind {
+			case Store:
+				stored[a.Step] = true
+				if i == 0 {
+					current = a.Step
+				}
+			case Restore:
+				if !stored[a.Step] {
+					return false
+				}
+				current = a.Step
+			case Advance:
+				if current != a.Step || a.Target <= a.Step {
+					return false
+				}
+				current = a.Target
+			case Reverse:
+				if current != a.Step || a.Step != expect {
+					return false
+				}
+				expect--
+				rev++
+			case Discard:
+				delete(stored, a.Step)
+			}
+		}
+		return rev == steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

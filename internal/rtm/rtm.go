@@ -1,0 +1,238 @@
+// Package rtm models the paper's evaluation workload: Reverse Time
+// Migration (§5.3.1), an adjoint seismic-imaging computation whose forward
+// pass writes one compressed wavefield checkpoint per iteration and whose
+// backward pass reads them in a predefined order.
+//
+// The paper benchmarks against traces from 1600 production shots; this
+// package generates seeded synthetic traces matching the published shape
+// (§5.3.3, Fig. 4): 384 snapshots per shot, aggregate 38–50 GB per GPU,
+// ~30× average compression, sizes small at the beginning of the shot and
+// growing as the wavefield expands, with cross-rank variation within an
+// iteration. The uniform variant uses 128 MB × 384 = 48 GB, the 50th
+// percentile of the trace distribution.
+package rtm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Order is a restore-order pattern (§5.3.2).
+type Order int
+
+const (
+	// Sequential: the backward pass consumes checkpoints in write order.
+	Sequential Order = iota
+	// Reverse: the backward pass consumes checkpoints in reverse write
+	// order (the natural adjoint pattern).
+	Reverse
+	// Irregular: a random but predetermined order.
+	Irregular
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case Sequential:
+		return "sequential"
+	case Reverse:
+		return "reverse"
+	case Irregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("Order(%d)", int(o))
+}
+
+// Sequence returns the restore order for n checkpoints. Irregular orders
+// are deterministic in seed.
+func (o Order) Sequence(n int, seed int64) []int {
+	idx := make([]int, n)
+	switch o {
+	case Sequential:
+		for i := range idx {
+			idx[i] = i
+		}
+	case Reverse:
+		for i := range idx {
+			idx[i] = n - 1 - i
+		}
+	case Irregular:
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		copy(idx, perm)
+	default:
+		panic(fmt.Sprintf("rtm: unknown order %d", int(o)))
+	}
+	return idx
+}
+
+// TraceConfig parameterizes synthetic shot generation.
+type TraceConfig struct {
+	// Snapshots per shot (paper: 384).
+	Snapshots int
+	// MeanSize is the long-run average checkpoint size in bytes
+	// (paper: ~125 MB, with 128 MB as the uniform-variant median).
+	MeanSize int64
+	// MinAggregate and MaxAggregate bound each rank's total shot size
+	// (paper: 38–50 GB). The generated sizes are scaled to a target
+	// drawn uniformly from this range per rank.
+	MinAggregate, MaxAggregate int64
+	// Seed makes generation deterministic; rank perturbs it.
+	Seed int64
+	// Jitter is the per-snapshot lognormal sigma (size variation from
+	// compression, ~0.25 is realistic).
+	Jitter float64
+}
+
+// DefaultTraceConfig returns the paper's published distribution shape.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Snapshots:    384,
+		MeanSize:     128 << 20,
+		MinAggregate: 38 << 30,
+		MaxAggregate: 50 << 30,
+		Seed:         2023,
+		Jitter:       0.25,
+	}
+}
+
+// Validate reports configuration problems.
+func (c TraceConfig) Validate() error {
+	switch {
+	case c.Snapshots < 1:
+		return fmt.Errorf("rtm: need at least one snapshot, got %d", c.Snapshots)
+	case c.MeanSize <= 0:
+		return fmt.Errorf("rtm: MeanSize must be positive")
+	case c.MinAggregate <= 0 || c.MaxAggregate < c.MinAggregate:
+		return fmt.Errorf("rtm: invalid aggregate bounds [%d, %d]", c.MinAggregate, c.MaxAggregate)
+	case c.Jitter < 0:
+		return fmt.Errorf("rtm: negative jitter")
+	}
+	return nil
+}
+
+// Shot is one rank's trace: the per-iteration checkpoint sizes of one
+// forward pass.
+type Shot struct {
+	Rank  int
+	Sizes []int64
+}
+
+// Total returns the aggregate checkpoint bytes of the shot.
+func (s Shot) Total() int64 {
+	var t int64
+	for _, v := range s.Sizes {
+		t += v
+	}
+	return t
+}
+
+// MaxSize returns the largest checkpoint in the shot.
+func (s Shot) MaxSize() int64 {
+	var m int64
+	for _, v := range s.Sizes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ramp models the wavefield growth over the shot: early snapshots are
+// small (the wavefront has touched little of the domain, so compressed
+// sizes are tiny), saturating as the field fills the domain. x in [0,1].
+func ramp(x float64) float64 {
+	// Smoothstep from 0.25 to 1.25 over the first 40% of the shot.
+	t := x / 0.4
+	if t > 1 {
+		t = 1
+	}
+	s := t * t * (3 - 2*t)
+	return 0.25 + s
+}
+
+// GenerateShot produces rank's synthetic variable-size trace.
+func GenerateShot(cfg TraceConfig, rank int) (Shot, error) {
+	if err := cfg.Validate(); err != nil {
+		return Shot{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rank)*7919))
+	// Per-rank aggregate target in [MinAggregate, MaxAggregate].
+	span := float64(cfg.MaxAggregate - cfg.MinAggregate)
+	target := float64(cfg.MinAggregate) + rng.Float64()*span
+
+	weights := make([]float64, cfg.Snapshots)
+	var sum float64
+	for i := range weights {
+		x := float64(i) / float64(max(cfg.Snapshots-1, 1))
+		jitter := math.Exp(rng.NormFloat64() * cfg.Jitter)
+		weights[i] = ramp(x) * jitter
+		sum += weights[i]
+	}
+	scale := target / sum
+	sizes := make([]int64, cfg.Snapshots)
+	for i, w := range weights {
+		sz := int64(w * scale)
+		if sz < 1<<20 {
+			sz = 1 << 20 // floor: a megabyte of headers/coefficients
+		}
+		sizes[i] = sz
+	}
+	return Shot{Rank: rank, Sizes: sizes}, nil
+}
+
+// UniformShot returns the uniform-size variant (§5.3.3: 128 MB × 384).
+func UniformShot(rank, snapshots int, size int64) Shot {
+	sizes := make([]int64, snapshots)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	return Shot{Rank: rank, Sizes: sizes}
+}
+
+// SnapshotStats is the Fig. 4 row for one snapshot index: min/avg/max
+// across the ranks of an ensemble.
+type SnapshotStats struct {
+	Snapshot      int
+	Min, Avg, Max int64
+}
+
+// Stats computes the Fig. 4 distribution across shots (all shots must
+// have equal length).
+func Stats(shots []Shot) ([]SnapshotStats, error) {
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("rtm: no shots")
+	}
+	n := len(shots[0].Sizes)
+	for _, s := range shots {
+		if len(s.Sizes) != n {
+			return nil, fmt.Errorf("rtm: shot %d has %d snapshots, want %d", s.Rank, len(s.Sizes), n)
+		}
+	}
+	out := make([]SnapshotStats, n)
+	for i := 0; i < n; i++ {
+		st := SnapshotStats{Snapshot: i, Min: math.MaxInt64}
+		var sum int64
+		for _, s := range shots {
+			v := s.Sizes[i]
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+			sum += v
+		}
+		st.Avg = sum / int64(len(shots))
+		out[i] = st
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

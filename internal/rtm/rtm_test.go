@@ -1,0 +1,186 @@
+package rtm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderSequences(t *testing.T) {
+	seq := Sequential.Sequence(4, 1)
+	rev := Reverse.Sequence(4, 1)
+	for i := 0; i < 4; i++ {
+		if seq[i] != i {
+			t.Errorf("sequential[%d] = %d", i, seq[i])
+		}
+		if rev[i] != 3-i {
+			t.Errorf("reverse[%d] = %d", i, rev[i])
+		}
+	}
+}
+
+func TestIrregularOrderIsPermutationAndDeterministic(t *testing.T) {
+	a := Irregular.Sequence(100, 7)
+	b := Irregular.Sequence(100, 7)
+	c := Irregular.Sequence(100, 8)
+	seen := make(map[int]bool)
+	same := true
+	diff := false
+	for i := range a {
+		if seen[a[i]] {
+			t.Fatalf("duplicate index %d in irregular order", a[i])
+		}
+		seen[a[i]] = true
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("irregular order covers %d indices, want 100", len(seen))
+	}
+	if !same {
+		t.Error("same seed produced different irregular orders")
+	}
+	if !diff {
+		t.Error("different seeds produced identical irregular orders")
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	if Sequential.String() != "sequential" || Reverse.String() != "reverse" ||
+		Irregular.String() != "irregular" {
+		t.Error("unexpected order names")
+	}
+	if Order(9).String() != "Order(9)" {
+		t.Error("out-of-range order should format numerically")
+	}
+}
+
+func TestGenerateShotMatchesPublishedShape(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	for rank := 0; rank < 32; rank++ {
+		shot, err := GenerateShot(cfg, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shot.Sizes) != 384 {
+			t.Fatalf("rank %d: %d snapshots, want 384", rank, len(shot.Sizes))
+		}
+		total := shot.Total()
+		if total < cfg.MinAggregate*95/100 || total > cfg.MaxAggregate*105/100 {
+			t.Errorf("rank %d: aggregate %d outside 38–50 GB (±5%%)", rank, total)
+		}
+		// Early snapshots smaller than late ones (Fig. 4 / §5.4.2:
+		// "smaller-sized checkpoints at the beginning of the shot").
+		var early, late int64
+		for i := 0; i < 32; i++ {
+			early += shot.Sizes[i]
+			late += shot.Sizes[384-32+i]
+		}
+		if early >= late {
+			t.Errorf("rank %d: early 32 snapshots (%d) not smaller than late (%d)", rank, early, late)
+		}
+	}
+}
+
+func TestGenerateShotDeterministic(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	a, _ := GenerateShot(cfg, 3)
+	b, _ := GenerateShot(cfg, 3)
+	c, _ := GenerateShot(cfg, 4)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatal("same rank+seed produced different traces")
+		}
+	}
+	if a.Total() == c.Total() {
+		t.Error("different ranks produced identical aggregates (no cross-rank variation)")
+	}
+}
+
+func TestUniformShot(t *testing.T) {
+	s := UniformShot(0, 384, 128<<20)
+	if got, want := s.Total(), int64(384*(128<<20)); got != want {
+		t.Errorf("uniform total = %d, want %d (48 GB)", got, want)
+	}
+	if s.MaxSize() != 128<<20 {
+		t.Errorf("uniform max = %d", s.MaxSize())
+	}
+}
+
+func TestStatsMinAvgMaxOrdering(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Snapshots = 64
+	var shots []Shot
+	for rank := 0; rank < 8; rank++ {
+		s, err := GenerateShot(cfg, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shots = append(shots, s)
+	}
+	stats, err := Stats(shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 64 {
+		t.Fatalf("stats rows = %d, want 64", len(stats))
+	}
+	for _, st := range stats {
+		if !(st.Min <= st.Avg && st.Avg <= st.Max) {
+			t.Errorf("snapshot %d: min %d avg %d max %d not ordered", st.Snapshot, st.Min, st.Avg, st.Max)
+		}
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	if _, err := Stats(nil); err == nil {
+		t.Error("Stats(nil) should fail")
+	}
+	if _, err := Stats([]Shot{{Sizes: []int64{1}}, {Sizes: []int64{1, 2}}}); err == nil {
+		t.Error("ragged shots should fail")
+	}
+}
+
+func TestTraceConfigValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Snapshots: 0, MeanSize: 1, MinAggregate: 1, MaxAggregate: 2},
+		{Snapshots: 1, MeanSize: 0, MinAggregate: 1, MaxAggregate: 2},
+		{Snapshots: 1, MeanSize: 1, MinAggregate: 2, MaxAggregate: 1},
+		{Snapshots: 1, MeanSize: 1, MinAggregate: 1, MaxAggregate: 2, Jitter: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+		if _, err := GenerateShot(cfg, 0); err == nil {
+			t.Errorf("GenerateShot with config %d should fail", i)
+		}
+	}
+}
+
+func TestOrderSequenceProperty(t *testing.T) {
+	// Property: every order yields a permutation of [0, n).
+	f := func(n uint8, seed int64) bool {
+		size := int(n%64) + 1
+		for _, o := range []Order{Sequential, Reverse, Irregular} {
+			seq := o.Sequence(size, seed)
+			if len(seq) != size {
+				return false
+			}
+			seen := make([]bool, size)
+			for _, v := range seq {
+				if v < 0 || v >= size || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

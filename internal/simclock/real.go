@@ -1,0 +1,135 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a wall-clock implementation of Clock with an optional speedup
+// factor: a speedup of 1000 makes one simulated second pass in one wall
+// millisecond. It is intended for interactive demos; benchmarks and tests
+// use Virtual.
+type Real struct {
+	start   time.Time
+	speedup float64
+}
+
+// NewReal returns a wall-backed clock. speedup is the ratio of simulated
+// time to wall time and must be > 0; NewReal(1) runs in real time.
+func NewReal(speedup float64) *Real {
+	if speedup <= 0 {
+		panic("simclock: speedup must be positive")
+	}
+	return &Real{start: time.Now(), speedup: speedup}
+}
+
+// Now returns the simulated time elapsed since the clock was created.
+func (c *Real) Now() time.Duration {
+	return time.Duration(float64(time.Since(c.start)) * c.speedup)
+}
+
+// Sleep blocks for d of simulated time (d/speedup of wall time).
+func (c *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / c.speedup))
+}
+
+// Go starts fn as an ordinary goroutine; the real clock needs no task
+// accounting.
+func (c *Real) Go(fn func()) { go fn() }
+
+// Run executes fn inline and returns when it completes, mirroring
+// Virtual.Run so the two clocks are interchangeable in drivers.
+func (c *Real) Run(fn func()) { fn() }
+
+// NewCond returns a wall-backed condition variable bound to l.
+func (c *Real) NewCond(l sync.Locker) Cond { return &rcond{clk: c, l: l} }
+
+// rcond implements Cond over channels so that WaitTimeout is possible
+// (sync.Cond has no timed wait).
+type rcond struct {
+	clk *Real
+	l   sync.Locker
+
+	mu      sync.Mutex // guards waiters; never held while blocking
+	waiters []*rwaiter
+}
+
+type rwaiter struct {
+	ch    chan struct{}
+	fired bool
+}
+
+func (cd *rcond) Wait() { cd.wait(-1) }
+
+func (cd *rcond) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	return cd.wait(d)
+}
+
+func (cd *rcond) wait(d time.Duration) bool {
+	w := &rwaiter{ch: make(chan struct{})}
+	cd.mu.Lock()
+	cd.waiters = append(cd.waiters, w)
+	cd.mu.Unlock()
+	cd.l.Unlock()
+
+	timedOut := false
+	if d < 0 {
+		<-w.ch
+	} else {
+		wall := time.Duration(float64(d) / cd.clk.speedup)
+		timer := time.NewTimer(wall)
+		select {
+		case <-w.ch:
+			timer.Stop()
+		case <-timer.C:
+			// Mark fired so a future Signal does not burn a wakeup
+			// on us. Re-check the channel: a signal may have raced
+			// the timer.
+			cd.mu.Lock()
+			select {
+			case <-w.ch:
+				// Signal won the race.
+			default:
+				w.fired = true
+				timedOut = true
+			}
+			cd.mu.Unlock()
+		}
+	}
+	cd.l.Lock()
+	return timedOut
+}
+
+func (cd *rcond) Signal() {
+	cd.mu.Lock()
+	for len(cd.waiters) > 0 {
+		w := cd.waiters[0]
+		cd.waiters = cd.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		close(w.ch)
+		break
+	}
+	cd.mu.Unlock()
+}
+
+func (cd *rcond) Broadcast() {
+	cd.mu.Lock()
+	for _, w := range cd.waiters {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		close(w.ch)
+	}
+	cd.waiters = cd.waiters[:0]
+	cd.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock. Simulated time stands
+// still while any registered task is runnable and jumps to the next pending
+// timer when every task is blocked (in Sleep or in a Cond wait).
+//
+// A Virtual clock detects true deadlock: if every task is blocked in a
+// Cond wait with no pending timer, no event can ever wake the simulation,
+// and the clock panics with a diagnostic rather than hanging.
+type Virtual struct {
+	mu          sync.Mutex
+	now         time.Duration
+	runnable    int // tasks currently executing (or woken and about to run)
+	condWaiters int // tasks suspended in a Cond wait
+	timers      timerHeap
+	seq         uint64 // tie-break for deterministic heap order
+	dead        bool   // deadlock detected; clock no longer advances
+}
+
+// NewVirtual returns a virtual clock positioned at time zero with no
+// registered tasks.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// waiter is a suspended task. It may be woken by a timer (timeout/sleep)
+// or by a Cond signal, whichever comes first; fired guards double wake.
+type waiter struct {
+	ch       chan bool // receives true when woken by timer expiry
+	deadline time.Duration
+	seq      uint64
+	fired    bool
+	inCond   bool // counted in condWaiters
+}
+
+type timerHeap []*waiter
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now returns the current simulated time.
+func (c *Virtual) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep suspends the calling task for d of simulated time. The calling
+// task must have been started via Go (or be inside Run).
+func (c *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	w := &waiter{ch: make(chan bool, 1)}
+	c.mu.Lock()
+	w.deadline = c.now + d
+	w.seq = c.seq
+	c.seq++
+	heap.Push(&c.timers, w)
+	c.runnable--
+	c.advanceAndMaybePanicLocked()
+	<-w.ch
+}
+
+// Go starts fn as a clock-managed task.
+func (c *Virtual) Go(fn func()) {
+	c.mu.Lock()
+	c.runnable++
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.runnable--
+			c.advanceAndMaybePanicLocked()
+		}()
+		fn()
+	}()
+}
+
+// Run registers fn as the root task, executes it, and returns when it
+// completes. It is the usual entry point for a simulation:
+//
+//	clk := simclock.NewVirtual()
+//	clk.Run(func() { ... all simulated work ... })
+func (c *Virtual) Run(fn func()) {
+	done := make(chan struct{})
+	c.Go(func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// NewCond returns a virtual-time condition variable bound to l.
+func (c *Virtual) NewCond(l sync.Locker) Cond { return &vcond{clk: c, l: l} }
+
+// advanceAndMaybePanicLocked advances time if possible and UNLOCKS c.mu.
+// If advancing is impossible because every task is parked in a Cond wait
+// with no pending timer — a true deadlock — it panics after releasing the
+// lock, so a recover() in the caller leaves the clock unlocked (though
+// permanently dead).
+func (c *Virtual) advanceAndMaybePanicLocked() {
+	deadlocked := c.maybeAdvanceLocked()
+	waiters, now := c.condWaiters, c.now
+	c.mu.Unlock()
+	if deadlocked {
+		panic(fmt.Sprintf(
+			"simclock: deadlock: %d task(s) blocked in Cond waits with no pending timers at t=%v",
+			waiters, now))
+	}
+}
+
+// maybeAdvanceLocked advances simulated time to the next timer deadline if
+// no task is runnable. It reports whether a deadlock was detected (first
+// detection only). Must be called with c.mu held.
+func (c *Virtual) maybeAdvanceLocked() (deadlocked bool) {
+	if c.runnable > 0 || c.dead {
+		return false
+	}
+	for {
+		// Discard stale timer entries (cond waiters already signaled).
+		for c.timers.Len() > 0 && c.timers[0].fired {
+			heap.Pop(&c.timers)
+		}
+		if c.timers.Len() == 0 {
+			if c.condWaiters > 0 {
+				c.dead = true
+				return true
+			}
+			return false // clean quiescence: every task has exited
+		}
+		next := c.timers[0].deadline
+		if next > c.now {
+			c.now = next
+		}
+		woke := 0
+		for c.timers.Len() > 0 && c.timers[0].deadline <= c.now {
+			w := heap.Pop(&c.timers).(*waiter)
+			if w.fired {
+				continue
+			}
+			w.fired = true
+			if w.inCond {
+				c.condWaiters--
+			}
+			c.runnable++
+			w.ch <- true
+			woke++
+		}
+		if woke > 0 {
+			return false
+		}
+		// All entries at this deadline were stale; try the next one.
+	}
+}
+
+// vcond is the Virtual implementation of Cond.
+type vcond struct {
+	clk     *Virtual
+	l       sync.Locker
+	waiters []*waiter // FIFO; entries may be stale (fired by timeout)
+}
+
+func (cd *vcond) Wait() { cd.wait(-1) }
+
+func (cd *vcond) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	return cd.wait(d)
+}
+
+// wait suspends the task; d < 0 means no timeout. Returns true on timeout.
+// Precondition: caller holds cd.l.
+func (cd *vcond) wait(d time.Duration) bool {
+	c := cd.clk
+	w := &waiter{ch: make(chan bool, 1), inCond: true}
+	c.mu.Lock()
+	cd.waiters = append(cd.waiters, w)
+	if d >= 0 {
+		w.deadline = c.now + d
+		w.seq = c.seq
+		c.seq++
+		heap.Push(&c.timers, w)
+	}
+	c.condWaiters++
+	c.runnable--
+	cd.l.Unlock()
+	c.advanceAndMaybePanicLocked()
+	timedOut := <-w.ch
+	cd.l.Lock()
+	return timedOut
+}
+
+func (cd *vcond) Signal() {
+	c := cd.clk
+	c.mu.Lock()
+	for len(cd.waiters) > 0 {
+		w := cd.waiters[0]
+		cd.waiters = cd.waiters[1:]
+		if w.fired {
+			continue // already timed out
+		}
+		w.fired = true
+		c.condWaiters--
+		c.runnable++
+		w.ch <- false
+		break
+	}
+	c.mu.Unlock()
+}
+
+func (cd *vcond) Broadcast() {
+	c := cd.clk
+	c.mu.Lock()
+	for _, w := range cd.waiters {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		c.condWaiters--
+		c.runnable++
+		w.ch <- false
+	}
+	cd.waiters = cd.waiters[:0]
+	c.mu.Unlock()
+}

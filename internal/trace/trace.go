@@ -1,0 +1,166 @@
+// Package trace records the runtime's activity — checkpoint and restore
+// spans, flush and prefetch transfers, evictions — against the simulated
+// clock, and exports the timeline in the Chrome trace-event format
+// (chrome://tracing, Perfetto). One tracer serves a whole simulation:
+// each GPU appears as a process row, each runtime task (application,
+// T_D2H, T_H2F, T_PF, stager) as a thread row.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Track identifies the runtime task a span belongs to (rendered as a
+// thread row).
+type Track int
+
+const (
+	// TrackApp is the application thread (checkpoint/restore blocking).
+	TrackApp Track = iota
+	// TrackD2H is the GPU→host flusher.
+	TrackD2H
+	// TrackH2F is the host→SSD/PFS flusher.
+	TrackH2F
+	// TrackPF is the GPU-side prefetcher.
+	TrackPF
+	// TrackStage is the SSD→host stager.
+	TrackStage
+)
+
+// String names the track as shown in the trace viewer.
+func (t Track) String() string {
+	switch t {
+	case TrackApp:
+		return "application"
+	case TrackD2H:
+		return "T_D2H flusher"
+	case TrackH2F:
+		return "T_H2F flusher"
+	case TrackPF:
+		return "T_PF prefetcher"
+	case TrackStage:
+		return "T_PF host stager"
+	}
+	return fmt.Sprintf("Track(%d)", int(t))
+}
+
+// Event is one complete span on the timeline.
+type Event struct {
+	Name     string
+	Category string
+	GPU      int // process row
+	Track    Track
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Tracer collects events; safe for concurrent use. A nil *Tracer is a
+// valid no-op sink, so instrumented code needs no nil checks beyond the
+// method receivers.
+type Tracer struct {
+	now func() time.Duration
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates a tracer reading timestamps from now (typically the
+// simulation clock's Now).
+func New(now func() time.Duration) *Tracer {
+	if now == nil {
+		panic("trace: nil clock function")
+	}
+	return &Tracer{now: now}
+}
+
+// Span opens a span and returns its closer; call the closer when the
+// operation completes. Nil-safe.
+func (t *Tracer) Span(gpu int, track Track, category, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.now()
+	return func() {
+		end := t.now()
+		t.mu.Lock()
+		t.events = append(t.events, Event{
+			Name: name, Category: category, GPU: gpu, Track: track,
+			Start: start, Duration: end - start,
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Len returns the number of recorded events. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// chromeEvent is the trace-event JSON schema ("X" complete events plus
+// "M" metadata rows for names).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteJSON exports the timeline as a Chrome trace-event array, loadable
+// in chrome://tracing or ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events)+16)
+
+	// Metadata: name each GPU (process) and task (thread) row.
+	seen := map[[2]int]bool{}
+	for _, e := range events {
+		key := [2]int{e.GPU, int(e.Track)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: e.GPU, Tid: int(e.Track),
+				Args: map[string]string{"name": fmt.Sprintf("GPU %d", e.GPU)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: e.GPU, Tid: int(e.Track),
+				Args: map[string]string{"name": e.Track.String()}},
+		)
+	}
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name: e.Name, Cat: e.Category, Ph: "X",
+			Ts:  float64(e.Start) / float64(time.Microsecond),
+			Dur: float64(e.Duration) / float64(time.Microsecond),
+			Pid: e.GPU, Tid: int(e.Track),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": out})
+}

@@ -1,0 +1,139 @@
+package wavefield
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// CompressLossy compresses a snapshot by quantizing the float32 pressure
+// field to 8-bit codes relative to the field's peak amplitude, then
+// zero-run-length encoding the codes. Production RTM compresses its image
+// checkpoints lossily (~30× on average, §5.3.3); quantization is what
+// makes such ratios possible — the adjoint cross-correlation tolerates
+// bounded relative error.
+//
+// tolerance is the maximum quantization error relative to the field's
+// peak amplitude and must be in (0, 0.5); 1/256 (one code step) is the
+// natural choice. The returned block decompresses with DecompressLossy.
+//
+// Format: u32 nx | u32 nz | u64 step | f32 scale | RLE(codes) where each
+// code c represents the value (c-128)·scale with c in [0,255].
+func CompressLossy(snap []byte, tolerance float64) ([]byte, error) {
+	if len(snap) < 16 || (len(snap)-16)%4 != 0 {
+		return nil, fmt.Errorf("wavefield: malformed snapshot (%d bytes)", len(snap))
+	}
+	if tolerance <= 0 || tolerance >= 0.5 {
+		return nil, fmt.Errorf("wavefield: tolerance %v outside (0, 0.5)", tolerance)
+	}
+	n := (len(snap) - 16) / 4
+	// Peak amplitude.
+	var peak float64
+	for i := 0; i < n; i++ {
+		v := math.Abs(float64(math.Float32frombits(binary.LittleEndian.Uint32(snap[16+4*i:]))))
+		if v > peak {
+			peak = v
+		}
+	}
+	// scale maps code step 1 to <= 2·tolerance·peak of amplitude, so the
+	// rounding error is <= tolerance·peak.
+	scale := float32(peak / 127)
+	if peak == 0 {
+		scale = 1
+	}
+
+	codes := make([]byte, n)
+	for i := 0; i < n; i++ {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(snap[16+4*i:]))
+		q := int(math.RoundToEven(float64(v/scale))) + 128
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		codes[i] = byte(q)
+	}
+
+	out := make([]byte, 0, n/8+32)
+	var hdr [20]byte
+	copy(hdr[0:16], snap[0:16])
+	binary.LittleEndian.PutUint32(hdr[16:], math.Float32bits(scale))
+	out = append(out, hdr[:]...)
+
+	// RLE over the dominant code 128 (silence), literals otherwise.
+	i := 0
+	for i < n {
+		if codes[i] == 128 {
+			j := i
+			for j < n && codes[j] == 128 {
+				j++
+			}
+			out = append(out, 0x00)
+			out = appendUvarint(out, uint64(j-i))
+			i = j
+			continue
+		}
+		j := i
+		for j < n && codes[j] != 128 {
+			j++
+		}
+		out = append(out, 0x01)
+		out = appendUvarint(out, uint64(j-i))
+		out = append(out, codes[i:j]...)
+		i = j
+	}
+	return out, nil
+}
+
+// DecompressLossy inverts CompressLossy, returning a snapshot whose field
+// values differ from the original by at most tolerance·peak per sample.
+func DecompressLossy(comp []byte) ([]byte, error) {
+	if len(comp) < 20 {
+		return nil, fmt.Errorf("wavefield: lossy block too short")
+	}
+	nx := int(binary.LittleEndian.Uint32(comp[0:]))
+	nz := int(binary.LittleEndian.Uint32(comp[4:]))
+	if nx <= 0 || nz <= 0 || nx*nz > 1<<28 {
+		return nil, fmt.Errorf("wavefield: implausible grid %dx%d", nx, nz)
+	}
+	n := nx * nz
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(comp[16:]))
+
+	codes := make([]byte, 0, n)
+	i := 20
+	for i < len(comp) {
+		tok := comp[i]
+		i++
+		run, w := binary.Uvarint(comp[i:])
+		if w <= 0 {
+			return nil, fmt.Errorf("wavefield: corrupt varint at %d", i)
+		}
+		i += w
+		switch tok {
+		case 0x00:
+			for k := uint64(0); k < run; k++ {
+				codes = append(codes, 128)
+			}
+		case 0x01:
+			if i+int(run) > len(comp) {
+				return nil, fmt.Errorf("wavefield: literal overruns block")
+			}
+			codes = append(codes, comp[i:i+int(run)]...)
+			i += int(run)
+		default:
+			return nil, fmt.Errorf("wavefield: unknown token %#x", tok)
+		}
+	}
+	if len(codes) != n {
+		return nil, fmt.Errorf("wavefield: decoded %d samples, want %d", len(codes), n)
+	}
+
+	snap := make([]byte, 16+4*n)
+	copy(snap[0:16], comp[0:16])
+	for k, c := range codes {
+		v := float32(int(c)-128) * scale
+		binary.LittleEndian.PutUint32(snap[16+4*k:], math.Float32bits(v))
+	}
+	return snap, nil
+}

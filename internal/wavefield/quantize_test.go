@@ -1,0 +1,153 @@
+package wavefield
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func liveSnapshot(t *testing.T, steps int) ([]byte, *Propagator) {
+	t.Helper()
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		p.Step()
+	}
+	return p.Snapshot(), p
+}
+
+func fieldOf(snap []byte) []float32 {
+	n := (len(snap) - 16) / 4
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(snap[16+4*i:]))
+	}
+	return out
+}
+
+func TestLossyRoundTripWithinTolerance(t *testing.T) {
+	snap, _ := liveSnapshot(t, 300)
+	const tol = 1.0 / 128
+	comp, err := CompressLossy(snap, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressLossy(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(snap) {
+		t.Fatalf("size mismatch: %d vs %d", len(back), len(snap))
+	}
+	orig, got := fieldOf(snap), fieldOf(back)
+	var peak float64
+	for _, v := range orig {
+		if a := math.Abs(float64(v)); a > peak {
+			peak = a
+		}
+	}
+	bound := tol * peak * 1.01 // epsilon for float rounding
+	for i := range orig {
+		if err := math.Abs(float64(orig[i] - got[i])); err > bound {
+			t.Fatalf("sample %d: error %v exceeds bound %v", i, err, bound)
+		}
+	}
+	// Header fields (grid, step) must survive exactly.
+	for i := 0; i < 16; i++ {
+		if back[i] != snap[i] {
+			t.Fatal("header not preserved")
+		}
+	}
+}
+
+func TestLossyBeatsLosslessByFar(t *testing.T) {
+	snap, _ := liveSnapshot(t, 400)
+	lossless := Compress(snap)
+	lossy, err := CompressLossy(snap, 1.0/128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lossy)*2 > len(lossless) {
+		t.Errorf("lossy %d bytes vs lossless %d: expected >= 2x better", len(lossy), len(lossless))
+	}
+	ratio := float64(len(snap)) / float64(len(lossy))
+	if ratio < 4 {
+		t.Errorf("lossy ratio %.1fx; expected >= 4x on a live field", ratio)
+	}
+}
+
+func TestLossySilentFieldCompressesToNothing(t *testing.T) {
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot() // all zeros
+	comp, err := CompressLossy(snap, 1.0/128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > 64 {
+		t.Errorf("silent field compressed to %d bytes; expected a handful", len(comp))
+	}
+	back, err := DecompressLossy(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fieldOf(back) {
+		if v != 0 {
+			t.Fatal("silent field reconstructed with non-zeros")
+		}
+	}
+}
+
+func TestLossyRestoredFieldPropagatesStably(t *testing.T) {
+	// The adjoint use case: restore a quantized snapshot into the
+	// propagator and keep stepping — the scheme must remain stable.
+	snap, p := liveSnapshot(t, 200)
+	comp, err := CompressLossy(snap, 1.0/256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressLossy(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Step()
+	}
+	for _, v := range p.Field() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("propagation from a quantized restore went unstable")
+		}
+	}
+}
+
+func TestLossyValidation(t *testing.T) {
+	snap, _ := liveSnapshot(t, 10)
+	if _, err := CompressLossy(snap[:3], 0.01); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+	if _, err := CompressLossy(snap, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := CompressLossy(snap, 0.9); err == nil {
+		t.Error("tolerance >= 0.5 accepted")
+	}
+	if _, err := DecompressLossy([]byte{1, 2}); err == nil {
+		t.Error("short block accepted")
+	}
+	comp, _ := CompressLossy(snap, 0.01)
+	bad := append([]byte{}, comp...)
+	bad[20] = 0xFF
+	if _, err := DecompressLossy(bad); err == nil {
+		t.Error("unknown token accepted")
+	}
+	if _, err := DecompressLossy(comp[:len(comp)-2]); err == nil {
+		t.Error("truncated block accepted")
+	}
+}

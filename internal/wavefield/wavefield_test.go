@@ -1,0 +1,176 @@
+package wavefield
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPropagatorProducesEnergy(t *testing.T) {
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Energy() != 0 {
+		t.Error("fresh field should be silent")
+	}
+	for i := 0; i < 100; i++ {
+		p.Step()
+	}
+	if p.Energy() == 0 {
+		t.Error("source injection produced no energy after 100 steps")
+	}
+	if p.StepIndex() != 100 {
+		t.Errorf("step index = %d, want 100", p.StepIndex())
+	}
+}
+
+func TestFieldStaysFinite(t *testing.T) {
+	// CFL-stable scheme: no NaN/Inf after many steps.
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Step()
+	}
+	for i, v := range p.Field() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("non-finite value %v at index %d: unstable scheme", v, i)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		p.Step()
+	}
+	snap := p.Snapshot()
+	want := p.Energy()
+	wantStep := p.StepIndex()
+
+	for i := 0; i < 50; i++ { // diverge
+		p.Step()
+	}
+	if err := p.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy after restore = %v, want %v", got, want)
+	}
+	if p.StepIndex() != wantStep {
+		t.Errorf("step after restore = %d, want %d", p.StepIndex(), wantStep)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	p, _ := NewPropagator(DefaultConfig())
+	if err := p.Restore([]byte{1, 2, 3}); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	other, _ := NewPropagator(Config{NX: 64, NZ: 64, DX: 10, Velocity: 1500,
+		PeakFrequency: 15, SourceX: 32, SourceZ: 32})
+	if err := p.Restore(other.Snapshot()); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	snap := p.Snapshot()
+	if err := p.Restore(snap[:len(snap)-4]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NX: 4, NZ: 128, DX: 10, Velocity: 1500, PeakFrequency: 15},
+		{NX: 128, NZ: 128, DX: 0, Velocity: 1500, PeakFrequency: 15},
+		{NX: 128, NZ: 128, DX: 10, Velocity: -1, PeakFrequency: 15},
+		{NX: 128, NZ: 128, DX: 10, Velocity: 1500, PeakFrequency: 0},
+		{NX: 128, NZ: 128, DX: 10, Velocity: 1500, PeakFrequency: 15, SourceX: 500},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPropagator(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 300; step += 30 {
+		snap := p.Snapshot()
+		comp := Compress(snap)
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !bytes.Equal(back, snap) {
+			t.Fatalf("step %d: round trip mismatch", step)
+		}
+		for i := 0; i < 30; i++ {
+			p.Step()
+		}
+	}
+}
+
+func TestCompressionRatioShrinksOverShot(t *testing.T) {
+	// Early snapshots (mostly silent field) must compress far better
+	// than late ones — the mechanism behind the paper's variable
+	// checkpoint sizes.
+	p, err := NewPropagator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Step()
+	}
+	early := len(Compress(p.Snapshot()))
+	for i := 0; i < 600; i++ {
+		p.Step()
+	}
+	late := len(Compress(p.Snapshot()))
+	if early*4 > late {
+		t.Errorf("early snapshot compressed to %d, late to %d: expected early << late", early, late)
+	}
+	raw := len(p.Snapshot())
+	if early*10 > raw {
+		t.Errorf("early snapshot only compressed %d → %d; expected >= 10x", raw, early)
+	}
+}
+
+func TestDecompressRejectsCorruptInput(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2}); err == nil {
+		t.Error("short block accepted")
+	}
+	good := Compress([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	bad := append([]byte{}, good...)
+	bad[4] = 0xFF // unknown token
+	if _, err := Decompress(bad); err == nil {
+		t.Error("unknown token accepted")
+	}
+	if _, err := Decompress(good[:5]); err == nil {
+		t.Error("truncated block accepted")
+	}
+}
+
+func TestCompressArbitraryBytesProperty(t *testing.T) {
+	// Property: Compress/Decompress is the identity for any byte
+	// string, including lengths not divisible by four.
+	f := func(data []byte) bool {
+		back, err := Decompress(Compress(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package score
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"score/internal/ckptstore"
+	"score/internal/core"
+	"score/internal/device"
+	"score/internal/fabric"
+	"score/internal/predict"
+	"score/internal/simclock"
+	"score/internal/trace"
+)
+
+// Clock is the time source visible to applications: simulated time only
+// advances while tasks sleep or move data.
+//
+// Discipline: inside Sim.Run, start concurrent work with Clock.Go (not
+// the go statement) and join it with a WaitGroup from Sim.NewWaitGroup
+// (not raw channels) — the virtual clock can only advance time when it
+// can see that every task is blocked.
+type Clock interface {
+	// Now returns the current simulated time since the Sim started.
+	Now() time.Duration
+	// Sleep suspends the calling task for d of simulated time (e.g. to
+	// model computation between checkpoints).
+	Sleep(d time.Duration)
+	// Go starts fn as a simulated task (use instead of the go
+	// statement inside Sim.Run).
+	Go(fn func())
+}
+
+// WaitGroup joins simulated tasks; the virtual clock accounts for tasks
+// blocked in Wait.
+type WaitGroup struct{ inner *simclock.WaitGroup }
+
+// Add adds delta to the counter.
+func (w *WaitGroup) Add(delta int) { w.inner.Add(delta) }
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.inner.Done() }
+
+// Wait blocks (in simulated time) until the counter reaches zero.
+func (w *WaitGroup) Wait() { w.inner.Wait() }
+
+// Sim is a simulated GPU cluster: one or more DGX-A100-like nodes sharing
+// a parallel file system. All Score clients of a Sim contend on its
+// links exactly as co-located processes would.
+type Sim struct {
+	clk     *simclock.Virtual
+	real    *simclock.Real
+	cluster *fabric.Cluster
+	cfg     simConfig
+	tracer  *trace.Tracer
+	shared  map[int]*core.SharedHostCache // per-node pools (lazily built)
+}
+
+type simConfig struct {
+	nodes      int
+	node       fabric.NodeConfig
+	hbm        int64
+	realTime   float64 // 0 = virtual clock
+	tracing    bool
+	sharedHost int64 // per-node shared host cache pool size; 0 = private
+}
+
+// Option configures a Sim.
+type Option func(*simConfig)
+
+// WithNodes sets the number of compute nodes (default 1).
+func WithNodes(n int) Option { return func(c *simConfig) { c.nodes = n } }
+
+// WithGPUsPerNode sets the GPU (process) count per node (default 8).
+func WithGPUsPerNode(n int) Option { return func(c *simConfig) { c.node.GPUs = n } }
+
+// WithHBM sets per-GPU device memory in bytes (default 40 GiB, A100).
+func WithHBM(bytes int64) Option { return func(c *simConfig) { c.hbm = bytes } }
+
+// WithNodeBandwidths overrides the interconnect model: d2d is the
+// device-local copy bandwidth, pcie the host link (shared by GPU pairs),
+// nvme the aggregate node SSD bandwidth, pfs the per-node parallel file
+// system share, all in bytes per simulated second.
+func WithNodeBandwidths(d2d, pcie, nvme, pfs float64) Option {
+	return func(c *simConfig) {
+		c.node.D2DBandwidth = d2d
+		c.node.PCIeBandwidth = pcie
+		c.node.NVMeDrives = 1
+		c.node.NVMePerDrive = nvme
+		c.node.PFSBandwidth = pfs
+	}
+}
+
+// WithSharedHostCache replaces every client's private pinned host cache
+// with one pool of the given size per node, shared by the node's clients
+// — the paper's future-work load balancing for variable-sized
+// checkpoints. Per-client WithHostCache is then ignored.
+func WithSharedHostCache(bytesPerNode int64) Option {
+	return func(c *simConfig) { c.sharedHost = bytesPerNode }
+}
+
+// WithTracing records every checkpoint, restore, flush, and prefetch
+// span of every client on the simulated timeline; export with
+// Sim.WriteTrace for chrome://tracing or ui.perfetto.dev.
+func WithTracing() Option {
+	return func(c *simConfig) { c.tracing = true }
+}
+
+// WithRealTime runs the simulation against the wall clock, scaled by
+// speedup (e.g. 1000 makes one simulated second pass in a millisecond).
+// The default is a deterministic virtual clock that advances instantly.
+func WithRealTime(speedup float64) Option {
+	return func(c *simConfig) { c.realTime = speedup }
+}
+
+// NewSim builds a simulated cluster.
+func NewSim(opts ...Option) (*Sim, error) {
+	cfg := simConfig{nodes: 1, node: fabric.DGXA100(), hbm: 40 * fabric.GB}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.nodes < 1 {
+		return nil, errors.New("score: need at least one node")
+	}
+	if cfg.hbm <= 0 {
+		return nil, errors.New("score: HBM size must be positive")
+	}
+	s := &Sim{cfg: cfg}
+	var clk simclock.Clock
+	if cfg.realTime > 0 {
+		s.real = simclock.NewReal(cfg.realTime)
+		clk = s.real
+	} else {
+		s.clk = simclock.NewVirtual()
+		clk = s.clk
+	}
+	cluster, err := fabric.NewCluster(clk, cfg.nodes, cfg.node)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	if cfg.tracing {
+		s.tracer = trace.New(clk.Now)
+	}
+	if cfg.sharedHost < 0 {
+		return nil, errors.New("score: shared host cache size must be positive")
+	}
+	s.shared = map[int]*core.SharedHostCache{}
+	return s, nil
+}
+
+// WriteTrace exports the recorded timeline (WithTracing) in the Chrome
+// trace-event format.
+func (s *Sim) WriteTrace(w io.Writer) error {
+	if s.tracer == nil {
+		return errors.New("score: tracing not enabled (use WithTracing)")
+	}
+	return s.tracer.WriteJSON(w)
+}
+
+// Run executes fn as the root simulated task and returns when it (and the
+// simulated work it spawned and waited for) completes. All Sim and Client
+// calls must happen inside Run.
+func (s *Sim) Run(fn func()) {
+	if s.clk != nil {
+		s.clk.Run(fn)
+		return
+	}
+	s.real.Run(fn)
+}
+
+// Clock returns the simulation's time source.
+func (s *Sim) Clock() Clock {
+	if s.clk != nil {
+		return s.clk
+	}
+	return s.real
+}
+
+func (s *Sim) clock() simclock.Clock {
+	if s.clk != nil {
+		return s.clk
+	}
+	return s.real
+}
+
+// NewWaitGroup returns a clock-aware WaitGroup for joining tasks started
+// with Clock.Go.
+func (s *Sim) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{inner: simclock.NewWaitGroup(s.clock())}
+}
+
+// Nodes returns the node count.
+func (s *Sim) Nodes() int { return s.cfg.nodes }
+
+// GPUsPerNode returns the per-node GPU count.
+func (s *Sim) GPUsPerNode() int { return s.cfg.node.GPUs }
+
+// NewClient creates the Score runtime for the process pinned to the given
+// node and GPU. Call inside Run.
+func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
+	if node < 0 || node >= s.cfg.nodes {
+		return nil, fmt.Errorf("score: node %d out of range [0,%d)", node, s.cfg.nodes)
+	}
+	if gpu < 0 || gpu >= s.cfg.node.GPUs {
+		return nil, fmt.Errorf("score: GPU %d out of range [0,%d)", gpu, s.cfg.node.GPUs)
+	}
+	cc := clientConfig{
+		gpuCache:  4 * fabric.GB,
+		hostCache: 32 * fabric.GB,
+	}
+	for _, o := range opts {
+		o(&cc)
+	}
+	n := s.cluster.Nodes[node]
+	d2d, pcie := n.GPULinks(gpu)
+	dev := device.NewGPU(s.clock(), gpu, s.cfg.hbm, d2d, pcie, device.DefaultAllocCosts())
+	var sharedPool *core.SharedHostCache
+	if s.cfg.sharedHost > 0 {
+		sharedPool = s.shared[node]
+		if sharedPool == nil {
+			sharedPool = core.NewSharedHostCache(s.clock(),
+				fmt.Sprintf("node%d-sharedhost", node), s.cfg.sharedHost)
+			s.shared[node] = sharedPool
+		}
+	}
+	var store *ckptstore.Store
+	if cc.storeDir != "" {
+		st, corrupt, err := ckptstore.Open(cc.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		if len(corrupt) > 0 {
+			return nil, fmt.Errorf("score: store %s holds %d corrupt checkpoint(s): %v",
+				cc.storeDir, len(corrupt), corrupt[0])
+		}
+		store = st
+	}
+	client, err := core.New(core.Params{
+		Clock:               s.clock(),
+		GPU:                 dev,
+		NVMe:                n.NVMe,
+		PFS:                 n.PFS,
+		GPUCacheSize:        cc.gpuCache,
+		HostCacheSize:       cc.hostCache,
+		DiscardAfterRestore: cc.discard,
+		PersistToPFS:        cc.persistPFS,
+		AutoStartPrefetch:   cc.autoPrefetch,
+		AsyncHostInit:       cc.asyncHostInit,
+		Store:               store,
+		Tracer:              s.tracer,
+		SharedHost:          sharedPool,
+		GPUDirectStorage:    cc.gpuDirect,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Client{inner: client, dev: dev, clk: s.clock()}
+	if cc.autoHints {
+		p, err := predict.New(
+			predict.HinterFunc(func(v int64) { client.PrefetchEnqueue(core.ID(v)) }),
+			predict.Config{MinVersion: 0},
+		)
+		if err != nil {
+			return nil, err
+		}
+		out.predictor = p
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package score_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"score"
+)
+
+func TestSimTracingProducesChromeTrace(t *testing.T) {
+	sim, err := score.NewSim(score.WithTracing(), score.WithGPUsPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(func() {
+		c, err := sim.NewClient(0, 1,
+			score.WithGPUCache(16<<20), score.WithHostCache(64<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v := int64(0); v < 4; v++ {
+			if err := c.CheckpointVirtual(v, 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			c.Compute(time.Millisecond)
+		}
+		if err := c.WaitFlush(); err != nil {
+			t.Fatal(err)
+		}
+		for v := int64(3); v >= 0; v-- {
+			if _, err := c.Restart(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if err := sim.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var haveCkpt, haveRestore, haveFlush bool
+	for _, e := range doc.TraceEvents {
+		name, _ := e["name"].(string)
+		switch {
+		case strings.HasPrefix(name, "checkpoint "):
+			haveCkpt = true
+		case strings.HasPrefix(name, "restore "):
+			haveRestore = true
+		case strings.HasPrefix(name, "flush "):
+			haveFlush = true
+		}
+	}
+	if !haveCkpt || !haveRestore || !haveFlush {
+		t.Errorf("trace missing span kinds: ckpt=%v restore=%v flush=%v",
+			haveCkpt, haveRestore, haveFlush)
+	}
+}
+
+func TestWriteTraceWithoutTracingFails(t *testing.T) {
+	sim, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Error("WriteTrace without WithTracing should fail")
+	}
+}
