@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: verify build test vet race chaos bench clean
+
+# verify is the pre-merge gate: static checks, a full build, and the
+# race-enabled test suite (which includes a short chaos soak).
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos replays a longer campaign of seeded fault schedules against the
+# checkpoint pipeline (see chaos_test.go and DESIGN.md §8).
+chaos:
+	$(GO) test -race -run TestChaosSoak . -args -chaos.schedules=200
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,275 @@
+package score_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"score"
+)
+
+// chaosSchedules is the number of seeded fault schedules the soak runs;
+// raise it for a longer campaign (make chaos).
+var chaosSchedules = flag.Int("chaos.schedules", 50, "seeded fault schedules for TestChaosSoak")
+
+// TestSSDOutageFallsBackToPFS is the deterministic end-to-end degradation
+// scenario: the SSD tier dies mid-run, the flush chain reroutes to the
+// PFS store without losing a checkpoint, and after a crash plus a
+// corrupted SSD file the next process scrubs, falls back to the PFS copy,
+// and restores everything bit-exact.
+func TestSSDOutageFallsBackToPFS(t *testing.T) {
+	ssdDir, pfsDir := t.TempDir(), t.TempDir()
+	const n = 8
+	payloads := make([][]byte, n)
+	for v := range payloads {
+		payloads[v] = bytes.Repeat([]byte{byte(0x11 * (v + 1))}, 256*1024)
+	}
+
+	sim1, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sim1.NewFaultInjector(7,
+		score.FailAfter(score.FaultNVMe, 2*time.Millisecond),
+		score.FailAfter(score.FaultStoreWrite, 2*time.Millisecond))
+	sim1.Run(func() {
+		c, err := sim1.NewClient(0, 0,
+			score.WithGPUCache(1<<20), score.WithHostCache(4<<20),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+			score.WithFaultInjector(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v := 0; v < n; v++ {
+			if err := c.Checkpoint(int64(v), payloads[v]); err != nil {
+				t.Fatalf("checkpoint %d: %v", v, err)
+			}
+			c.Compute(time.Millisecond)
+		}
+		if err := c.WaitFlush(); err != nil {
+			t.Fatalf("flush chain did not survive the SSD outage: %v", err)
+		}
+		st := c.Stats()
+		if st.Retries == 0 {
+			t.Error("outage produced no retries")
+		}
+		if st.Degradations == 0 {
+			t.Error("outage produced no degradation events")
+		}
+		tiers := c.DegradedTiers()
+		if len(tiers) != 1 || tiers[0] != "ssd" {
+			t.Errorf("DegradedTiers = %v, want [ssd]", tiers)
+		}
+		if st.FlushAborts != 0 {
+			t.Errorf("FlushAborts = %d; the PFS route should have saved every flush", st.FlushAborts)
+		}
+	})
+
+	// A few checkpoints reached the SSD store before the outage; corrupt
+	// the oldest on disk (silent media fault).
+	files, err := filepath.Glob(filepath.Join(ssdDir, "*.ckpt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no pre-outage SSD files (%v); outage fired too early", err)
+	}
+	corruptFile(t, files[0])
+
+	sim2, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Run(func() {
+		c, err := sim2.NewClient(0, 0,
+			score.WithGPUCache(1<<20), score.WithHostCache(4<<20),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+			score.WithScrubOnOpen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if q := c.QuarantinedVersions(); len(q) != 1 {
+			t.Errorf("QuarantinedVersions = %v, want exactly one", q)
+		}
+		if got := c.RecoveredVersions(); len(got) != n {
+			t.Fatalf("recovered %d versions, want %d (PFS store should hold all)", len(got), n)
+		}
+		for v := n - 1; v >= 0; v-- {
+			got, err := c.Restart(int64(v))
+			if err != nil {
+				t.Fatalf("restart %d: %v", v, err)
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Fatalf("restart %d: not bit-exact", v)
+			}
+		}
+		st := c.Stats()
+		if st.FallbackReads == 0 {
+			t.Error("no reads fell back to the PFS store")
+		}
+		if st.Repopulations == 0 {
+			t.Error("no replicas were re-staged onto the SSD")
+		}
+	})
+}
+
+// TestChaosSoak replays N seeded random fault schedules against the full
+// pipeline. The contract under chaos: every restore either returns the
+// exact bytes written or a definitive error — never garbage, never a hang
+// (the virtual clock panics on deadlock) — and a clean second process
+// restores every durably recovered version bit-exact. Goroutines must not
+// leak across schedules.
+func TestChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const n = 8
+	for i := 0; i < *chaosSchedules; i++ {
+		seed := int64(1000 + i)
+		t.Run(fmt.Sprintf("schedule-%d", seed), func(t *testing.T) {
+			runChaosSchedule(t, seed, n)
+		})
+	}
+	// Allow simulated tasks to unwind, then check for leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		t.Errorf("goroutine leak: %d before soak, %d after", baseline, g)
+	}
+}
+
+// randomRules derives one fault schedule from a seeded source. The PFS
+// link and PFS store are never faulted: they are the floor of the
+// degradation ladder, so every durably flushed checkpoint has a
+// definitive fallback and bit-exactness stays checkable.
+func randomRules(r *rand.Rand) []score.FaultRule {
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+r.Intn(hi-lo+1)) * time.Millisecond
+	}
+	var rules []score.FaultRule
+	if r.Float64() < 0.6 { // SSD-link trouble: window or permanent outage
+		after := ms(0, 6)
+		if r.Float64() < 0.5 {
+			rules = append(rules, score.FailWindow(score.FaultNVMe, after, after+ms(1, 5)))
+		} else {
+			rules = append(rules, score.FailAfter(score.FaultNVMe, after))
+		}
+	}
+	if r.Float64() < 0.4 {
+		rules = append(rules, score.FailProb(score.FaultNVMe, 0.1+0.2*r.Float64()))
+	}
+	if r.Float64() < 0.5 {
+		rules = append(rules, score.FailNth(score.FaultStoreWrite, int64(1+r.Intn(8))))
+	}
+	if r.Float64() < 0.5 {
+		rules = append(rules, score.CorruptProb(score.FaultStoreRead, 0.3))
+	}
+	if r.Float64() < 0.4 {
+		after := ms(0, 4)
+		rules = append(rules, score.SlowLink(score.FaultPCIe, 0.1, after, after+ms(1, 4)))
+	}
+	if r.Float64() < 0.2 {
+		rules = append(rules, score.FailProb(score.FaultPCIe, 0.02+0.03*r.Float64()))
+	}
+	if r.Float64() < 0.3 {
+		rules = append(rules, score.DelayOps(score.FaultHostAlloc, ms(1, 3), 0, 0))
+	}
+	return rules
+}
+
+// corruptFile flips one byte mid-file.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runChaosSchedule(t *testing.T, seed int64, n int) {
+	ssdDir, pfsDir := t.TempDir(), t.TempDir()
+	r := rand.New(rand.NewSource(seed))
+	payloads := make([][]byte, n)
+	for v := range payloads {
+		b := make([]byte, 64*1024)
+		r.Read(b)
+		payloads[v] = b
+	}
+	rules := randomRules(r)
+
+	// Life 1: write and read back under the fault schedule.
+	sim1, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sim1.NewFaultInjector(seed, rules...)
+	var flushErr error
+	var aborts int64
+	sim1.Run(func() {
+		c, err := sim1.NewClient(0, 0,
+			score.WithGPUCache(256<<10), score.WithHostCache(1<<20),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+			score.WithFaultInjector(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v := 0; v < n; v++ {
+			if err := c.Checkpoint(int64(v), payloads[v]); err != nil {
+				t.Fatalf("checkpoint %d wedged: %v", v, err)
+			}
+			c.Compute(time.Millisecond)
+		}
+		flushErr = c.WaitFlush()
+		for v := n - 1; v >= 0; v-- {
+			got, err := c.Restart(int64(v))
+			if err != nil {
+				continue // definitive loss is allowed under chaos
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Errorf("restart %d: returned wrong bytes instead of an error", v)
+			}
+		}
+		aborts = c.Stats().FlushAborts
+	})
+
+	// Life 2: a clean process on the same stores. Whatever was reported
+	// durable must come back bit-exact.
+	sim2, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Run(func() {
+		c, err := sim2.NewClient(0, 0,
+			score.WithGPUCache(256<<10), score.WithHostCache(1<<20),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+			score.WithScrubOnOpen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		recovered := c.RecoveredVersions()
+		if flushErr == nil && aborts == 0 && len(recovered) != n {
+			t.Errorf("clean flush but only %d/%d versions durable", len(recovered), n)
+		}
+		for _, v := range recovered {
+			got, err := c.Restart(v)
+			if err != nil {
+				t.Errorf("restart %d of a recovered version: %v", v, err)
+				continue
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Errorf("restart %d: recovered bytes not bit-exact", v)
+			}
+		}
+	})
+}

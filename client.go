@@ -6,6 +6,7 @@ import (
 
 	"score/internal/core"
 	"score/internal/device"
+	"score/internal/faultinject"
 	"score/internal/payload"
 	"score/internal/predict"
 	"score/internal/simclock"
@@ -22,8 +23,11 @@ type clientConfig struct {
 	autoPrefetch  bool
 	asyncHostInit bool
 	storeDir      string
+	pfsStoreDir   string
+	scrubOnOpen   bool
 	autoHints     bool
 	gpuDirect     bool
+	injector      *faultinject.Injector
 }
 
 // WithGPUCache sets the device cache reservation (default 4 GiB, the
@@ -92,13 +96,46 @@ func WithStore(dir string) ClientOption {
 	return func(c *clientConfig) { c.storeDir = dir }
 }
 
+// WithPFSStore makes the PFS tier durable at dir, the deepest rung of the
+// degradation ladder: flushes persist there in addition to the SSD store,
+// and a failed or corrupt SSD read transparently falls back to the PFS
+// copy (re-staging it onto the SSD when possible). Implies
+// WithPersistToPFS. The directory is normally on the shared parallel file
+// system, so every client (across restarts) opens the same path.
+func WithPFSStore(dir string) ClientOption {
+	return func(c *clientConfig) {
+		c.pfsStoreDir = dir
+		c.persistPFS = true
+	}
+}
+
+// WithScrubOnOpen quarantines (renames to .corrupt) any invalid
+// checkpoint files found when opening a durable store instead of refusing
+// to start — the repair path after a crash left torn or corrupt files
+// behind. Quarantined versions are reported by Client.QuarantinedVersions
+// and, when a PFS store holds a good copy, remain restorable.
+func WithScrubOnOpen() ClientOption {
+	return func(c *clientConfig) { c.scrubOnOpen = true }
+}
+
+// WithFaultInjector attaches a fault-injection schedule (see
+// internal/faultinject) to every I/O site this client touches: its PCIe
+// copy engine and host allocations, the node's NVMe and PFS links, and
+// the durable stores. The NVMe and PFS links are shared node resources,
+// so an injector installed by one client intercepts every client on the
+// node — install the same injector (or none) on all of them.
+func WithFaultInjector(inj *faultinject.Injector) ClientOption {
+	return func(c *clientConfig) { c.injector = inj }
+}
+
 // Client is one process's checkpointing runtime: the VELOC-style API of
 // the paper (Listing 1) with the two new prefetching primitives.
 type Client struct {
-	inner     *core.Client
-	dev       *device.GPU
-	clk       simclock.Clock
-	predictor *predict.Predictor // nil unless WithAutoHints
+	inner       *core.Client
+	dev         *device.GPU
+	clk         simclock.Clock
+	predictor   *predict.Predictor // nil unless WithAutoHints
+	quarantined []int64            // versions scrubbed at open (WithScrubOnOpen)
 }
 
 // Checkpoint writes version with real data. It blocks only until the data
@@ -126,6 +163,16 @@ func (c *Client) Restart(version int64) ([]byte, error) {
 		return nil, err
 	}
 	data := pay.Bytes()
+	if data == nil {
+		// Recovered payloads load lazily from the durable stores; a nil
+		// result may be a load failure rather than a virtual checkpoint.
+		// Surface it as a definitive error instead of (nil, nil).
+		if lp, ok := pay.(interface{ LoadErr() error }); ok {
+			if err := lp.LoadErr(); err != nil {
+				return nil, fmt.Errorf("score: restart %d: %w", version, err)
+			}
+		}
+	}
 	if data != nil {
 		if err := payload.Verify(pay, data); err != nil {
 			return nil, fmt.Errorf("score: restart %d: %w", version, err)
@@ -179,6 +226,25 @@ type Stats struct {
 	MeanPrefetchDistance float64
 	// DeviationReads counts restores that departed from the hint order.
 	DeviationReads int64
+	// Retries counts I/O attempts repeated after a transient failure,
+	// across all tiers.
+	Retries int64
+	// Degradations counts tiers this client marked unusable after
+	// retries were exhausted.
+	Degradations int64
+	// FallbackReads counts reads served from a deeper tier because the
+	// preferred tier failed or lost the copy.
+	FallbackReads int64
+	// Repopulations counts replicas re-staged into a faster tier after a
+	// fallback read.
+	Repopulations int64
+	// FlushAborts counts checkpoints whose every durable route failed;
+	// their cached replica becomes sacrificial (Restore may report a
+	// definitive loss, but the cache never wedges).
+	FlushAborts int64
+	// SyncFlushes counts checkpoints that bypassed the GPU cache with a
+	// synchronous flush under device-memory pressure (§2 condition 4).
+	SyncFlushes int64
 }
 
 // PredictedHints reports how many hints the auto-hint predictor has
@@ -213,5 +279,33 @@ func (c *Client) Stats() Stats {
 		RestoreThroughput:    s.RestoreThroughput(),
 		MeanPrefetchDistance: s.MeanPrefetchDistance(),
 		DeviationReads:       s.DeviationReads,
+		Retries:              s.TotalRetries(),
+		Degradations:         s.TotalDegradations(),
+		FallbackReads:        s.FallbackReads,
+		Repopulations:        s.Repopulations,
+		FlushAborts:          s.FlushAborts,
+		SyncFlushes:          s.SyncFlushes,
 	}
+}
+
+// DegradedTiers lists the tiers this client has stopped using after
+// persistent failures ("ssd", "host", ...), in flush order. Empty means
+// the full pipeline is healthy.
+func (c *Client) DegradedTiers() []string {
+	tiers := c.inner.DegradedTiers()
+	out := make([]string, len(tiers))
+	for i, t := range tiers {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// QuarantinedVersions lists the checkpoint versions whose durable files
+// were quarantined by WithScrubOnOpen when this client opened its stores,
+// ascending. A version with a healthy copy in the PFS store is still
+// restorable despite appearing here.
+func (c *Client) QuarantinedVersions() []int64 {
+	out := make([]int64, len(c.quarantined))
+	copy(out, c.quarantined)
+	return out
 }

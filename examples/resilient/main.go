@@ -1,13 +1,18 @@
-// resilient demonstrates the two capabilities this library adds beyond
-// the paper: a durable checkpoint store (the VELOC-heritage
-// restart-after-failure path) and automatic hint prediction.
+// resilient demonstrates the failure model: a deterministic fault
+// injector kills the node-local SSD mid-run, the runtime degrades the
+// flush chain to the parallel file system without losing a checkpoint,
+// and after a "crash" a new process scrubs a corrupted durable file and
+// restores the full history bit-exact by falling back to the PFS copy.
 //
-// Act 1 writes a history of checkpoints with a durable store attached and
-// then "crashes" (the client is simply abandoned mid-run).
-// Act 2 opens a fresh client on the same store directory, recovers the
-// persisted history, and replays it in reverse WITHOUT providing any
-// prefetch hints — the stride predictor recognizes the reverse pattern
-// after three restores and keeps the prefetcher ahead of the reads.
+// Act 1 writes a history of checkpoints with durable SSD and PFS stores
+// attached while the injected schedule takes the SSD tier down partway
+// through; the flush chain reroutes to the PFS and drains completely.
+// Between the acts, one surviving SSD checkpoint file is corrupted on
+// disk — a silent media fault.
+// Act 2 opens a fresh client on the same directories. The open-time scrub
+// quarantines the corrupt file, recovery unions both stores, and the
+// reverse replay (hinted automatically by the stride predictor) serves
+// the quarantined version from the PFS store, re-staging it onto the SSD.
 //
 // Run with:
 //
@@ -19,35 +24,54 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"score"
 )
 
-const versions = 24
+const (
+	versions  = 24
+	ckptBytes = 8 << 20
+	// ssdOutage is when the injected schedule takes the SSD tier down:
+	// both the NVMe link and the durable SSD store fail persistently
+	// from this simulated instant on.
+	ssdOutage = 60 * time.Millisecond
+)
 
 func main() {
-	dir, err := os.MkdirTemp("", "score-resilient-*")
+	ssdDir, err := os.MkdirTemp("", "score-resilient-ssd-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(ssdDir)
+	pfsDir, err := os.MkdirTemp("", "score-resilient-pfs-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(pfsDir)
 
 	payloads := make([][]byte, versions)
 	for v := range payloads {
-		payloads[v] = bytes.Repeat([]byte{byte(0x30 + v)}, 8<<20)
+		payloads[v] = bytes.Repeat([]byte{byte(0x30 + v)}, ckptBytes)
 	}
 
-	// ---- Act 1: the original process writes and "crashes". ----
+	// ---- Act 1: the SSD dies mid-run; the flush chain degrades. ----
 	sim1, err := score.NewSim()
 	if err != nil {
 		log.Fatal(err)
 	}
+	inj := sim1.NewFaultInjector(42,
+		score.FailAfter(score.FaultNVMe, ssdOutage),
+		score.FailAfter(score.FaultStoreWrite, ssdOutage))
 	sim1.Run(func() {
 		c, err := sim1.NewClient(0, 0,
 			score.WithGPUCache(32<<20),
 			score.WithHostCache(128<<20),
-			score.WithStore(dir))
+			score.WithStore(ssdDir),
+			score.WithPFSStore(pfsDir),
+			score.WithFaultInjector(inj))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,14 +83,23 @@ func main() {
 			c.Compute(5 * time.Millisecond)
 		}
 		if err := c.WaitFlush(); err != nil {
-			log.Fatal(err)
+			log.Fatalf("flush chain did not survive the SSD outage: %v", err)
 		}
-		fmt.Printf("act 1: wrote %d checkpoints (%d MiB), flush chain drained to the durable store\n",
-			versions, int64(versions)*8)
+		st := c.Stats()
+		fmt.Printf("act 1: wrote %d checkpoints; SSD tier failed at %v (%d faults injected)\n",
+			versions, ssdOutage, inj.Injected())
+		fmt.Printf("act 1: degraded tiers %v after %d retries, %d degradation events — "+
+			"flush chain drained to the PFS store, nothing lost\n",
+			c.DegradedTiers(), st.Retries, st.Degradations)
 	})
-	// The process "dies" here; only the store directory survives.
+	// The process "dies" here; only the store directories survive.
 
-	// ---- Act 2: a new process recovers and reads back, unhinted. ----
+	// A silent media fault between the acts: flip one byte mid-file in
+	// the oldest checkpoint that reached the SSD store before the outage.
+	victim := corruptOneSSDFile(ssdDir)
+	fmt.Printf("interlude: corrupted the SSD file of version %d on disk\n", victim)
+
+	// ---- Act 2: a new process scrubs, recovers, and reads back. ----
 	sim2, err := score.NewSim()
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +108,9 @@ func main() {
 		c, err := sim2.NewClient(0, 0,
 			score.WithGPUCache(32<<20),
 			score.WithHostCache(128<<20),
-			score.WithStore(dir),
+			score.WithStore(ssdDir),
+			score.WithPFSStore(pfsDir),
+			score.WithScrubOnOpen(),
 			score.WithAutoHints())
 		if err != nil {
 			log.Fatal(err)
@@ -83,17 +118,18 @@ func main() {
 		defer c.Close()
 
 		recovered := c.RecoveredVersions()
-		fmt.Printf("act 2: recovered %d checkpoint versions [%d..%d] from %s\n",
-			len(recovered), recovered[0], recovered[len(recovered)-1], dir)
+		fmt.Printf("act 2: scrub quarantined versions %v; recovered %d versions [%d..%d] "+
+			"from the union of both stores\n",
+			c.QuarantinedVersions(), len(recovered), recovered[0], recovered[len(recovered)-1])
+		if len(recovered) != versions {
+			log.Fatalf("recovered %d versions, want %d", len(recovered), versions)
+		}
 
-		var blocked time.Duration
 		for v := versions - 1; v >= 0; v-- {
-			start := sim2.Clock().Now()
 			got, err := c.Restart(int64(v))
 			if err != nil {
 				log.Fatalf("restart %d: %v", v, err)
 			}
-			blocked += sim2.Clock().Now() - start
 			if !bytes.Equal(got, payloads[v]) {
 				log.Fatalf("restart %d: recovered data corrupt", v)
 			}
@@ -101,9 +137,31 @@ func main() {
 		}
 		st := c.Stats()
 		fmt.Printf("act 2: replayed the full history in reverse, bit-exact; "+
-			"predictor issued %d hints (no application hints given)\n", c.PredictedHints())
-		fmt.Printf("restore blocked %v total, %.2f GB/s application-observed, "+
-			"mean prefetch distance %.2f\n",
-			blocked.Round(time.Microsecond), st.RestoreThroughput/(1<<30), st.MeanPrefetchDistance)
+			"%d reads fell back to the PFS store, %d replicas re-staged onto the SSD\n",
+			st.FallbackReads, st.Repopulations)
+		fmt.Printf("act 2: predictor issued %d hints, mean prefetch distance %.2f\n",
+			c.PredictedHints(), st.MeanPrefetchDistance)
 	})
+}
+
+// corruptOneSSDFile flips a byte mid-file in the lowest-numbered
+// checkpoint file of dir and returns its version number.
+func corruptOneSSDFile(dir string) int64 {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(paths) == 0 {
+		log.Fatalf("no SSD checkpoint files to corrupt in %s", dir)
+	}
+	sort.Strings(paths)
+	path := paths[0]
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	var v int64
+	fmt.Sscanf(filepath.Base(path), "%d.ckpt", &v)
+	return v
 }

@@ -1,0 +1,70 @@
+package score
+
+import "score/internal/faultinject"
+
+// This file re-exports the fault-injection vocabulary so applications can
+// build schedules against the public API alone. A FaultInjector is
+// created per simulation with Sim.NewFaultInjector and attached to
+// clients with WithFaultInjector; rules target the sites below. See
+// internal/faultinject for the full semantics.
+
+// FaultInjector evaluates a deterministic, seeded fault schedule.
+type FaultInjector = faultinject.Injector
+
+// FaultRule describes one fault; build rules with the constructors below.
+type FaultRule = faultinject.Rule
+
+// FaultSite identifies an I/O operation class a rule can target.
+type FaultSite = faultinject.Site
+
+// The injectable sites of a client's pipeline.
+const (
+	// FaultPCIe is the GPU↔host copy engine (D2H and H2D transfers).
+	FaultPCIe = faultinject.SitePCIe
+	// FaultNVMe is the node-local SSD link, both directions (shared by
+	// the node's clients).
+	FaultNVMe = faultinject.SiteNVMe
+	// FaultPFS is the parallel file system link, both directions.
+	FaultPFS = faultinject.SitePFS
+	// FaultStoreWrite is a durable write to the SSD checkpoint store.
+	FaultStoreWrite = faultinject.SiteStoreWrite
+	// FaultStoreRead is a durable read from the SSD checkpoint store.
+	FaultStoreRead = faultinject.SiteStoreRead
+	// FaultPFSStoreWrite is a durable write to the PFS checkpoint store.
+	FaultPFSStoreWrite = faultinject.SitePFSStoreWrite
+	// FaultPFSStoreRead is a durable read from the PFS checkpoint store.
+	FaultPFSStoreRead = faultinject.SitePFSStoreRead
+	// FaultHostAlloc is pinned host memory allocation (pressure slows
+	// it; it never fails outright).
+	FaultHostAlloc = faultinject.SiteHostAlloc
+)
+
+// ErrFaultInjected is the root of every injected failure; match with
+// errors.Is to tell injected faults from real ones.
+var ErrFaultInjected = faultinject.ErrInjected
+
+// Rule constructors, mirroring internal/faultinject.
+var (
+	// FailNth fails the Nth operation at site (1-based).
+	FailNth = faultinject.FailNth
+	// FailProb fails each operation at site with probability p.
+	FailProb = faultinject.FailProb
+	// FailAfter is a persistent outage: every operation at site fails
+	// from simulated time t on.
+	FailAfter = faultinject.FailAfter
+	// FailWindow fails every operation at site within [after, until).
+	FailWindow = faultinject.FailWindow
+	// FailID fails every operation at site touching checkpoint id.
+	FailID = faultinject.FailID
+	// CorruptNth corrupts the Nth operation at site (1-based).
+	CorruptNth = faultinject.CorruptNth
+	// CorruptProb corrupts each operation at site with probability p.
+	CorruptProb = faultinject.CorruptProb
+	// CorruptID corrupts every operation at site touching checkpoint id.
+	CorruptID = faultinject.CorruptID
+	// SlowLink degrades site to scale× bandwidth within [after, until).
+	SlowLink = faultinject.Slow
+	// DelayOps adds fixed latency to operations at site within
+	// [after, until).
+	DelayOps = faultinject.Delay
+)

@@ -38,6 +38,7 @@ const (
 	trailerSize   = 4
 	fileSuffix    = ".ckpt"
 	tempSuffix    = ".tmp"
+	corruptSuffix = ".corrupt"
 )
 
 // Errors returned by Store operations.
@@ -50,6 +51,19 @@ var (
 	ErrExists = errors.New("ckptstore: checkpoint already stored")
 )
 
+// A FaultHook lets a fault injector interpose on the durable paths.
+// Either method may be nil-receiver-free no-ops; hooks must be safe for
+// concurrent use.
+type FaultHook interface {
+	// BeforeWrite runs before Put writes id's bytes; a non-nil error
+	// aborts the write (the disk is untouched).
+	BeforeWrite(id int64, size int) error
+	// OnRead runs on the raw file bytes Get read, before validation. It
+	// may return an error (I/O fault) or a mutated copy of raw (silent
+	// corruption, which the CRC layer then detects).
+	OnRead(id int64, raw []byte) ([]byte, error)
+}
+
 // Store is a directory of checkpoint files with an in-memory index.
 // Methods are safe for concurrent use.
 type Store struct {
@@ -57,6 +71,22 @@ type Store struct {
 
 	mu    sync.Mutex
 	index map[int64]int64 // id -> payload length
+	hook  FaultHook
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// on Put and Get. Scrub and Open bypass it: they report the disk's ground
+// truth.
+func (s *Store) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	s.hook = h
+	s.mu.Unlock()
+}
+
+func (s *Store) faultHook() FaultHook {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hook
 }
 
 // Open creates (if needed) and indexes a store rooted at dir. Corrupt or
@@ -99,6 +129,33 @@ func (s *Store) path(id int64) string {
 	return filepath.Join(s.dir, strconv.FormatInt(id, 10)+fileSuffix)
 }
 
+// encode serializes id+payload into the on-disk format.
+func encode(id int64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+trailerSize)
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:], formatVersion)
+	binary.LittleEndian.PutUint16(buf[6:], 0) // flags
+	binary.LittleEndian.PutUint64(buf[8:], uint64(id))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[:20]))
+	copy(buf[headerSize:], payload)
+	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// writeAtomic commits buf as id's checkpoint file via temp file + rename.
+func (s *Store) writeAtomic(id int64, buf []byte) error {
+	tmp := s.path(id) + tempSuffix
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("ckptstore: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("ckptstore: committing %d: %w", id, err)
+	}
+	return nil
+}
+
 // Put durably stores payload under id. The write is atomic: a crash
 // leaves either the complete checkpoint or nothing.
 func (s *Store) Put(id int64, payload []byte) error {
@@ -109,23 +166,13 @@ func (s *Store) Put(id int64, payload []byte) error {
 	}
 	s.mu.Unlock()
 
-	buf := make([]byte, headerSize+len(payload)+trailerSize)
-	copy(buf[0:4], magic)
-	binary.LittleEndian.PutUint16(buf[4:], formatVersion)
-	binary.LittleEndian.PutUint16(buf[6:], 0) // flags
-	binary.LittleEndian.PutUint64(buf[8:], uint64(id))
-	binary.LittleEndian.PutUint32(buf[16:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[:20]))
-	copy(buf[headerSize:], payload)
-	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], crc32.ChecksumIEEE(payload))
-
-	tmp := s.path(id) + tempSuffix
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("ckptstore: writing %s: %w", tmp, err)
+	if h := s.faultHook(); h != nil {
+		if err := h.BeforeWrite(id, len(payload)); err != nil {
+			return fmt.Errorf("ckptstore: writing %d: %w", id, err)
+		}
 	}
-	if err := os.Rename(tmp, s.path(id)); err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("ckptstore: committing %d: %w", id, err)
+	if err := s.writeAtomic(id, encode(id, payload)); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	s.index[id] = int64(len(payload))
@@ -144,6 +191,12 @@ func (s *Store) Get(id int64) ([]byte, error) {
 	buf, err := os.ReadFile(s.path(id))
 	if err != nil {
 		return nil, fmt.Errorf("ckptstore: reading %d: %w", id, err)
+	}
+	if h := s.faultHook(); h != nil {
+		buf, err = h.OnRead(id, buf)
+		if err != nil {
+			return nil, fmt.Errorf("ckptstore: reading %d: %w", id, err)
+		}
 	}
 	payload, gotID, err := decode(buf)
 	if err != nil {
@@ -207,6 +260,73 @@ func (s *Store) TotalBytes() int64 {
 		t += n
 	}
 	return t
+}
+
+// Scrub re-verifies every checkpoint file in the store directory —
+// re-reading each and checking header and payload CRCs — and quarantines
+// failures: the file is renamed to <name>.ckpt.corrupt (kept for
+// forensics) and its id is dropped from the index. It covers both indexed
+// checkpoints and files Open skipped as corrupt, so a scrub after reopen
+// leaves the directory clean. It returns the quarantined ids, ascending.
+// Scrub reads the disk directly, bypassing any fault hook, so it reports
+// ground truth even mid-chaos.
+func (s *Store) Scrub() ([]int64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: scrubbing %s: %w", s.dir, err)
+	}
+	var quarantined []int64
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		// The file name is "<id>.ckpt"; an unparseable name is itself a
+		// corruption symptom and gets quarantined under id -1.
+		id, parseErr := strconv.ParseInt(strings.TrimSuffix(name, fileSuffix), 10, 64)
+		if parseErr != nil {
+			id = -1
+		}
+		path := filepath.Join(s.dir, name)
+		gotID, _, err := s.validateFile(path)
+		if err == nil && parseErr == nil && gotID == id {
+			continue
+		}
+		if err == nil {
+			err = fmt.Errorf("%w: file %s contains id %d", ErrCorrupt, name, gotID)
+		}
+		if renameErr := os.Rename(path, path+corruptSuffix); renameErr != nil && !os.IsNotExist(renameErr) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ckptstore: quarantining %s: %v (scrub error: %w)", name, renameErr, err)
+			}
+			continue
+		}
+		if id >= 0 {
+			s.mu.Lock()
+			delete(s.index, id)
+			s.mu.Unlock()
+			quarantined = append(quarantined, id)
+		}
+	}
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i] < quarantined[j] })
+	return quarantined, firstErr
+}
+
+// Restage overwrites checkpoint id with a fresh payload, re-creating a
+// replica that was lost or quarantined (the immutability rule applies to
+// *new* versions via Put; Restage exists for repair, where the caller has
+// re-verified the bytes against the checkpoint's checksum). The write is
+// atomic and bypasses the fault hook — repair must not be re-faulted by
+// the schedule that caused it.
+func (s *Store) Restage(id int64, payload []byte) error {
+	if err := s.writeAtomic(id, encode(id, payload)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.index[id] = int64(len(payload))
+	s.mu.Unlock()
+	return nil
 }
 
 // validateFile decodes and checks a checkpoint file, returning its id and

@@ -204,3 +204,165 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Errorf("recovered %d ids, want %d", len(s2.IDs()), next)
 	}
 }
+
+func TestScrubQuarantinesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	for i := int64(0); i < 4; i++ {
+		if err := s.Put(i, bytes.Repeat([]byte{byte(i + 1)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bit-rot checkpoint 2's payload on disk after indexing.
+	path := filepath.Join(dir, "2.ckpt")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[headerSize+7] ^= 0x01
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	quarantined, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != 2 {
+		t.Fatalf("quarantined = %v, want [2]", quarantined)
+	}
+	if s.Has(2) {
+		t.Error("quarantined checkpoint still indexed")
+	}
+	if _, err := s.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(quarantined) = %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(path + corruptSuffix); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt original still present under .ckpt name")
+	}
+	// Healthy files untouched; a second scrub is clean.
+	for _, id := range []int64{0, 1, 3} {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("Get(%d) after scrub: %v", id, err)
+		}
+	}
+	if q, err := s.Scrub(); err != nil || len(q) != 0 {
+		t.Errorf("second scrub: %v, %v", q, err)
+	}
+	// Quarantined files are invisible to a reopen.
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 0 {
+		t.Errorf("reopen reported corrupt: %v", corrupt)
+	}
+	if s2.Has(2) {
+		t.Error("reopen indexed a quarantined checkpoint")
+	}
+}
+
+func TestRestageRepairsQuarantinedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	data := bytes.Repeat([]byte{0xC4}, 256)
+	if err := s.Put(5, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "5.ckpt")
+	buf, _ := os.ReadFile(path)
+	buf[headerSize] ^= 0xFF
+	os.WriteFile(path, buf, 0o644)
+	if q, _ := s.Scrub(); len(q) != 1 {
+		t.Fatalf("scrub quarantined %v", q)
+	}
+	if err := s.Restage(5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(5)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("Get after restage: %d bytes, %v", len(got), err)
+	}
+}
+
+// hookFuncs adapts closures to FaultHook for tests.
+type hookFuncs struct {
+	beforeWrite func(id int64, size int) error
+	onRead      func(id int64, raw []byte) ([]byte, error)
+}
+
+func (h hookFuncs) BeforeWrite(id int64, size int) error {
+	if h.beforeWrite == nil {
+		return nil
+	}
+	return h.beforeWrite(id, size)
+}
+
+func (h hookFuncs) OnRead(id int64, raw []byte) ([]byte, error) {
+	if h.onRead == nil {
+		return raw, nil
+	}
+	return h.onRead(id, raw)
+}
+
+func TestFaultHookWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	injected := errors.New("ssd gone")
+	s.SetFaultHook(hookFuncs{beforeWrite: func(id int64, size int) error {
+		if id == 1 {
+			return injected
+		}
+		return nil
+	}})
+	if err := s.Put(1, []byte("doomed")); !errors.Is(err, injected) {
+		t.Errorf("Put under write fault: %v", err)
+	}
+	if s.Has(1) {
+		t.Error("failed Put left an index entry")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Errorf("failed Put touched the disk: %v", files)
+	}
+	if err := s.Put(2, []byte("fine")); err != nil {
+		t.Errorf("unfaulted Put: %v", err)
+	}
+}
+
+func TestFaultHookReadCorruptionTripsCRC(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	if err := s.Put(1, bytes.Repeat([]byte{7}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(hookFuncs{onRead: func(id int64, raw []byte) ([]byte, error) {
+		mut := append([]byte(nil), raw...)
+		mut[headerSize+1] ^= 0x80
+		return mut, nil
+	}})
+	if _, err := s.Get(1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get of hook-corrupted read = %v, want ErrCorrupt", err)
+	}
+	// The disk itself is clean: Scrub (hook-free) finds nothing, and
+	// removing the hook restores reads.
+	if q, err := s.Scrub(); err != nil || len(q) != 0 {
+		t.Errorf("scrub of clean disk under read fault: %v, %v", q, err)
+	}
+	s.SetFaultHook(nil)
+	if _, err := s.Get(1); err != nil {
+		t.Errorf("Get after hook removal: %v", err)
+	}
+}
+
+func TestRestageBypassesFaultHook(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	s.SetFaultHook(hookFuncs{beforeWrite: func(id int64, size int) error {
+		return errors.New("every write fails")
+	}})
+	if err := s.Restage(9, []byte("repair")); err != nil {
+		t.Fatalf("Restage under write fault: %v", err)
+	}
+	s.SetFaultHook(nil)
+	if got, err := s.Get(9); err != nil || string(got) != "repair" {
+		t.Errorf("Get after restage: %q, %v", got, err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -49,6 +50,11 @@ type Client struct {
 	stagedBytes int64  // host-stager budget accounting
 	events      uint64 // progress generation: bumped on real state changes
 
+	degraded [TierPFS + 1]bool // tiers marked persistently failed
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand // retry jitter; seeded for deterministic replays
+
 	daemons *simclock.WaitGroup
 }
 
@@ -67,6 +73,7 @@ func New(p Params) (*Client, error) {
 	}
 	c.cond = c.clk.NewCond(&c.mu)
 	c.daemons = simclock.NewWaitGroup(c.clk)
+	c.rnd = rand.New(rand.NewSource(p.FaultSeed*0x9E3779B9 + int64(p.GPU.ID()) + 1))
 
 	// Pre-allocate the contiguous device cache (§4.1.4). The HBM
 	// allocation itself is fast (~1 TB/s).
@@ -119,7 +126,7 @@ func New(p Params) (*Client, error) {
 		c.hostReadyAt = c.clk.Now()
 	}
 
-	if p.Store != nil {
+	if p.Store != nil || p.PFSStore != nil {
 		c.recoverFromStore()
 	}
 
@@ -132,26 +139,59 @@ func New(p Params) (*Client, error) {
 	return c, nil
 }
 
-// recoverFromStore rebuilds the checkpoint table from the durable store:
-// every valid stored checkpoint reappears as an SSD-tier replica in the
-// FLUSHED state, restorable through the normal promotion path.
+// recoverFromStore rebuilds the checkpoint table from the durable
+// stores: every valid stored checkpoint reappears as a FLUSHED replica
+// on the tier(s) whose store holds it (SSD, PFS, or both), restorable
+// through the normal promotion path with tier fallback.
 func (c *Client) recoverFromStore() {
-	for _, id := range c.p.Store.IDs() {
-		size, err := c.p.Store.Size(id)
-		if err != nil {
-			continue
+	type durable struct {
+		size         int64
+		onSSD, onPFS bool
+	}
+	found := map[int64]*durable{}
+	if c.p.Store != nil {
+		for _, id := range c.p.Store.IDs() {
+			if size, err := c.p.Store.Size(id); err == nil {
+				found[id] = &durable{size: size, onSSD: true}
+			}
 		}
+	}
+	if c.p.PFSStore != nil {
+		for _, id := range c.p.PFSStore.IDs() {
+			size, err := c.p.PFSStore.Size(id)
+			if err != nil {
+				continue
+			}
+			if d := found[id]; d != nil {
+				d.onPFS = true
+			} else {
+				found[id] = &durable{size: size, onPFS: true}
+			}
+		}
+	}
+	flushed := func() *lifecycle.Machine {
 		fsm := lifecycle.NewMachine(c.clk)
 		fsm.MustTo(lifecycle.WriteInProgress)
 		fsm.MustTo(lifecycle.WriteComplete)
 		fsm.MustTo(lifecycle.Flushed)
+		return fsm
+	}
+	for id, d := range found {
+		replicas := map[Tier]*replica{}
+		if d.onSSD {
+			replicas[TierSSD] = &replica{tier: TierSSD, fsm: flushed()}
+		}
+		if d.onPFS {
+			replicas[TierPFS] = &replica{tier: TierPFS, fsm: flushed()}
+		}
 		ck := &checkpoint{
 			id:   ID(id),
-			size: size,
-			pay:  &storePayload{store: c.p.Store, id: id, size: size},
-			replicas: map[Tier]*replica{
-				TierSSD: {tier: TierSSD, fsm: fsm},
+			size: d.size,
+			pay: &storePayload{
+				ssd: c.p.Store, pfs: c.p.PFSStore, rec: c.rec,
+				id: id, size: d.size,
 			},
+			replicas: replicas,
 		}
 		c.ckpts[ck.id] = ck
 	}
@@ -314,6 +354,11 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	// window, blocking until it is evictable ("any delays due to
 	// evictions" count toward application-observed blocking, §5.4.1).
 	if _, err := c.gpuC.Reserve(cachebuf.ID(id), ck.size); err != nil {
+		if err == cachebuf.ErrTooLarge {
+			// §2 condition 4: the checkpoint cannot use the GPU cache —
+			// fall back to a synchronous flush down the tier chain.
+			return c.syncFlush(ck, start)
+		}
 		c.mu.Lock()
 		delete(c.ckpts, id)
 		c.mu.Unlock()
@@ -340,6 +385,73 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	c.mu.Unlock()
 	c.notifyGPU()
 
+	c.rec.Checkpoint(ck.size, c.clk.Now()-start)
+	return nil
+}
+
+// syncFlush is the §2 condition-4 fallback taken when a checkpoint
+// cannot land in the GPU cache: the write blocks while the data streams
+// straight down the tier chain. It prefers the host cache (so the
+// normal async H2F chain finishes the job) and otherwise flushes
+// GPU→SSD (or GPU→PFS under SSD degradation) synchronously.
+func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
+	c.rec.SyncFlush()
+	c.mu.Lock()
+	delete(ck.replicas, TierGPU)
+	c.mu.Unlock()
+
+	if !c.p.GPUDirectStorage && !c.tierDegraded(TierHost) && ck.size <= c.p.HostCacheSize {
+		c.waitHostReady()
+		hostRep := &replica{tier: TierHost, fsm: lifecycle.NewMachine(c.clk)}
+		c.mu.Lock()
+		ck.replicas[TierHost] = hostRep
+		c.mu.Unlock()
+		_, err := c.hstC.Reserve(c.hostKey(ck.id), ck.size)
+		switch err {
+		case nil:
+			hostRep.fsm.MustTo(lifecycle.WriteInProgress)
+			if c.p.OnDemandAlloc {
+				c.p.GPU.AllocPinnedHost(ck.size)
+			}
+			cpErr := c.retryIO("pcie", "D2H copy", func() error {
+				_, err := c.p.GPU.TryCopyD2H(ck.size)
+				return err
+			})
+			if cpErr == nil {
+				hostRep.fsm.MustTo(lifecycle.WriteComplete)
+				c.hstC.Notify()
+				c.enqueueH2F(ck)
+				c.rec.Checkpoint(ck.size, c.clk.Now()-start)
+				return nil
+			}
+			// PCIe toward the host is dead: release the reservation and
+			// try the deeper route (which will fail too if PCIe itself is
+			// the problem — surfaced below).
+			c.dropReplica(ck, TierHost)
+			c.degradeTier(TierHost)
+		case cachebuf.ErrClosed:
+			c.mu.Lock()
+			delete(ck.replicas, TierHost)
+			delete(c.ckpts, ck.id)
+			c.mu.Unlock()
+			return ErrClosed
+		default:
+			// Too large for the host cache too: go deeper.
+			c.mu.Lock()
+			if ck.replicas[TierHost] == hostRep {
+				delete(ck.replicas, TierHost)
+			}
+			c.mu.Unlock()
+		}
+	}
+
+	if err := c.directToSSD(ck, true); err != nil {
+		c.mu.Lock()
+		delete(c.ckpts, ck.id)
+		c.bumpLocked()
+		c.mu.Unlock()
+		return fmt.Errorf("core: checkpoint %d: synchronous flush: %w", ck.id, err)
+	}
 	c.rec.Checkpoint(ck.size, c.clk.Now()-start)
 	return nil
 }

@@ -81,10 +81,13 @@ func (c *Client) runD2H(id ID) {
 	}
 	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackD2H, "flush",
 		fmt.Sprintf("flush %d gpu→host", id))()
-	if c.p.GPUDirectStorage {
-		// Future-work mode: flush GPU → SSD directly (PCIe + NVMe),
-		// bypassing the host cache.
-		c.directToSSD(ck, true)
+	if c.p.GPUDirectStorage || c.tierDegraded(TierHost) {
+		// GPUDirect mode — or a dead host tier: flush GPU → SSD directly
+		// (PCIe + NVMe), bypassing the host cache.
+		if err := c.directToSSD(ck, true); err != nil {
+			c.abortFlush(ck, TierGPU, err)
+			return
+		}
 		c.markFlushed(ck, TierGPU)
 		return
 	}
@@ -115,7 +118,10 @@ func (c *Client) runD2H(id ID) {
 		case cachebuf.ErrTooLarge:
 			// Checkpoint larger than the host cache: flush GPU → SSD
 			// directly (still via PCIe + NVMe).
-			c.directToSSD(ck, true)
+			if err := c.directToSSD(ck, true); err != nil {
+				c.abortFlush(ck, TierGPU, err)
+				return
+			}
 			c.markFlushed(ck, TierGPU)
 			return
 		default:
@@ -130,7 +136,22 @@ func (c *Client) runD2H(id ID) {
 		// checkpoint at ~4 GB/s instead of reusing the pre-pinned cache.
 		c.p.GPU.AllocPinnedHost(ck.size)
 	}
-	c.p.GPU.CopyD2H(ck.size)
+	if err := c.retryIO("pcie", "D2H copy", func() error {
+		_, err := c.p.GPU.TryCopyD2H(ck.size)
+		return err
+	}); err != nil {
+		// The PCIe hop toward the host cache kept failing: release the
+		// reservation, mark the host tier degraded, and try the direct
+		// route (which surfaces its own failure if PCIe itself is dead).
+		c.dropReplica(ck, TierHost)
+		c.degradeTier(TierHost)
+		if err := c.directToSSD(ck, true); err != nil {
+			c.abortFlush(ck, TierGPU, err)
+			return
+		}
+		c.markFlushed(ck, TierGPU)
+		return
+	}
 	hostRep.fsm.MustTo(lifecycle.WriteComplete)
 	c.hstC.Notify()
 
@@ -174,13 +195,22 @@ func (c *Client) runH2F(id ID) {
 		// Nothing to flush from here.
 		return
 	}
-	c.directToSSD(ck, false)
+	if err := c.directToSSD(ck, false); err != nil {
+		c.abortFlush(ck, TierHost, err)
+		return
+	}
 	c.markFlushed(ck, TierHost)
 }
 
-// directToSSD writes the checkpoint to the node-local SSD tier (and PFS if
-// persistence is enabled). fromGPU additionally charges the PCIe hop.
-func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) {
+// directToSSD writes the checkpoint to the node-local SSD tier (and PFS
+// if persistence is enabled). fromGPU additionally charges the PCIe hop.
+// On persistent SSD failure the tier is degraded and the flush reroutes
+// to the PFS; the returned error is non-nil only when no durable route
+// succeeded.
+func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
+	if c.tierDegraded(TierSSD) {
+		return c.routeToPFS(ck, fromGPU)
+	}
 	c.mu.Lock()
 	ssdRep := ck.replicas[TierSSD]
 	if ssdRep == nil {
@@ -188,38 +218,172 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) {
 		ck.replicas[TierSSD] = ssdRep
 	}
 	c.mu.Unlock()
-	if ssdRep.hasData() {
-		return
-	}
-	ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
-	if fromGPU {
-		c.p.GPU.CopyD2H(ck.size)
-	}
-	c.p.NVMe.Transfer(ck.size)
-	if c.p.Store != nil {
-		if data := ck.pay.Bytes(); data != nil {
-			if err := c.p.Store.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
-				c.fail(fmt.Errorf("core: persisting checkpoint %d: %w", ck.id, err))
+	if !ssdRep.hasData() {
+		ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
+		if err := c.writeSSD(ck, fromGPU); err != nil {
+			// The SSD route is dead for this checkpoint: drop the
+			// half-written replica, mark the tier degraded so later
+			// flushes skip it, and reroute to the PFS.
+			c.mu.Lock()
+			if ck.replicas[TierSSD] == ssdRep {
+				delete(ck.replicas, TierSSD)
 			}
+			c.mu.Unlock()
+			c.degradeTier(TierSSD)
+			return c.routeToPFS(ck, fromGPU)
 		}
+		ssdRep.fsm.MustTo(lifecycle.WriteComplete)
 	}
-	ssdRep.fsm.MustTo(lifecycle.WriteComplete)
 
-	if c.p.PersistToPFS {
-		pfsRep := &replica{tier: TierPFS, fsm: lifecycle.NewMachine(c.clk)}
-		c.mu.Lock()
-		ck.replicas[TierPFS] = pfsRep
-		c.mu.Unlock()
-		pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
-		c.p.PFS.Transfer(ck.size)
-		pfsRep.fsm.MustTo(lifecycle.WriteComplete)
-		pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
+	if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
+		// Best effort: the SSD already holds the data, so a PFS failure
+		// here loses persistence breadth, not the checkpoint.
+		_ = c.routeToPFS(ck, false)
 	}
 	// The SSD tier is durable for this scenario (it holds a full
 	// node's checkpoints, §2): its replica is immediately FLUSHED.
 	ssdRep.fsm.MustTo(lifecycle.Flushed)
 	c.notifyGPU()
 	c.hstC.Notify()
+	return nil
+}
+
+// writeSSD charges the transfers and durable write of the SSD flush,
+// with per-hop retries. fromGPU adds the PCIe hop.
+func (c *Client) writeSSD(ck *checkpoint, fromGPU bool) error {
+	if fromGPU {
+		if err := c.retryIO("pcie", "D2H copy", func() error {
+			_, err := c.p.GPU.TryCopyD2H(ck.size)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if err := c.retryIO("ssd", "NVMe write", func() error {
+		_, err := c.p.NVMe.TryTransfer(ck.size)
+		return err
+	}); err != nil {
+		return err
+	}
+	if c.p.Store != nil {
+		if data := ck.pay.Bytes(); data != nil {
+			if err := c.retryIO("ssd", "store put", func() error {
+				if err := c.p.Store.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
+					return err
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// routeToPFS flushes ck straight to the PFS tier, bypassing a degraded
+// (or bypassed) SSD. fromGPU additionally charges the PCIe hop.
+func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
+	if c.p.PFS == nil {
+		return fmt.Errorf("%w: ssd tier unavailable and no PFS configured", ErrTierIO)
+	}
+	c.mu.Lock()
+	pfsRep := ck.replicas[TierPFS]
+	if pfsRep == nil {
+		pfsRep = &replica{tier: TierPFS, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierPFS] = pfsRep
+	}
+	hasData := pfsRep.hasData()
+	c.mu.Unlock()
+	if hasData {
+		return nil
+	}
+	pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
+	err := func() error {
+		if fromGPU {
+			if err := c.retryIO("pcie", "D2H copy", func() error {
+				_, err := c.p.GPU.TryCopyD2H(ck.size)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		if err := c.retryIO("pfs", "PFS write", func() error {
+			_, err := c.p.PFS.TryTransfer(ck.size)
+			return err
+		}); err != nil {
+			return err
+		}
+		if c.p.PFSStore != nil {
+			if data := ck.pay.Bytes(); data != nil {
+				if err := c.retryIO("pfs", "store put", func() error {
+					if err := c.p.PFSStore.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
+						return err
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		c.mu.Lock()
+		if ck.replicas[TierPFS] == pfsRep {
+			delete(ck.replicas, TierPFS)
+		}
+		c.mu.Unlock()
+		return err
+	}
+	pfsRep.fsm.MustTo(lifecycle.WriteComplete)
+	pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
+	c.notifyGPU()
+	c.hstC.Notify()
+	return nil
+}
+
+// abortFlush gives up on making ck durable: every route below srcTier
+// failed persistently. The source replica still moves to FLUSHED — a
+// deliberate fail-open transition that keeps the cache from wedging
+// (Reserve waits for evictable space; a permanently pinned
+// WRITE_COMPLETE replica would deadlock every later checkpoint). The
+// replica becomes sacrificial: if it is evicted before the failed tiers
+// recover, the checkpoint is lost and Restore reports ErrLost
+// definitively instead of hanging.
+func (c *Client) abortFlush(ck *checkpoint, srcTier Tier, err error) {
+	c.mu.Lock()
+	ck.flushAborted = true
+	if ck.flushErr == nil {
+		ck.flushErr = err
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.rec.FlushAbort()
+	c.markFlushed(ck, srcTier)
+	c.notifyGPU()
+	c.hstC.Notify()
+}
+
+// dropReplica deletes ck's replica record on tier and releases its cache
+// reservation (if any), waking blocked reservations.
+func (c *Client) dropReplica(ck *checkpoint, tier Tier) {
+	c.mu.Lock()
+	delete(ck.replicas, tier)
+	if tier == TierHost {
+		c.releaseStagedLocked(ck)
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+	switch tier {
+	case TierHost:
+		c.hstC.Release(c.hostKey(ck.id))
+		c.hstC.Notify()
+	case TierGPU:
+		if !c.gpuC.Release(cachebuf.ID(ck.id)) && c.gpuP != nil {
+			c.gpuP.Release(cachebuf.ID(ck.id))
+		}
+		c.notifyGPU()
+	}
 }
 
 // markFlushed moves a tier's replica WRITE_COMPLETE → FLUSHED if it is

@@ -31,7 +31,11 @@ func (o *tierOracle) Evictable(id cachebuf.ID) bool {
 		return true
 	}
 	st := rep.fsm.State()
-	safe := ck.durableBelow(o.tier) || (ck.consumed && o.c.p.DiscardAfterRestore)
+	// flushAborted is the fail-open escape hatch: when every durable
+	// route failed, the replica is sacrificial — evicting it loses the
+	// checkpoint (Restore reports ErrLost) but keeps the cache live.
+	safe := ck.durableBelow(o.tier) || (ck.consumed && o.c.p.DiscardAfterRestore) ||
+		ck.flushAborted
 	if o.c.p.NoPinning && st == lifecycle.ReadComplete && safe {
 		// §4.1.3 ablation: without the unified life cycle, a
 		// prefetched-but-unconsumed replica may be thrashed out.
@@ -57,7 +61,7 @@ func (o *tierOracle) TimeToEvictable(id cachebuf.ID) (time.Duration, bool) {
 		o.c.mu.Unlock()
 		return 0, true
 	}
-	discardable := ck.consumed && o.c.p.DiscardAfterRestore
+	discardable := (ck.consumed && o.c.p.DiscardAfterRestore) || ck.flushAborted
 	durable := ck.durableBelow(o.tier)
 	size := ck.size
 	o.c.mu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"score/internal/cachebuf"
@@ -63,6 +64,14 @@ func (c *Client) prefetcher() {
 		ck.promoting = false
 		c.cond.Broadcast() // wake flag-waiters (restores of this ckpt)
 		if err != nil {
+			if errors.Is(err, ErrTierIO) || errors.Is(err, ErrLost) {
+				// Tier trouble is not fatal to the run: skip this hint.
+				// The on-demand restore retries with tier fallback and
+				// surfaces a definitive error if the data is truly gone.
+				c.q.advancePrefetch()
+				c.bumpLocked()
+				continue
+			}
 			c.mu.Unlock()
 			c.fail(fmt.Errorf("core: prefetch of %d: %w", id, err))
 			c.mu.Lock()
@@ -129,18 +138,43 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 	// tier that has the data directly into the application buffer.
 	c.mu.Lock()
 	onHost := ck.dataOn(TierHost)
-	onSSD := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
+	onDeep := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
 	c.mu.Unlock()
 	switch {
 	case onHost:
-		c.p.GPU.CopyH2D(ck.size)
-	case onSSD:
-		c.p.NVMe.Transfer(ck.size)
-		c.p.GPU.CopyH2D(ck.size)
+		if err := c.copyH2D(ck); err != nil {
+			return false, err
+		}
+	case onDeep:
+		if err := c.readDeep(ck); err != nil {
+			return false, err
+		}
+		if err := c.copyH2D(ck); err != nil {
+			return false, err
+		}
 	default:
-		return false, fmt.Errorf("core: checkpoint %d has no readable replica on any tier", ck.id)
+		return false, fmt.Errorf("%w: checkpoint %d has no readable replica on any tier%s",
+			ErrLost, ck.id, c.lostDetail(ck))
 	}
 	return true, nil
+}
+
+// copyH2D charges the PCIe hop toward the GPU with retries.
+func (c *Client) copyH2D(ck *checkpoint) error {
+	return c.retryIO("pcie", "H2D copy", func() error {
+		_, err := c.p.GPU.TryCopyH2D(ck.size)
+		return err
+	})
+}
+
+// lostDetail annotates an ErrLost with the aborted-flush cause, if any.
+func (c *Client) lostDetail(ck *checkpoint) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ck.flushAborted && ck.flushErr != nil {
+		return fmt.Sprintf(" (flush aborted: %v)", ck.flushErr)
+	}
+	return ""
 }
 
 // promoteToGPU moves ck's data to the GPU cache, staging through the host
@@ -178,7 +212,8 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 			if gpuRep != nil {
 				return false, nil // write in flight; retry after it lands
 			}
-			return false, fmt.Errorf("core: checkpoint %d lost: no replica holds data", ck.id)
+			return false, fmt.Errorf("%w: checkpoint %d: no replica holds data%s",
+				ErrLost, ck.id, c.lostDetail(ck))
 		}
 		ok, err := c.promoteSSDToHost(ck)
 		if err != nil || !ok {
@@ -224,9 +259,16 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 	hostRep := c.claimSource(ck, TierHost)
 
 	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
-	c.p.GPU.CopyH2D(ck.size)
-	gpuRep.fsm.MustTo(lifecycle.ReadComplete)
-	c.notifyGPU()
+	cpErr := c.copyH2D(ck)
+	if cpErr != nil {
+		// The upward copy kept failing: release the GPU reservation.
+		// The pinned host source keeps the data (Consumed is readable
+		// and, being durable below, evictable), so nothing is lost.
+		c.dropReplica(ck, TierGPU)
+	} else {
+		gpuRep.fsm.MustTo(lifecycle.ReadComplete)
+		c.notifyGPU()
+	}
 
 	if hostRep != nil {
 		if err := hostRep.fsm.To(lifecycle.Consumed); err == nil {
@@ -236,6 +278,9 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 	c.mu.Lock()
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if cpErr != nil {
+		return false, cpErr
+	}
 	return true, nil
 }
 
@@ -272,8 +317,17 @@ func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
 		}
 	}
 	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
-	c.p.NVMe.Transfer(ck.size)
-	c.p.GPU.CopyH2D(ck.size) // PCIe hop of the direct path
+	err = c.readDeep(ck)
+	if err == nil {
+		err = c.copyH2D(ck) // PCIe hop of the direct path
+	}
+	if err != nil {
+		c.dropReplica(ck, TierGPU)
+		c.mu.Lock()
+		c.bumpLocked()
+		c.mu.Unlock()
+		return false, err
+	}
 	gpuRep.fsm.MustTo(lifecycle.ReadComplete)
 	c.notifyGPU()
 	c.mu.Lock()
@@ -316,7 +370,16 @@ func (c *Client) promoteSSDToHost(ck *checkpoint) (ok bool, err error) {
 		}
 	}
 	hostRep.fsm.MustTo(lifecycle.ReadInProgress) // legal from Init and Consumed
-	c.p.NVMe.Transfer(ck.size)                   // SSD → host staging read
+	if err := c.readDeep(ck); err != nil {       // SSD → host staging read (PFS fallback)
+		c.mu.Lock()
+		if ck.replicas[TierHost] == hostRep {
+			delete(ck.replicas, TierHost)
+		}
+		c.mu.Unlock()
+		c.hstC.Release(c.hostKey(ck.id))
+		c.hstC.Notify()
+		return false, err
+	}
 	hostRep.fsm.MustTo(lifecycle.ReadComplete)
 	c.hstC.Notify()
 	c.mu.Lock()

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds the jittered exponential backoff applied to
+// transient tier-I/O failures (injected or real). Backoff sleeps run on
+// the client's clock, so virtual-time tests stay deterministic.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; it doubles each
+	// retry (with ±50% jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry sleep.
+	MaxBackoff time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.BaseBackoff <= 0 {
+		rp.BaseBackoff = 500 * time.Microsecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = 8 * time.Millisecond
+	}
+	return rp
+}
+
+// Robustness errors.
+var (
+	// ErrTierIO: a tier I/O operation kept failing through every retry.
+	// The pipeline degrades around it; only operations with no deeper
+	// tier to fall back to surface it to the application.
+	ErrTierIO = errors.New("core: tier I/O failed")
+	// ErrLost: no tier holds a readable copy of the checkpoint (its
+	// flush chain was aborted and the cache copy evicted, or every
+	// durable replica failed). Definitive — retrying cannot help.
+	ErrLost = errors.New("core: checkpoint lost")
+)
+
+// retryIO runs op under the client's retry policy: on failure it records
+// a retry against label ("pcie", "ssd", "pfs", ...), sleeps a jittered
+// exponential backoff on the simulated clock, and tries again, up to
+// MaxAttempts. The final error wraps both ErrTierIO and op's error.
+func (c *Client) retryIO(label, what string, op func() error) error {
+	policy := c.p.Retry
+	backoff := policy.BaseBackoff
+	var err error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.rec.Retry(label)
+			c.clk.Sleep(c.jitter(backoff))
+			backoff *= 2
+			if backoff > policy.MaxBackoff {
+				backoff = policy.MaxBackoff
+			}
+		}
+		if c.isClosed() {
+			return ErrClosed
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s %s (%d attempts): %w", ErrTierIO, label, what, policy.MaxAttempts, err)
+}
+
+// jitter spreads d over [0.5d, 1.5d) so concurrent retry loops decorrelate.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.rndMu.Lock()
+	f := 0.5 + c.rnd.Float64()
+	c.rndMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// degradeTier marks t persistently failed. Flush routing and the read
+// path consult this to skip the tier: a degraded SSD makes flushes route
+// host→PFS directly and reads prefer the PFS replica; a degraded host
+// makes D2H flushes stream GPU→SSD.
+func (c *Client) degradeTier(t Tier) {
+	c.mu.Lock()
+	already := c.degraded[t]
+	if !already {
+		c.degraded[t] = true
+		c.bumpLocked()
+	}
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.rec.Degradation(t.String())
+	c.notifyGPU()
+	c.hstC.Notify()
+}
+
+// tierDegraded reports whether t has been marked degraded.
+func (c *Client) tierDegraded(t Tier) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded[t]
+}
+
+// DegradedTiers is the client's health view: the tiers marked
+// persistently failed, in fast-to-slow order. Empty means healthy.
+func (c *Client) DegradedTiers() []Tier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Tier
+	for t := TierGPU; t <= TierPFS; t++ {
+		if c.degraded[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// readDeep charges a verified read of ck's bytes from the fastest
+// below-host tier holding data. A persistently failing SSD read falls
+// back to the PFS replica (degrading the SSD tier); a checkpoint with no
+// readable deep replica is definitively lost.
+func (c *Client) readDeep(ck *checkpoint) error {
+	c.mu.Lock()
+	onSSD := ck.dataOn(TierSSD)
+	onPFS := ck.dataOn(TierPFS)
+	c.mu.Unlock()
+
+	if onSSD && (!c.tierDegraded(TierSSD) || !onPFS) {
+		err := c.retryIO("ssd", "NVMe read", func() error {
+			_, err := c.p.NVMe.TryTransfer(ck.size)
+			return err
+		})
+		if err == nil {
+			return nil
+		}
+		if !onPFS {
+			return err
+		}
+		c.degradeTier(TierSSD)
+	}
+	if onPFS {
+		if onSSD {
+			c.rec.FallbackRead()
+		}
+		return c.retryIO("pfs", "PFS read", func() error {
+			_, err := c.p.PFS.TryTransfer(ck.size)
+			return err
+		})
+	}
+	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"score/internal/cachebuf"
@@ -58,7 +59,7 @@ func (c *Client) hostStager() {
 		} else {
 			c.cond.Broadcast() // wake flag-waiters only
 		}
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrTierIO) && !errors.Is(err, ErrLost) {
 			c.mu.Unlock()
 			c.fail(err)
 			c.mu.Lock()
@@ -184,7 +185,18 @@ func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
 		}
 	}
 	hostRep.fsm.MustTo(lifecycle.ReadInProgress)
-	c.p.NVMe.Transfer(ck.size)
+	if err := c.readDeep(ck); err != nil {
+		// Tier I/O trouble: undo the reservation; the on-demand path
+		// (with its own fallback) owns this checkpoint from here.
+		c.mu.Lock()
+		if ck.replicas[TierHost] == hostRep {
+			delete(ck.replicas, TierHost)
+		}
+		c.mu.Unlock()
+		c.hstC.Release(c.hostKey(ck.id))
+		c.hstC.Notify()
+		return false, err
+	}
 	hostRep.fsm.MustTo(lifecycle.ReadComplete)
 	c.hstC.Notify()
 	return true, nil

@@ -21,6 +21,7 @@ import (
 	"score/internal/device"
 	"score/internal/fabric"
 	"score/internal/lifecycle"
+	"score/internal/metrics"
 	"score/internal/payload"
 	"score/internal/simclock"
 	"score/internal/trace"
@@ -151,6 +152,19 @@ type Params struct {
 	// store holds — the VELOC-style restart-after-failure capability.
 	// Virtual (size-only) payloads are simulated as before.
 	Store *ckptstore.Store
+	// PFSStore, when set, makes the PFS tier durable the same way:
+	// flushes that reach the PFS persist real payload bytes there, New
+	// recovers from it, and a failed or corrupt SSD read transparently
+	// falls back to it (re-populating the SSD copy on success). Requires
+	// the PFS link.
+	PFSStore *ckptstore.Store
+
+	// Retry tunes the exponential-backoff retry applied to transient
+	// tier-I/O failures; zero fields take the defaults.
+	Retry RetryPolicy
+	// FaultSeed seeds the retry jitter (and any other client-local
+	// randomness) so fault-injection runs replay deterministically.
+	FaultSeed int64
 }
 
 // withDefaults fills unset sizes with the paper's §5.3.4 configuration.
@@ -161,6 +175,7 @@ func (p Params) withDefaults() Params {
 	if p.HostCacheSize == 0 {
 		p.HostCacheSize = 32 * fabric.GB
 	}
+	p.Retry = p.Retry.withDefaults()
 	return p
 }
 
@@ -174,6 +189,8 @@ func (p Params) validate() error {
 		return errors.New("core: Params.NVMe is required")
 	case p.PersistToPFS && p.PFS == nil:
 		return errors.New("core: Params.PFS required when PersistToPFS is set")
+	case p.PFSStore != nil && p.PFS == nil:
+		return errors.New("core: Params.PFS required when PFSStore is set")
 	case p.GPUCacheSize <= 0 || p.HostCacheSize <= 0:
 		return errors.New("core: cache sizes must be positive")
 	}
@@ -212,6 +229,13 @@ type checkpoint struct {
 	enqueuedD2H,
 	enqueuedH2F bool
 	writtenAt time.Duration
+
+	// flushAborted: every durable route failed; the cache replica was
+	// released from pinning (fail-open) and the checkpoint may be lost
+	// if it is evicted before being restored. Restore then reports
+	// ErrLost definitively instead of hanging the cache.
+	flushAborted bool
+	flushErr     error // the failure that aborted the flush (diagnostics)
 }
 
 // dataOn reports whether the checkpoint has a readable replica on tier.
@@ -232,12 +256,17 @@ func (ck *checkpoint) durableBelow(t Tier) bool {
 	return false
 }
 
-// storePayload is a lazily loaded payload backed by the durable store,
-// used for checkpoints recovered after a restart.
+// storePayload is a lazily loaded payload backed by the durable stores,
+// used for checkpoints recovered after a restart. The load is verified
+// (the store's CRC layer) and tier-aware: the SSD store is preferred,
+// and a failed or corrupt SSD read falls back to the PFS store,
+// re-populating the SSD copy on success.
 type storePayload struct {
-	store *ckptstore.Store
-	id    int64
-	size  int64
+	ssd  *ckptstore.Store // may be nil (PFS-only recovery)
+	pfs  *ckptstore.Store // may be nil (SSD-only recovery)
+	rec  *metrics.Recorder
+	id   int64
+	size int64
 
 	once sync.Once
 	data []byte
@@ -245,7 +274,38 @@ type storePayload struct {
 }
 
 func (p *storePayload) load() {
-	p.once.Do(func() { p.data, p.err = p.store.Get(p.id) })
+	p.once.Do(func() {
+		ssdErr := ckptstore.ErrNotFound
+		if p.ssd != nil && p.ssd.Has(p.id) {
+			p.data, ssdErr = p.ssd.Get(p.id)
+			if ssdErr == nil {
+				return
+			}
+			p.data = nil
+		}
+		if p.pfs == nil || !p.pfs.Has(p.id) {
+			p.err = ssdErr
+			return
+		}
+		if p.ssd != nil && p.rec != nil {
+			// The faster durable tier failed (or never had the bytes);
+			// the read is served from the PFS.
+			p.rec.FallbackRead()
+		}
+		data, err := p.pfs.Get(p.id)
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.data = data
+		if p.ssd != nil {
+			// Repair the faster tier so later reads and future restarts
+			// find the checkpoint locally again.
+			if rerr := p.ssd.Restage(p.id, data); rerr == nil && p.rec != nil {
+				p.rec.Repopulation()
+			}
+		}
+	})
 }
 
 // Size implements payload.Payload.
@@ -260,7 +320,7 @@ func (p *storePayload) Checksum() uint64 {
 	return payload.NewReal(p.data).Checksum()
 }
 
-// Bytes implements payload.Payload; nil if the durable read failed (the
+// Bytes implements payload.Payload; nil if every durable read failed (the
 // caller's checksum verification will then fail loudly).
 func (p *storePayload) Bytes() []byte {
 	p.load()
@@ -268,4 +328,12 @@ func (p *storePayload) Bytes() []byte {
 		return nil
 	}
 	return p.data
+}
+
+// LoadErr forces the load and returns the durable-read error, if any —
+// the definitive signal callers need to distinguish "no bytes" from
+// "read failed".
+func (p *storePayload) LoadErr() error {
+	p.load()
+	return p.err
 }

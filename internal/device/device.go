@@ -45,8 +45,9 @@ type GPU struct {
 	d2d  *fabric.Link
 	pcie *fabric.Link
 
-	mu   sync.Mutex
-	used int64
+	mu        sync.Mutex
+	used      int64
+	allocIcpt fabric.TransferInterceptor
 }
 
 // NewGPU creates GPU id with hbmCapacity bytes of device memory attached
@@ -112,6 +113,15 @@ func (g *GPU) FreeDevice(size int64) {
 	}
 }
 
+// SetAllocInterceptor installs a fault-injection interceptor on pinned
+// host allocation. Allocation pressure slows registration (Delay and
+// BandwidthScale) but never fails it — a FaultDecision.Err is ignored.
+func (g *GPU) SetAllocInterceptor(f fabric.TransferInterceptor) {
+	g.mu.Lock()
+	g.allocIcpt = f
+	g.mu.Unlock()
+}
+
 // AllocPinnedHost charges the simulated time to allocate and register size
 // bytes of pinned host memory. (Host capacity bookkeeping is the
 // runtime's responsibility; this models only the registration cost that
@@ -120,7 +130,20 @@ func (g *GPU) AllocPinnedHost(size int64) {
 	if size <= 0 {
 		return
 	}
-	g.clk.Sleep(allocDuration(size, g.costs.PinnedHostBytesPerSec))
+	g.mu.Lock()
+	icpt := g.allocIcpt
+	g.mu.Unlock()
+	rate := g.costs.PinnedHostBytesPerSec
+	if icpt != nil {
+		fd := icpt("host-alloc", size)
+		if fd.Delay > 0 {
+			g.clk.Sleep(fd.Delay)
+		}
+		if fd.BandwidthScale > 0 && fd.BandwidthScale < 1 {
+			rate *= fd.BandwidthScale
+		}
+	}
+	g.clk.Sleep(allocDuration(size, rate))
 }
 
 // CopyD2D moves size bytes within device memory (e.g. application buffer
@@ -132,6 +155,12 @@ func (g *GPU) CopyD2H(size int64) time.Duration { return g.pcie.Transfer(size) }
 
 // CopyH2D moves size bytes from host to device over PCIe.
 func (g *GPU) CopyH2D(size int64) time.Duration { return g.pcie.Transfer(size) }
+
+// TryCopyD2H is CopyD2H with injected PCIe faults surfaced.
+func (g *GPU) TryCopyD2H(size int64) (time.Duration, error) { return g.pcie.TryTransfer(size) }
+
+// TryCopyH2D is CopyH2D with injected PCIe faults surfaced.
+func (g *GPU) TryCopyH2D(size int64) (time.Duration, error) { return g.pcie.TryTransfer(size) }
 
 // D2DLink returns the device's D2D link (used for eviction-time
 // estimates).

@@ -27,6 +27,25 @@ import (
 // GB is one gigabyte in bytes, the natural unit for link bandwidths.
 const GB = 1 << 30
 
+// FaultDecision is an interceptor's verdict for one transfer. The zero
+// value lets the transfer proceed untouched.
+type FaultDecision struct {
+	// Err fails the transfer after latency and Delay are charged; no
+	// bytes move.
+	Err error
+	// Delay is extra latency charged before the transfer (or failure).
+	Delay time.Duration
+	// BandwidthScale, when in (0,1), degrades this transfer's effective
+	// bandwidth — the link behaves as if the payload were 1/scale times
+	// larger, which also loads concurrent transfers realistically.
+	BandwidthScale float64
+}
+
+// A TransferInterceptor is consulted once per transfer with the link name
+// and payload size. It exists for fault injection; production paths leave
+// it nil and pay no cost beyond a nil check.
+type TransferInterceptor func(link string, size int64) FaultDecision
+
 // A Link is a shared communication resource with a fixed total bandwidth
 // (bytes per simulated second) and a fixed per-transfer latency. Bandwidth
 // is divided evenly among concurrent transfers (max-min fair share).
@@ -36,10 +55,11 @@ type Link struct {
 	bw      float64 // bytes per simulated second
 	latency time.Duration
 
-	mu         sync.Mutex
-	cond       simclock.Cond
-	active     map[*transfer]struct{}
-	lastSettle time.Duration
+	mu          sync.Mutex
+	cond        simclock.Cond
+	active      map[*transfer]struct{}
+	lastSettle  time.Duration
+	interceptor TransferInterceptor
 
 	// Statistics, guarded by mu.
 	totalBytes     int64
@@ -75,19 +95,61 @@ func (l *Link) Name() string { return l.name }
 // second.
 func (l *Link) Bandwidth() float64 { return l.bw }
 
+// SetInterceptor installs (or, with nil, removes) the fault-injection
+// interceptor consulted by every subsequent transfer.
+func (l *Link) SetInterceptor(f TransferInterceptor) {
+	l.mu.Lock()
+	l.interceptor = f
+	l.mu.Unlock()
+}
+
 // Transfer moves size bytes across the link, blocking the calling task for
 // the simulated duration, which depends on concurrent load. It returns the
 // simulated time the transfer took (including latency). Transfers of
 // non-positive size complete immediately.
+//
+// An installed interceptor can fail the transfer; Transfer discards that
+// error for callers predating fault injection — fault-aware paths use
+// TryTransfer.
 func (l *Link) Transfer(size int64) time.Duration {
+	d, _ := l.TryTransfer(size)
+	return d
+}
+
+// TryTransfer is Transfer with the interceptor's verdict surfaced: on an
+// injected failure it returns the simulated time consumed (latency plus
+// any injected delay) and a non-nil error, and no bytes move.
+func (l *Link) TryTransfer(size int64) (time.Duration, error) {
 	if size <= 0 {
-		return 0
+		return 0, nil
 	}
 	start := l.clk.Now()
+
+	l.mu.Lock()
+	icpt := l.interceptor
+	l.mu.Unlock()
+	var fd FaultDecision
+	if icpt != nil {
+		fd = icpt(l.name, size)
+	}
+
 	if l.latency > 0 {
 		l.clk.Sleep(l.latency)
 	}
-	t := &transfer{remaining: float64(size)}
+	if fd.Delay > 0 {
+		l.clk.Sleep(fd.Delay)
+	}
+	if fd.Err != nil {
+		return l.clk.Now() - start, fmt.Errorf("fabric: link %q: %w", l.name, fd.Err)
+	}
+	effective := float64(size)
+	if fd.BandwidthScale > 0 && fd.BandwidthScale < 1 {
+		// Degraded bandwidth: moving the bytes takes 1/scale as long, and
+		// the extra occupancy slows sharers exactly as real contention
+		// would.
+		effective /= fd.BandwidthScale
+	}
+	t := &transfer{remaining: effective}
 
 	l.mu.Lock()
 	l.settleLocked()
@@ -112,7 +174,7 @@ func (l *Link) Transfer(size int64) time.Duration {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 
-	return l.clk.Now() - start
+	return l.clk.Now() - start, nil
 }
 
 // Estimate predicts how long transferring size bytes would take if it
@@ -194,6 +256,20 @@ func (p Path) Transfer(size int64) time.Duration {
 		total += l.Transfer(size)
 	}
 	return total
+}
+
+// TryTransfer moves size bytes hop by hop, stopping at the first hop that
+// fails. It returns the simulated time consumed either way.
+func (p Path) TryTransfer(size int64) (time.Duration, error) {
+	var total time.Duration
+	for _, l := range p {
+		d, err := l.TryTransfer(size)
+		total += d
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Estimate sums the per-hop estimates for size bytes.

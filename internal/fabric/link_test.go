@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -281,3 +282,77 @@ func absDur(d time.Duration) time.Duration {
 }
 
 var _ = math.MaxInt64 // keep math import when assertions change
+
+func TestInterceptorFailsTransfer(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		l := NewLink(clk, "nvme", 1*GB, 10*time.Millisecond)
+		boom := errors.New("link down")
+		calls := 0
+		l.SetInterceptor(func(link string, size int64) FaultDecision {
+			calls++
+			if link != "nvme" || size != 1*GB {
+				t.Errorf("interceptor saw (%q, %d)", link, size)
+			}
+			return FaultDecision{Err: boom}
+		})
+		d, err := l.TryTransfer(1 * GB)
+		if !errors.Is(err, boom) {
+			t.Fatalf("TryTransfer = %v, want wrapped link-down", err)
+		}
+		// Latency is charged, bandwidth is not: a failed transfer must not
+		// take transfer time or leave residue in the active set.
+		if absDur(d-10*time.Millisecond) > time.Millisecond {
+			t.Errorf("failed transfer consumed %v, want ~latency", d)
+		}
+		if l.InFlight() != 0 {
+			t.Error("failed transfer left the link busy")
+		}
+		if calls != 1 {
+			t.Errorf("interceptor called %d times", calls)
+		}
+		// Legacy Transfer swallows the error but still charges only latency.
+		if d := l.Transfer(1 * GB); absDur(d-10*time.Millisecond) > time.Millisecond {
+			t.Errorf("legacy Transfer under fault took %v", d)
+		}
+		l.SetInterceptor(nil)
+		if _, err := l.TryTransfer(1 * GB); err != nil {
+			t.Errorf("after removing interceptor: %v", err)
+		}
+	})
+}
+
+func TestInterceptorScaleSlowsTransfer(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		l := NewLink(clk, "pcie", 1*GB, 0)
+		l.SetInterceptor(func(string, int64) FaultDecision {
+			return FaultDecision{BandwidthScale: 0.1}
+		})
+		d, err := l.TryTransfer(1 * GB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := d, 10*time.Second; absDur(got-want) > 10*time.Millisecond {
+			t.Errorf("10%%-scaled 1GB took %v, want ~%v", got, want)
+		}
+	})
+}
+
+func TestInterceptorDelayAdds(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		l := NewLink(clk, "pcie", 1*GB, 0)
+		l.SetInterceptor(func(string, int64) FaultDecision {
+			return FaultDecision{Delay: 250 * time.Millisecond}
+		})
+		d, err := l.TryTransfer(1 * GB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := time.Second + 250*time.Millisecond
+		if absDur(d-want) > time.Millisecond {
+			t.Errorf("delayed transfer took %v, want ~%v", d, want)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"score/internal/simclock"
+)
+
+func TestFailNth(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, FailNth(SiteStoreWrite, 3))
+		for i := 1; i <= 5; i++ {
+			d := in.Decide(SiteStoreWrite, int64(i), 1024)
+			if (i == 3) != (d.Err != nil) {
+				t.Errorf("op %d: err=%v", i, d.Err)
+			}
+			if d.Err != nil && !errors.Is(d.Err, ErrInjected) {
+				t.Errorf("op %d: error does not wrap ErrInjected: %v", i, d.Err)
+			}
+		}
+		if got := in.Injected(); got != 1 {
+			t.Errorf("Injected() = %d, want 1", got)
+		}
+		if got := in.InjectedAt(SiteStoreWrite); got != 1 {
+			t.Errorf("InjectedAt(store-write) = %d, want 1", got)
+		}
+		if got := in.Ops(SiteStoreWrite); got != 5 {
+			t.Errorf("Ops(store-write) = %d, want 5", got)
+		}
+	})
+}
+
+func TestTimeWindow(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, FailWindow(SiteNVMe, 10*time.Millisecond, 20*time.Millisecond))
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err != nil {
+			t.Error("fired before window")
+		}
+		clk.Sleep(15 * time.Millisecond)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err == nil {
+			t.Error("did not fire inside window")
+		}
+		clk.Sleep(10 * time.Millisecond)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err != nil {
+			t.Error("fired after window")
+		}
+	})
+}
+
+func TestFailAfterIsPersistent(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, FailAfter(SitePFS, 5*time.Millisecond))
+		if d := in.Decide(SitePFS, -1, 1); d.Err != nil {
+			t.Error("fired before After")
+		}
+		clk.Sleep(5 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			if d := in.Decide(SitePFS, -1, 1); d.Err == nil {
+				t.Errorf("op %d after outage start did not fail", i)
+			}
+			clk.Sleep(time.Millisecond)
+		}
+	})
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		var out []bool
+		clk := simclock.NewVirtual()
+		clk.Run(func() {
+			in := New(clk, seed, FailProb(SiteNVMe, 0.5))
+			for i := 0; i < 64; i++ {
+				out = append(out, in.Decide(SiteNVMe, -1, 1).Err != nil)
+			}
+		})
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("p=0.5 over 64 ops fired %d times", fails)
+	}
+}
+
+func TestIDMatching(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, CorruptID(SiteStoreRead, 7))
+		if d := in.Decide(SiteStoreRead, 6, 1); d.Corrupt {
+			t.Error("corrupted wrong id")
+		}
+		if d := in.Decide(SiteStoreRead, 7, 1); !d.Corrupt {
+			t.Error("did not corrupt target id")
+		}
+		// Link transfers carry no id; id-scoped rules must not match.
+		if d := in.Decide(SiteStoreRead, -1, 1); d.Corrupt {
+			t.Error("id-scoped rule matched id-less operation")
+		}
+	})
+}
+
+func TestSlowAndDelayCompose(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1,
+			Slow(SitePCIe, 0.1, 0, 0),
+			Delay(SiteHostAlloc, 3*time.Millisecond, 0, 0),
+		)
+		d := in.Decide(SitePCIe, -1, 1<<20)
+		if d.Scale != 0.1 {
+			t.Errorf("Scale = %v, want 0.1", d.Scale)
+		}
+		if d.Err != nil || d.Corrupt {
+			t.Error("slow rule must not fail or corrupt")
+		}
+		a := in.Decide(SiteHostAlloc, -1, 1<<20)
+		if a.Delay != 3*time.Millisecond {
+			t.Errorf("Delay = %v, want 3ms", a.Delay)
+		}
+	})
+}
+
+func TestCountCap(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		r := FailProb(SiteNVMe, 1.0)
+		r.Count = 2
+		in := New(clk, 1, r)
+		fails := 0
+		for i := 0; i < 5; i++ {
+			if in.Decide(SiteNVMe, -1, 1).Err != nil {
+				fails++
+			}
+		}
+		if fails != 2 {
+			t.Errorf("Count=2 rule fired %d times", fails)
+		}
+	})
+}
+
+func TestFailWinsOverSlow(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1,
+			Slow(SiteNVMe, 0.5, 0, 0),
+			FailNth(SiteNVMe, 1),
+		)
+		d := in.Decide(SiteNVMe, -1, 1)
+		if d.Err == nil {
+			t.Error("fail rule did not fire")
+		}
+		if d.Scale != 0.5 {
+			t.Error("slow rule result dropped; hooks decide precedence")
+		}
+	})
+}

@@ -29,6 +29,14 @@ type Recorder struct {
 	prefetchDist   []int
 	evictionWait   time.Duration
 	deviationReads int64 // restores that deviated from the hint order
+
+	// Robustness counters (fault injection / degradation).
+	retries       map[string]int64 // tier name -> retried I/O attempts
+	degradations  map[string]int64 // tier name -> times marked degraded
+	fallbackReads int64            // reads served from a deeper tier after a faster one failed
+	repopulations int64            // lost/corrupt replicas re-staged into a faster tier
+	flushAborts   int64            // flush chains abandoned after exhausting every route
+	syncFlushes   int64            // checkpoints that fell back to synchronous flush (§2 cond. 4)
 }
 
 // SeriesPoint is one restore operation's measurement.
@@ -87,6 +95,58 @@ func (r *Recorder) Deviation() {
 	r.deviationReads++
 }
 
+// Retry records one retried I/O attempt against the named tier.
+func (r *Recorder) Retry(tier string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.retries == nil {
+		r.retries = map[string]int64{}
+	}
+	r.retries[tier]++
+}
+
+// Degradation records the named tier being marked degraded.
+func (r *Recorder) Degradation(tier string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.degradations == nil {
+		r.degradations = map[string]int64{}
+	}
+	r.degradations[tier]++
+}
+
+// FallbackRead records a read served from a deeper tier after a faster
+// tier's replica failed or was missing.
+func (r *Recorder) FallbackRead() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallbackReads++
+}
+
+// Repopulation records a replica re-staged into a faster tier after a
+// fallback read recovered the bytes.
+func (r *Recorder) Repopulation() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.repopulations++
+}
+
+// FlushAbort records a flush chain abandoned after exhausting every
+// durable route.
+func (r *Recorder) FlushAbort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushAborts++
+}
+
+// SyncFlush records a checkpoint that bypassed the GPU cache via the
+// synchronous-flush fallback.
+func (r *Recorder) SyncFlush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncFlushes++
+}
+
 // Summary is an immutable snapshot of a Recorder.
 type Summary struct {
 	CheckpointBytes   int64
@@ -98,6 +158,32 @@ type Summary struct {
 	RestoreSeries     []SeriesPoint
 	EvictionWait      time.Duration
 	DeviationReads    int64
+
+	// Robustness counters.
+	Retries       map[string]int64
+	Degradations  map[string]int64
+	FallbackReads int64
+	Repopulations int64
+	FlushAborts   int64
+	SyncFlushes   int64
+}
+
+// TotalRetries sums retried I/O attempts across tiers.
+func (s Summary) TotalRetries() int64 {
+	var t int64
+	for _, n := range s.Retries {
+		t += n
+	}
+	return t
+}
+
+// TotalDegradations sums degradation events across tiers.
+func (s Summary) TotalDegradations() int64 {
+	var t int64
+	for _, n := range s.Degradations {
+		t += n
+	}
+	return t
 }
 
 // Snapshot returns the current totals.
@@ -116,7 +202,24 @@ func (r *Recorder) Snapshot() Summary {
 		RestoreSeries:     series,
 		EvictionWait:      r.evictionWait,
 		DeviationReads:    r.deviationReads,
+		Retries:           copyCounts(r.retries),
+		Degradations:      copyCounts(r.degradations),
+		FallbackReads:     r.fallbackReads,
+		Repopulations:     r.repopulations,
+		FlushAborts:       r.flushAborts,
+		SyncFlushes:       r.syncFlushes,
 	}
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // CheckpointThroughput returns application-observed write throughput in
@@ -166,6 +269,22 @@ func Merge(parts ...Summary) Summary {
 		out.EvictionWait += p.EvictionWait
 		out.DeviationReads += p.DeviationReads
 		out.RestoreSeries = append(out.RestoreSeries, p.RestoreSeries...)
+		out.FallbackReads += p.FallbackReads
+		out.Repopulations += p.Repopulations
+		out.FlushAborts += p.FlushAborts
+		out.SyncFlushes += p.SyncFlushes
+		for k, v := range p.Retries {
+			if out.Retries == nil {
+				out.Retries = map[string]int64{}
+			}
+			out.Retries[k] += v
+		}
+		for k, v := range p.Degradations {
+			if out.Degradations == nil {
+				out.Degradations = map[string]int64{}
+			}
+			out.Degradations[k] += v
+		}
 	}
 	sort.SliceStable(out.RestoreSeries, func(i, j int) bool {
 		return out.RestoreSeries[i].Iteration < out.RestoreSeries[j].Iteration

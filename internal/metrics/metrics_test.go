@@ -118,3 +118,55 @@ func TestMergePreservesTotalsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRobustnessCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Retry("ssd")
+	r.Retry("ssd")
+	r.Retry("pfs")
+	r.Degradation("ssd")
+	r.FallbackRead()
+	r.FallbackRead()
+	r.Repopulation()
+	r.FlushAbort()
+	r.SyncFlush()
+	s := r.Snapshot()
+	if s.Retries["ssd"] != 2 || s.Retries["pfs"] != 1 || s.TotalRetries() != 3 {
+		t.Errorf("Retries = %v", s.Retries)
+	}
+	if s.Degradations["ssd"] != 1 || s.TotalDegradations() != 1 {
+		t.Errorf("Degradations = %v", s.Degradations)
+	}
+	if s.FallbackReads != 2 || s.Repopulations != 1 || s.FlushAborts != 1 || s.SyncFlushes != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	// Snapshot must be a deep copy: mutating the recorder afterwards
+	// must not change an earlier summary.
+	r.Retry("ssd")
+	if s.Retries["ssd"] != 2 {
+		t.Error("Snapshot shares the retries map with the recorder")
+	}
+}
+
+func TestMergeRobustnessCounters(t *testing.T) {
+	a := Summary{
+		Retries:       map[string]int64{"ssd": 2},
+		Degradations:  map[string]int64{"ssd": 1},
+		FallbackReads: 1, Repopulations: 1, FlushAborts: 1, SyncFlushes: 2,
+	}
+	b := Summary{
+		Retries:      map[string]int64{"ssd": 1, "pfs": 4},
+		Degradations: map[string]int64{"host": 1},
+		FallbackReads: 2,
+	}
+	m := Merge(a, b)
+	if m.Retries["ssd"] != 3 || m.Retries["pfs"] != 4 {
+		t.Errorf("merged Retries = %v", m.Retries)
+	}
+	if m.Degradations["ssd"] != 1 || m.Degradations["host"] != 1 {
+		t.Errorf("merged Degradations = %v", m.Degradations)
+	}
+	if m.FallbackReads != 3 || m.Repopulations != 1 || m.FlushAborts != 1 || m.SyncFlushes != 2 {
+		t.Errorf("merged counters = %+v", m)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"score/internal/ckptstore"
 	"score/internal/core"
 	"score/internal/device"
 	"score/internal/fabric"
+	"score/internal/faultinject"
 	"score/internal/predict"
 	"score/internal/simclock"
 	"score/internal/trace"
@@ -198,6 +200,68 @@ func (s *Sim) Nodes() int { return s.cfg.nodes }
 // GPUsPerNode returns the per-node GPU count.
 func (s *Sim) GPUsPerNode() int { return s.cfg.node.GPUs }
 
+// NewFaultInjector builds a deterministic, seedable fault injector on the
+// simulation's clock. Attach it to clients with WithFaultInjector; the
+// same seed and rules replay the identical fault schedule under the
+// virtual clock.
+func (s *Sim) NewFaultInjector(seed int64, rules ...faultinject.Rule) *faultinject.Injector {
+	return faultinject.New(s.clock(), seed, rules...)
+}
+
+// linkInterceptor adapts the injector's verdicts to a fabric link (or the
+// GPU's host-allocation engine, which reuses the same shape).
+func linkInterceptor(inj *faultinject.Injector, site faultinject.Site) fabric.TransferInterceptor {
+	return func(_ string, size int64) fabric.FaultDecision {
+		d := inj.Decide(site, -1, size)
+		return fabric.FaultDecision{Err: d.Err, Delay: d.Delay, BandwidthScale: d.Scale}
+	}
+}
+
+// storeFaults adapts the injector to a durable store's read/write paths.
+type storeFaults struct {
+	inj         *faultinject.Injector
+	write, read faultinject.Site
+}
+
+func (h storeFaults) BeforeWrite(id int64, size int) error {
+	return h.inj.Decide(h.write, id, int64(size)).Err
+}
+
+func (h storeFaults) OnRead(id int64, raw []byte) ([]byte, error) {
+	d := h.inj.Decide(h.read, id, int64(len(raw)))
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if d.Corrupt && len(raw) > 0 {
+		// Silent bit-flip mid-file: the store's CRC layer must catch it.
+		out := make([]byte, len(raw))
+		copy(out, raw)
+		out[len(out)/2] ^= 0x40
+		return out, nil
+	}
+	return raw, nil
+}
+
+// openStore opens (and optionally scrubs) one durable store directory.
+func openStore(dir string, scrub bool) (*ckptstore.Store, []int64, error) {
+	st, corrupt, err := ckptstore.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if scrub {
+		q, err := st.Scrub()
+		if err != nil {
+			return nil, nil, fmt.Errorf("score: scrubbing %s: %w", dir, err)
+		}
+		return st, q, nil
+	}
+	if len(corrupt) > 0 {
+		return nil, nil, fmt.Errorf("score: store %s holds %d corrupt checkpoint(s): %v",
+			dir, len(corrupt), corrupt[0])
+	}
+	return st, nil, nil
+}
+
 // NewClient creates the Score runtime for the process pinned to the given
 // node and GPU. Call inside Run.
 func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
@@ -226,17 +290,38 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 			s.shared[node] = sharedPool
 		}
 	}
-	var store *ckptstore.Store
+	var store, pfsStore *ckptstore.Store
+	var quarantined []int64
 	if cc.storeDir != "" {
-		st, corrupt, err := ckptstore.Open(cc.storeDir)
+		st, q, err := openStore(cc.storeDir, cc.scrubOnOpen)
 		if err != nil {
 			return nil, err
 		}
-		if len(corrupt) > 0 {
-			return nil, fmt.Errorf("score: store %s holds %d corrupt checkpoint(s): %v",
-				cc.storeDir, len(corrupt), corrupt[0])
+		store, quarantined = st, append(quarantined, q...)
+	}
+	if cc.pfsStoreDir != "" {
+		st, q, err := openStore(cc.pfsStoreDir, cc.scrubOnOpen)
+		if err != nil {
+			return nil, err
 		}
-		store = st
+		pfsStore, quarantined = st, append(quarantined, q...)
+	}
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i] < quarantined[j] })
+	var faultSeed int64
+	if inj := cc.injector; inj != nil {
+		faultSeed = inj.Seed()
+		pcie.SetInterceptor(linkInterceptor(inj, faultinject.SitePCIe))
+		// NVMe and PFS are node-shared links: the interceptor affects
+		// every client on the node (see WithFaultInjector).
+		n.NVMe.SetInterceptor(linkInterceptor(inj, faultinject.SiteNVMe))
+		n.PFS.SetInterceptor(linkInterceptor(inj, faultinject.SitePFS))
+		dev.SetAllocInterceptor(linkInterceptor(inj, faultinject.SiteHostAlloc))
+		if store != nil {
+			store.SetFaultHook(storeFaults{inj, faultinject.SiteStoreWrite, faultinject.SiteStoreRead})
+		}
+		if pfsStore != nil {
+			pfsStore.SetFaultHook(storeFaults{inj, faultinject.SitePFSStoreWrite, faultinject.SitePFSStoreRead})
+		}
 	}
 	client, err := core.New(core.Params{
 		Clock:               s.clock(),
@@ -250,6 +335,8 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		AutoStartPrefetch:   cc.autoPrefetch,
 		AsyncHostInit:       cc.asyncHostInit,
 		Store:               store,
+		PFSStore:            pfsStore,
+		FaultSeed:           faultSeed,
 		Tracer:              s.tracer,
 		SharedHost:          sharedPool,
 		GPUDirectStorage:    cc.gpuDirect,
@@ -257,7 +344,7 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Client{inner: client, dev: dev, clk: s.clock()}
+	out := &Client{inner: client, dev: dev, clk: s.clock(), quarantined: quarantined}
 	if cc.autoHints {
 		p, err := predict.New(
 			predict.HinterFunc(func(v int64) { client.PrefetchEnqueue(core.ID(v)) }),
