@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench clean
+.PHONY: verify build test vet race chaos bench bench-smoke clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -25,6 +25,13 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke runs the chunked-vs-monolithic transfer-pipelining ablation
+# once and fails if chunked regresses below the monolithic baseline
+# (DESIGN.md §9).
+bench-smoke:
+	$(GO) test -run TestChunkedPipelineSmoke -v .
+	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
 
 clean:
 	$(GO) clean ./...

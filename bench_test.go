@@ -413,3 +413,30 @@ func BenchmarkExtensionGPUDirect(b *testing.B) {
 	b.Run("host-staged", func(b *testing.B) { run(b, false) })
 	b.Run("gpudirect", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkAblationChunkedPipeline compares monolithic store-and-forward
+// transfers against chunked multi-stream pipelining (§4.3) on the
+// GPUDirect shot, where every flush and every promotion crosses two hops
+// (PCIe + NVMe) and so benefits from chunk-level overlap end to end.
+func BenchmarkAblationChunkedPipeline(b *testing.B) {
+	run := func(b *testing.B, chunk int64) {
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.ShotConfig{
+				Uniform: true, WaitForFlush: true, Order: rtm.Reverse,
+				Combo:     experiments.Combo{Approach: experiments.Score, Hints: experiments.AllHints},
+				GPUDirect: true,
+			}
+			benchScale().Apply(&cfg)
+			cfg.ChunkSize = chunk
+			res, err := experiments.RunShot(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MeanCheckpointThroughput()/mb, "ckpt-MB/s")
+			b.ReportMetric(res.MeanRestoreThroughput()/mb, "restore-MB/s")
+			b.ReportMetric(res.TotalIOWait().Seconds(), "io-wait-s")
+		}
+	}
+	b.Run("monolithic", func(b *testing.B) { run(b, 0) })
+	b.Run("chunked", func(b *testing.B) { run(b, benchScale().UniformSize/8) })
+}

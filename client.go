@@ -27,6 +27,8 @@ type clientConfig struct {
 	scrubOnOpen   bool
 	autoHints     bool
 	gpuDirect     bool
+	chunkSize     int64
+	flushStreams  int
 	injector      *faultinject.Injector
 }
 
@@ -116,6 +118,25 @@ func WithPFSStore(dir string) ClientOption {
 // and, when a PFS store holds a good copy, remain restorable.
 func WithScrubOnOpen() ClientOption {
 	return func(c *clientConfig) { c.scrubOnOpen = true }
+}
+
+// WithChunkSize streams every multi-hop flush and promotion as a
+// pipeline of chunk-sized pieces with consecutive hops overlapped
+// (§4.3): chunk i moves on the second hop (e.g. NVMe) while chunk i+1
+// moves on the first (PCIe), so a GPU→SSD flush approaches
+// max(hop time) instead of the sum of hop times. Each stream holds one
+// of the GPU's copy engines for its duration. 0 (the default) keeps the
+// monolithic store-and-forward transfers.
+func WithChunkSize(bytes int64) ClientOption {
+	return func(c *clientConfig) { c.chunkSize = bytes }
+}
+
+// WithFlushStreams sets the worker count of each flusher stage pool
+// (T_D2H and T_H2F). The default (0) uses one worker per stage without
+// chunked streaming — the paper's single flusher thread per stage — and
+// the GPU's copy-engine count when WithChunkSize is enabled.
+func WithFlushStreams(n int) ClientOption {
+	return func(c *clientConfig) { c.flushStreams = n }
 }
 
 // WithFaultInjector attaches a fault-injection schedule (see
@@ -245,6 +266,12 @@ type Stats struct {
 	// SyncFlushes counts checkpoints that bypassed the GPU cache with a
 	// synchronous flush under device-memory pressure (§2 condition 4).
 	SyncFlushes int64
+	// PipelinedStreams counts chunked multi-hop transfer streams (always
+	// 0 without WithChunkSize).
+	PipelinedStreams int64
+	// PipelineOverlap is the total simulated transfer time hidden by
+	// pipelining chunks across consecutive hops.
+	PipelineOverlap time.Duration
 }
 
 // PredictedHints reports how many hints the auto-hint predictor has
@@ -285,6 +312,8 @@ func (c *Client) Stats() Stats {
 		Repopulations:        s.Repopulations,
 		FlushAborts:          s.FlushAborts,
 		SyncFlushes:          s.SyncFlushes,
+		PipelinedStreams:     s.PipelinedStreams,
+		PipelineOverlap:      s.PipelineOverlap(),
 	}
 }
 

@@ -73,9 +73,11 @@ func (c Config) validate() error {
 }
 
 // pcieCopy charges a pageable PCIe transfer of size bytes (D2H or H2D):
-// the link moves the efficiency-inflated volume.
-func (c *Client) pcieCopy(size int64) {
-	c.cfg.GPU.PCIeLink().Transfer(int64(float64(size) / c.cfg.PageableEfficiency))
+// the link moves the efficiency-inflated volume. An injected PCIe fault
+// surfaces as the returned error.
+func (c *Client) pcieCopy(size int64) error {
+	_, err := c.cfg.GPU.PCIeLink().TryTransfer(int64(float64(size) / c.cfg.PageableEfficiency))
+	return err
 }
 
 type step struct {
@@ -101,6 +103,7 @@ type Client struct {
 	drainQ   []int64
 	draining bool
 	closed   bool
+	err      error // first asynchronous drain failure
 
 	restoreIter int
 	daemons     *simclock.WaitGroup
@@ -133,8 +136,12 @@ func (c *Client) Close() {
 	c.daemons.Wait()
 }
 
-// Err reports asynchronous failures (none are possible in this model).
-func (c *Client) Err() error { return nil }
+// Err reports the first asynchronous drain failure, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
 
 // Metrics returns the client's recorder.
 func (c *Client) Metrics() *metrics.Recorder { return c.rec }
@@ -168,7 +175,15 @@ func (c *Client) Checkpoint(id int64, pay payload.Payload) error {
 	s.buffered = true
 	c.mu.Unlock()
 
-	c.pcieCopy(s.size) // on-demand pageable D2H: blocks the application
+	// On-demand pageable D2H: blocks the application.
+	if err := c.pcieCopy(s.size); err != nil {
+		c.mu.Lock()
+		s.buffered = false
+		c.hostUsed -= s.size
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return err
+	}
 
 	c.mu.Lock()
 	c.drainQ = append(c.drainQ, id)
@@ -204,13 +219,21 @@ func (c *Client) drainer() {
 		s := c.steps[id]
 		c.mu.Unlock()
 
-		c.cfg.NVMe.Transfer(s.size)
+		_, err := c.cfg.NVMe.TryTransfer(s.size)
 
 		c.mu.Lock()
-		s.onNVMe = true
-		if s.buffered {
-			s.buffered = false
-			c.hostUsed -= s.size
+		if err != nil {
+			// The drain failed: the step stays in the host buffer and
+			// the failure is reported through Err/WaitFlush.
+			if c.err == nil {
+				c.err = err
+			}
+		} else {
+			s.onNVMe = true
+			if s.buffered {
+				s.buffered = false
+				c.hostUsed -= s.size
+			}
 		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -238,9 +261,13 @@ func (c *Client) Restore(id int64) (payload.Payload, error) {
 	c.mu.Unlock()
 
 	if !buffered {
-		c.cfg.NVMe.Transfer(s.size) // NVMe → host staging
+		if _, err := c.cfg.NVMe.TryTransfer(s.size); err != nil { // NVMe → host staging
+			return nil, err
+		}
 	}
-	c.pcieCopy(s.size) // pageable host → device
+	if err := c.pcieCopy(s.size); err != nil { // pageable host → device
+		return nil, err
+	}
 
 	c.rec.Restore(iter, s.size, c.clk.Now()-start, 0)
 	return s.pay, nil
@@ -274,5 +301,5 @@ func (c *Client) WaitFlush() error {
 		}
 		c.cond.Wait()
 	}
-	return nil
+	return c.err
 }

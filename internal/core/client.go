@@ -40,9 +40,11 @@ type Client struct {
 	closed  bool
 	err     error // first asynchronous failure
 
-	d2hQ, h2fQ []ID // flush queues (FIFO)
-	d2hBusy    bool
-	h2fBusy    bool
+	d2hQ, h2fQ idFIFO // flush queues
+	d2hBusy    int    // D2H workers with a job in flight
+	h2fBusy    int    // H2F workers with a job in flight
+
+	flushStreams int // workers per flusher stage pool
 
 	hostReadyAt time.Duration // pinned host cache registration completes
 	hostNS      int64         // namespace in a shared host cache; -1 = private
@@ -131,9 +133,24 @@ func New(p Params) (*Client, error) {
 	}
 
 	c.started = p.AutoStartPrefetch
-	c.daemons.Add(4)
-	c.clk.Go(func() { defer c.daemons.Done(); c.flusherD2H() })
-	c.clk.Go(func() { defer c.daemons.Done(); c.flusherH2F() })
+
+	// Flusher stage pools (T_D2H and T_H2F). The default is the seed's
+	// single worker per stage; with chunked streaming enabled the pools
+	// grow to the copy-engine count so concurrent streams actually have
+	// engines to run on.
+	c.flushStreams = p.FlushStreams
+	if c.flushStreams == 0 {
+		if p.ChunkSize > 0 {
+			c.flushStreams = p.GPU.CopyEngines()
+		} else {
+			c.flushStreams = 1
+		}
+	}
+	c.daemons.Add(2*c.flushStreams + 2)
+	for i := 0; i < c.flushStreams; i++ {
+		c.clk.Go(func() { defer c.daemons.Done(); c.flusherD2H() })
+		c.clk.Go(func() { defer c.daemons.Done(); c.flusherH2F() })
+	}
 	c.clk.Go(func() { defer c.daemons.Done(); c.prefetcher() })
 	c.clk.Go(func() { defer c.daemons.Done(); c.hostStager() })
 	return c, nil
@@ -380,7 +397,7 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	// Hand off to T_D2H and return control to the application.
 	c.mu.Lock()
 	ck.enqueuedD2H = true
-	c.d2hQ = append(c.d2hQ, id)
+	c.d2hQ.push(id)
 	c.bumpLocked()
 	c.mu.Unlock()
 	c.notifyGPU()
@@ -413,10 +430,7 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 			if c.p.OnDemandAlloc {
 				c.p.GPU.AllocPinnedHost(ck.size)
 			}
-			cpErr := c.retryIO("pcie", "D2H copy", func() error {
-				_, err := c.p.GPU.TryCopyD2H(ck.size)
-				return err
-			})
+			cpErr := c.copyD2HHost(ck)
 			if cpErr == nil {
 				hostRep.fsm.MustTo(lifecycle.WriteComplete)
 				c.hstC.Notify()
@@ -627,7 +641,7 @@ func (c *Client) prefetchDistanceLocked(current ID) int {
 func (c *Client) WaitFlush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for len(c.d2hQ) > 0 || len(c.h2fQ) > 0 || c.d2hBusy || c.h2fBusy {
+	for c.d2hQ.len() > 0 || c.h2fQ.len() > 0 || c.d2hBusy > 0 || c.h2fBusy > 0 {
 		if c.closed {
 			return ErrClosed
 		}

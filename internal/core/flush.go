@@ -9,10 +9,12 @@ import (
 	"score/internal/trace"
 )
 
-// flusherD2H is T_D2H (§4.3.1): it drains the GPU→host flush queue in
-// FIFO order, reserving host cache space (evicting under the score
-// policy), copying over PCIe, and promoting the GPU replica to FLUSHED so
-// it becomes evictable.
+// flusherD2H is one T_D2H worker (§4.3.1): it drains the GPU→host flush
+// queue in FIFO order, reserving host cache space (evicting under the
+// score policy), copying over PCIe, and promoting the GPU replica to
+// FLUSHED so it becomes evictable. Params.FlushStreams workers run this
+// loop concurrently; jobs are claimed in FIFO order, and each
+// checkpoint's D2H stage still strictly precedes its own H2F handoff.
 func (c *Client) flusherD2H() {
 	for {
 		id, ok := c.popFlushJob(&c.d2hQ, &c.d2hBusy)
@@ -24,8 +26,8 @@ func (c *Client) flusherD2H() {
 	}
 }
 
-// flusherH2F is T_H2F: host → node-local SSD (→ PFS when persistence is
-// requested).
+// flusherH2F is one T_H2F worker: host → node-local SSD (→ PFS when
+// persistence is requested).
 func (c *Client) flusherH2F() {
 	for {
 		id, ok := c.popFlushJob(&c.h2fQ, &c.h2fBusy)
@@ -37,25 +39,26 @@ func (c *Client) flusherH2F() {
 	}
 }
 
-// popFlushJob blocks for the next queued id; ok=false on close.
-func (c *Client) popFlushJob(q *[]ID, busy *bool) (ID, bool) {
+// popFlushJob blocks for the next queued id; ok=false on close. busy
+// counts the pool's in-flight jobs so WaitFlush can tell an empty queue
+// from a drained one.
+func (c *Client) popFlushJob(q *idFIFO, busy *int) (ID, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for len(*q) == 0 {
+	for q.len() == 0 {
 		if c.closed {
 			return 0, false
 		}
 		c.cond.Wait()
 	}
-	id := (*q)[0]
-	*q = (*q)[1:]
-	*busy = true
+	id, _ := q.pop()
+	*busy++
 	return id, true
 }
 
-func (c *Client) finishFlushJob(busy *bool) {
+func (c *Client) finishFlushJob(busy *int) {
 	c.mu.Lock()
-	*busy = false
+	*busy--
 	c.bumpLocked()
 	c.mu.Unlock()
 	// Flush completions change evictability estimates on both tiers.
@@ -136,10 +139,7 @@ func (c *Client) runD2H(id ID) {
 		// checkpoint at ~4 GB/s instead of reusing the pre-pinned cache.
 		c.p.GPU.AllocPinnedHost(ck.size)
 	}
-	if err := c.retryIO("pcie", "D2H copy", func() error {
-		_, err := c.p.GPU.TryCopyD2H(ck.size)
-		return err
-	}); err != nil {
+	if err := c.copyD2HHost(ck); err != nil {
 		// The PCIe hop toward the host cache kept failing: release the
 		// reservation, mark the host tier degraded, and try the direct
 		// route (which surfaces its own failure if PCIe itself is dead).
@@ -164,7 +164,7 @@ func (c *Client) enqueueH2F(ck *checkpoint) {
 	c.mu.Lock()
 	if !ck.enqueuedH2F {
 		ck.enqueuedH2F = true
-		c.h2fQ = append(c.h2fQ, ck.id)
+		c.h2fQ.push(ck.id)
 		c.bumpLocked()
 	}
 	c.mu.Unlock()
@@ -249,20 +249,10 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 }
 
 // writeSSD charges the transfers and durable write of the SSD flush,
-// with per-hop retries. fromGPU adds the PCIe hop.
+// with per-hop retries (or a whole-stream retry when chunked). fromGPU
+// adds the PCIe hop.
 func (c *Client) writeSSD(ck *checkpoint, fromGPU bool) error {
-	if fromGPU {
-		if err := c.retryIO("pcie", "D2H copy", func() error {
-			_, err := c.p.GPU.TryCopyD2H(ck.size)
-			return err
-		}); err != nil {
-			return err
-		}
-	}
-	if err := c.retryIO("ssd", "NVMe write", func() error {
-		_, err := c.p.NVMe.TryTransfer(ck.size)
-		return err
-	}); err != nil {
+	if err := c.transferDown(ck, fromGPU, c.p.NVMe, "ssd", "NVMe write"); err != nil {
 		return err
 	}
 	if c.p.Store != nil {
@@ -299,18 +289,7 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 	}
 	pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
 	err := func() error {
-		if fromGPU {
-			if err := c.retryIO("pcie", "D2H copy", func() error {
-				_, err := c.p.GPU.TryCopyD2H(ck.size)
-				return err
-			}); err != nil {
-				return err
-			}
-		}
-		if err := c.retryIO("pfs", "PFS write", func() error {
-			_, err := c.p.PFS.TryTransfer(ck.size)
-			return err
-		}); err != nil {
+		if err := c.transferDown(ck, fromGPU, c.p.PFS, "pfs", "PFS write"); err != nil {
 			return err
 		}
 		if c.p.PFSStore != nil {

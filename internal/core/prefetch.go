@@ -146,10 +146,9 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 			return false, err
 		}
 	case onDeep:
-		if err := c.readDeep(ck); err != nil {
-			return false, err
-		}
-		if err := c.copyH2D(ck); err != nil {
+		// Two hops (deep read + PCIe): fused into one chunked stream
+		// when ChunkSize is set.
+		if err := c.readDeepToGPU(ck); err != nil {
 			return false, err
 		}
 	default:
@@ -159,8 +158,18 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 	return true, nil
 }
 
-// copyH2D charges the PCIe hop toward the GPU with retries.
+// copyH2D charges the PCIe hop toward the GPU with retries. With
+// ChunkSize set the copy holds a copy engine (timing of the single hop
+// is unchanged — only engine contention is added).
 func (c *Client) copyH2D(ck *checkpoint) error {
+	if cs := c.p.ChunkSize; cs > 0 {
+		return c.retryIO("pcie", "H2D copy", func() error {
+			st, err := c.p.GPU.TryStreamH2D(nil, ck.size, cs)
+			c.observePipeline(trace.TrackPF, "prefetch",
+				fmt.Sprintf("promote %d host→gpu", ck.id), st)
+			return err
+		})
+	}
 	return c.retryIO("pcie", "H2D copy", func() error {
 		_, err := c.p.GPU.TryCopyH2D(ck.size)
 		return err
@@ -317,10 +326,9 @@ func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
 		}
 	}
 	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
-	err = c.readDeep(ck)
-	if err == nil {
-		err = c.copyH2D(ck) // PCIe hop of the direct path
-	}
+	// Deep read + PCIe hop of the direct path; one chunked stream when
+	// ChunkSize is set.
+	err = c.readDeepToGPU(ck)
 	if err != nil {
 		c.dropReplica(ck, TierGPU)
 		c.mu.Lock()

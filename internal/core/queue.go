@@ -128,3 +128,38 @@ func (q *restoreQueue) nextPrefetch() (ID, bool) {
 
 // advancePrefetch moves past the current prefetch target.
 func (q *restoreQueue) advancePrefetch() { q.pf++ }
+
+// idFIFO is the flush queues' FIFO. Popping advances a head cursor and
+// periodically compacts the backing array — the naive `q = q[1:]`
+// re-slice never lets the garbage collector reclaim popped slots, so on
+// long runs the queue's footprint grows with the historical total
+// instead of the pending count.
+//
+// All methods require external synchronization (the Client's mutex).
+type idFIFO struct {
+	ids  []ID
+	head int
+}
+
+// push appends id to the tail.
+func (f *idFIFO) push(id ID) { f.ids = append(f.ids, id) }
+
+// pop removes and returns the head; ok=false when empty.
+func (f *idFIFO) pop() (id ID, ok bool) {
+	if f.head >= len(f.ids) {
+		return 0, false
+	}
+	id = f.ids[f.head]
+	f.head++
+	if f.head > 32 && f.head*2 >= len(f.ids) {
+		// The dead prefix dominates: slide the pending tail down so the
+		// old backing array (and the IDs it pins) can be collected.
+		n := copy(f.ids, f.ids[f.head:])
+		f.ids = f.ids[:n]
+		f.head = 0
+	}
+	return id, true
+}
+
+// len returns the number of pending ids.
+func (f *idFIFO) len() int { return len(f.ids) - f.head }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"score/internal/fabric"
 )
 
 // RetryPolicy bounds the jittered exponential backoff applied to
@@ -138,8 +140,7 @@ func (c *Client) readDeep(ck *checkpoint) error {
 
 	if onSSD && (!c.tierDegraded(TierSSD) || !onPFS) {
 		err := c.retryIO("ssd", "NVMe read", func() error {
-			_, err := c.p.NVMe.TryTransfer(ck.size)
-			return err
+			return c.deepHop(c.p.NVMe, ck.size)
 		})
 		if err == nil {
 			return nil
@@ -154,9 +155,21 @@ func (c *Client) readDeep(ck *checkpoint) error {
 			c.rec.FallbackRead()
 		}
 		return c.retryIO("pfs", "PFS read", func() error {
-			_, err := c.p.PFS.TryTransfer(ck.size)
-			return err
+			return c.deepHop(c.p.PFS, ck.size)
 		})
 	}
 	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
+}
+
+// deepHop charges one deep-tier link crossing. Chunked configurations
+// route through the pipelined form for uniformity; a single hop
+// degenerates to monolithic timing either way, so staging reads
+// (stageToHost, promoteSSDToHost) cost the same in both modes.
+func (c *Client) deepHop(l *fabric.Link, size int64) error {
+	if cs := c.p.ChunkSize; cs > 0 {
+		_, err := fabric.Path{l}.TryPipelinedTransfer(size, cs)
+		return err
+	}
+	_, err := l.TryTransfer(size)
+	return err
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"score/internal/fabric"
+	"score/internal/trace"
+)
+
+// This file holds the chunked-streaming variants of the runtime's
+// transfer charges (§4.3). Every helper degenerates to the exact seed
+// sequence — identical retry labels, identical virtual-clock timing —
+// when Params.ChunkSize is 0, so the monolithic configuration reproduces
+// seed behavior bit for bit.
+//
+// Retry semantics differ between the two modes by design: the monolithic
+// paths retry each hop independently (labels "pcie", "ssd", "pfs"),
+// while a chunked stream is retried whole under a combined label
+// ("pcie+ssd", "ssd+pcie", ...) because a pipeline's hops fail as one
+// stream. Fault-injection campaigns that assert per-hop retry counts run
+// with ChunkSize=0.
+
+// observePipeline records a completed chunked stream in the metrics and,
+// when tracing, as a post-hoc span (the chunk count and hidden time are
+// only known at completion). Monolithic transfers (Chunks <= 1) record
+// nothing — their spans and counters are unchanged from the seed.
+func (c *Client) observePipeline(track trace.Track, category, name string, st fabric.PipelineStats) {
+	if st.Chunks <= 1 {
+		return
+	}
+	c.rec.Pipelined(st.Bytes, st.Duration, st.HopBusySum())
+	if c.p.Tracer != nil {
+		end := c.clk.Now()
+		c.p.Tracer.Record(c.p.GPU.ID(), track, category,
+			fmt.Sprintf("%s [%d chunks, %v overlapped]", name, st.Chunks, st.Overlap()),
+			end-st.Duration, st.Duration)
+	}
+}
+
+// copyD2HHost charges the GPU→host PCIe copy of a flush. With ChunkSize
+// set it runs as an engine-held stream, so concurrent flush workers
+// contend for the modeled copy engines; a single hop has no pipeline
+// overlap, so the timing matches the monolithic copy.
+func (c *Client) copyD2HHost(ck *checkpoint) error {
+	if cs := c.p.ChunkSize; cs > 0 {
+		return c.retryIO("pcie", "D2H copy", func() error {
+			st, err := c.p.GPU.TryStreamD2H(nil, ck.size, cs)
+			c.observePipeline(trace.TrackD2H, "flush",
+				fmt.Sprintf("flush %d gpu→host", ck.id), st)
+			return err
+		})
+	}
+	return c.retryIO("pcie", "D2H copy", func() error {
+		_, err := c.p.GPU.TryCopyD2H(ck.size)
+		return err
+	})
+}
+
+// transferDown charges the movement of ck's bytes onto the durable link
+// dest ("ssd" or "pfs"); fromGPU prepends the PCIe hop. With ChunkSize
+// set and a GPU source, both hops run as one chunked engine-held stream
+// — the NVMe/PFS write of chunk i overlaps the PCIe copy of chunk i+1 —
+// retried whole under the combined label. Otherwise the hops run
+// store-and-forward with the seed's independent per-hop retries.
+func (c *Client) transferDown(ck *checkpoint, fromGPU bool, dest *fabric.Link, destLabel, destWhat string) error {
+	cs := c.p.ChunkSize
+	if fromGPU && cs > 0 {
+		return c.retryIO("pcie+"+destLabel, "chunked "+destWhat, func() error {
+			st, err := c.p.GPU.TryStreamD2H(fabric.Path{dest}, ck.size, cs)
+			c.observePipeline(trace.TrackD2H, "flush",
+				fmt.Sprintf("flush %d gpu→%s", ck.id, destLabel), st)
+			return err
+		})
+	}
+	if fromGPU {
+		if err := c.retryIO("pcie", "D2H copy", func() error {
+			_, err := c.p.GPU.TryCopyD2H(ck.size)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	return c.retryIO(destLabel, destWhat, func() error {
+		if cs > 0 {
+			// Single hop: the pipelined form degenerates to the same
+			// monolithic timing; routed through it for uniformity.
+			_, err := fabric.Path{dest}.TryPipelinedTransfer(ck.size, cs)
+			return err
+		}
+		_, err := dest.TryTransfer(ck.size)
+		return err
+	})
+}
+
+// readDeepToGPU charges a deep read (SSD preferred, PFS fallback —
+// readDeep's degradation ladder) fused with the PCIe hop toward the GPU.
+// With ChunkSize set the two hops run as one chunked engine-held stream,
+// overlapping the NVMe/PFS read of chunk i+1 with the H2D copy of chunk
+// i; otherwise it is the seed's sequential readDeep + copyH2D.
+func (c *Client) readDeepToGPU(ck *checkpoint) error {
+	cs := c.p.ChunkSize
+	if cs <= 0 {
+		if err := c.readDeep(ck); err != nil {
+			return err
+		}
+		return c.copyH2D(ck)
+	}
+
+	c.mu.Lock()
+	onSSD := ck.dataOn(TierSSD)
+	onPFS := ck.dataOn(TierPFS)
+	c.mu.Unlock()
+
+	stream := func(label, srcName string, src *fabric.Link) error {
+		return c.retryIO(label, "chunked deep read + H2D", func() error {
+			st, err := c.p.GPU.TryStreamH2D(fabric.Path{src}, ck.size, cs)
+			c.observePipeline(trace.TrackPF, "prefetch",
+				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), st)
+			return err
+		})
+	}
+	if onSSD && (!c.tierDegraded(TierSSD) || !onPFS) {
+		err := stream("ssd+pcie", "ssd", c.p.NVMe)
+		if err == nil {
+			return nil
+		}
+		if !onPFS {
+			return err
+		}
+		c.degradeTier(TierSSD)
+	}
+	if onPFS {
+		if onSSD {
+			c.rec.FallbackRead()
+		}
+		return stream("pfs+pcie", "pfs", c.p.PFS)
+	}
+	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
+}

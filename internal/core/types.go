@@ -159,6 +159,19 @@ type Params struct {
 	// the PFS link.
 	PFSStore *ckptstore.Store
 
+	// ChunkSize, when positive, streams every multi-hop transfer (flushes
+	// down the tier chain and promotions back up) as a pipeline of
+	// chunk-sized pieces with consecutive hops overlapped (§4.3): chunk i
+	// moves on the second hop while chunk i+1 moves on the first, and the
+	// whole stream holds one of the GPU's copy engines. 0 keeps every
+	// transfer monolithic — the exact seed timing.
+	ChunkSize int64
+	// FlushStreams sets the worker count of each flusher stage pool
+	// (T_D2H and T_H2F). 0 resolves to one worker per stage when
+	// ChunkSize is 0 (the seed behavior) and to the GPU's copy-engine
+	// count when chunked streaming is enabled.
+	FlushStreams int
+
 	// Retry tunes the exponential-backoff retry applied to transient
 	// tier-I/O failures; zero fields take the defaults.
 	Retry RetryPolicy
@@ -193,6 +206,10 @@ func (p Params) validate() error {
 		return errors.New("core: Params.PFS required when PFSStore is set")
 	case p.GPUCacheSize <= 0 || p.HostCacheSize <= 0:
 		return errors.New("core: cache sizes must be positive")
+	case p.ChunkSize < 0:
+		return errors.New("core: Params.ChunkSize must be non-negative")
+	case p.FlushStreams < 0:
+		return errors.New("core: Params.FlushStreams must be non-negative")
 	}
 	return nil
 }

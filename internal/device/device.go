@@ -33,6 +33,12 @@ func DefaultAllocCosts() AllocCosts {
 	}
 }
 
+// DefaultCopyEngines is the number of DMA copy engines a GPU exposes to
+// the runtime's streams. An A100 has more physical engines, but the
+// paper's runtime drives one stream per direction pair, so two
+// concurrent chunked streams per GPU is the measured shape (§4.3).
+const DefaultCopyEngines = 2
+
 // GPU is one simulated accelerator: a bounded HBM pool plus the links that
 // connect it to its own memory (D2D), to host memory (PCIe), and through
 // the host to storage.
@@ -48,6 +54,13 @@ type GPU struct {
 	mu        sync.Mutex
 	used      int64
 	allocIcpt fabric.TransferInterceptor
+
+	// Copy-engine accounting: chunked streams (TryStreamD2H/TryStreamH2D)
+	// each hold one engine end to end, so at most engines streams make
+	// DMA progress concurrently; excess streams queue on engCond.
+	engCond simclock.Cond
+	engines int
+	engBusy int
 }
 
 // NewGPU creates GPU id with hbmCapacity bytes of device memory attached
@@ -59,7 +72,50 @@ func NewGPU(clk simclock.Clock, id int, hbmCapacity int64, d2d, pcie *fabric.Lin
 	if costs.DeviceBytesPerSec <= 0 || costs.PinnedHostBytesPerSec <= 0 {
 		panic("device: allocation rates must be positive")
 	}
-	return &GPU{clk: clk, id: id, hbm: hbmCapacity, costs: costs, d2d: d2d, pcie: pcie}
+	g := &GPU{clk: clk, id: id, hbm: hbmCapacity, costs: costs, d2d: d2d, pcie: pcie,
+		engines: DefaultCopyEngines}
+	g.engCond = clk.NewCond(&g.mu)
+	return g
+}
+
+// SetCopyEngines overrides the number of copy engines (>= 1) available
+// to chunked streams. Call before starting work; it does not preempt
+// streams already holding an engine.
+func (g *GPU) SetCopyEngines(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("device: GPU %d: copy engines must be >= 1, got %d", g.id, n))
+	}
+	g.mu.Lock()
+	g.engines = n
+	g.engCond.Broadcast()
+	g.mu.Unlock()
+}
+
+// CopyEngines returns the number of copy engines available to chunked
+// streams.
+func (g *GPU) CopyEngines() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.engines
+}
+
+func (g *GPU) acquireEngine() {
+	g.mu.Lock()
+	for g.engBusy >= g.engines {
+		g.engCond.Wait()
+	}
+	g.engBusy++
+	g.mu.Unlock()
+}
+
+func (g *GPU) releaseEngine() {
+	g.mu.Lock()
+	g.engBusy--
+	if g.engBusy < 0 {
+		panic(fmt.Sprintf("device: GPU %d: negative copy-engine usage", g.id))
+	}
+	g.engCond.Broadcast()
+	g.mu.Unlock()
 }
 
 // ID returns the GPU's index on its node.
@@ -151,9 +207,13 @@ func (g *GPU) AllocPinnedHost(size int64) {
 func (g *GPU) CopyD2D(size int64) time.Duration { return g.d2d.Transfer(size) }
 
 // CopyD2H moves size bytes from device to host over PCIe.
+//
+// Deprecated: use TryCopyD2H so injected PCIe faults surface.
 func (g *GPU) CopyD2H(size int64) time.Duration { return g.pcie.Transfer(size) }
 
 // CopyH2D moves size bytes from host to device over PCIe.
+//
+// Deprecated: use TryCopyH2D so injected PCIe faults surface.
 func (g *GPU) CopyH2D(size int64) time.Duration { return g.pcie.Transfer(size) }
 
 // TryCopyD2H is CopyD2H with injected PCIe faults surfaced.
@@ -161,6 +221,34 @@ func (g *GPU) TryCopyD2H(size int64) (time.Duration, error) { return g.pcie.TryT
 
 // TryCopyH2D is CopyH2D with injected PCIe faults surfaced.
 func (g *GPU) TryCopyH2D(size int64) (time.Duration, error) { return g.pcie.TryTransfer(size) }
+
+// TryStreamD2H moves size bytes device→host over PCIe and onward across
+// the extra hops (e.g. the node NVMe for a GPU→SSD flush) as one chunked
+// pipelined stream, holding one of the GPU's copy engines for the
+// stream's duration. With chunkSize <= 0 the transfer is monolithic
+// store-and-forward, timed identically to TryCopyD2H plus sequential
+// hops. The first hop failure aborts the stream and is returned.
+func (g *GPU) TryStreamD2H(onward fabric.Path, size, chunkSize int64) (fabric.PipelineStats, error) {
+	g.acquireEngine()
+	defer g.releaseEngine()
+	path := make(fabric.Path, 0, len(onward)+1)
+	path = append(path, g.pcie)
+	path = append(path, onward...)
+	return path.TryPipelined(size, chunkSize)
+}
+
+// TryStreamH2D moves size bytes across the inward hops (e.g. the node
+// NVMe for an SSD→GPU promotion) and then host→device over PCIe as one
+// chunked pipelined stream, holding one of the GPU's copy engines for
+// the stream's duration.
+func (g *GPU) TryStreamH2D(inward fabric.Path, size, chunkSize int64) (fabric.PipelineStats, error) {
+	g.acquireEngine()
+	defer g.releaseEngine()
+	path := make(fabric.Path, 0, len(inward)+1)
+	path = append(path, inward...)
+	path = append(path, g.pcie)
+	return path.TryPipelined(size, chunkSize)
+}
 
 // D2DLink returns the device's D2D link (used for eviction-time
 // estimates).

@@ -115,3 +115,66 @@ func absDur(d time.Duration) time.Duration {
 	}
 	return d
 }
+
+// TestCopyEngineCap: three concurrent chunked streams on a GPU with two
+// copy engines must never put more than two streams on the PCIe link at
+// once — the third waits for an engine.
+func TestCopyEngineCap(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		g := newTestGPU(clk)
+		if g.CopyEngines() != DefaultCopyEngines {
+			t.Fatalf("CopyEngines = %d, want default %d", g.CopyEngines(), DefaultCopyEngines)
+		}
+		ssd := fabric.NewLink(clk, "nvme", 16*fabric.GB, 0)
+		wg := simclock.NewWaitGroup(clk)
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			clk.Go(func() {
+				defer wg.Done()
+				if _, err := g.TryStreamD2H(fabric.Path{ssd}, 2*fabric.GB, fabric.GB/8); err != nil {
+					t.Errorf("TryStreamD2H: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		if _, _, peak := g.PCIeLink().Stats(); peak > DefaultCopyEngines {
+			t.Errorf("PCIe peak concurrency = %d, want <= %d (copy-engine cap)", peak, DefaultCopyEngines)
+		}
+		bytes, _, _ := ssd.Stats()
+		if want := int64(3 * 2 * fabric.GB); bytes != want {
+			t.Errorf("NVMe carried %d bytes, want %d", bytes, want)
+		}
+	})
+}
+
+// TestSetCopyEngines: raising the engine count lets more streams run
+// concurrently; the setter rejects non-positive values.
+func TestSetCopyEngines(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		g := newTestGPU(clk)
+		g.SetCopyEngines(4)
+		if g.CopyEngines() != 4 {
+			t.Fatalf("CopyEngines = %d, want 4", g.CopyEngines())
+		}
+		wg := simclock.NewWaitGroup(clk)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			clk.Go(func() {
+				defer wg.Done()
+				g.TryStreamD2H(nil, fabric.GB, fabric.GB/4)
+			})
+		}
+		wg.Wait()
+		if _, _, peak := g.PCIeLink().Stats(); peak != 4 {
+			t.Errorf("PCIe peak concurrency = %d, want 4", peak)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("SetCopyEngines(0) did not panic")
+			}
+		}()
+		g.SetCopyEngines(0)
+	})
+}

@@ -122,5 +122,27 @@ func Ablations(scale Scale) (AblationResult, error) {
 	if err := add("multi-tier T_PF (§4.3.1)", "serialized", res, err); err != nil {
 		return out, err
 	}
+	// §4.3 chunked transfer pipelining, measured on the GPUDirect shot:
+	// there every flush (GPU→SSD) and every promotion (SSD→GPU) crosses
+	// two hops (PCIe + NVMe), so the chunk-level overlap is visible in
+	// both directions end to end.
+	pipelined := func(chunk int64) (ShotResult, error) {
+		cfg := ShotConfig{
+			Uniform: true, WaitForFlush: true, Order: rtm.Reverse,
+			Combo: Combo{Score, AllHints},
+		}
+		scale.Apply(&cfg)
+		cfg.GPUDirect = true
+		cfg.ChunkSize = chunk
+		return RunShot(cfg)
+	}
+	res, err = pipelined(0)
+	if err := add("transfer pipelining (§4.3)", "monolithic", res, err); err != nil {
+		return out, err
+	}
+	res, err = pipelined(scale.UniformSize / 8)
+	if err := add("transfer pipelining (§4.3)", "chunked", res, err); err != nil {
+		return out, err
+	}
 	return out, nil
 }

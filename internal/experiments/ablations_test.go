@@ -14,8 +14,8 @@ func TestAblationsSmokeAndShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(abl.Rows) != 10 {
-		t.Fatalf("ablation rows = %d, want 10", len(abl.Rows))
+	if len(abl.Rows) != 12 {
+		t.Fatalf("ablation rows = %d, want 12", len(abl.Rows))
 	}
 	byKey := map[string]AblationRow{}
 	for _, r := range abl.Rows {
@@ -38,6 +38,13 @@ func TestAblationsSmokeAndShapes(t *testing.T) {
 	serial := byKey["multi-tier T_PF (§4.3.1)/serialized"]
 	if staged.RestBps < serial.RestBps*95/100 {
 		t.Errorf("staged restore %.0f well below serialized %.0f", staged.RestBps, serial.RestBps)
+	}
+	// Chunked pipelining must not regress below monolithic on the
+	// two-hop GPUDirect shot it is measured on.
+	chunked := byKey["transfer pipelining (§4.3)/chunked"]
+	mono := byKey["transfer pipelining (§4.3)/monolithic"]
+	if chunked.CkptBps < mono.CkptBps {
+		t.Errorf("chunked ckpt %.0f below monolithic %.0f", chunked.CkptBps, mono.CkptBps)
 	}
 	var b strings.Builder
 	if err := abl.Render(&b); err != nil {

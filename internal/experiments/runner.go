@@ -167,6 +167,11 @@ type ShotConfig struct {
 	// GPUDirect bypasses the host tier entirely.
 	SharedHostPerNode bool
 	GPUDirect         bool
+	// ChunkSize enables chunked multi-hop transfer pipelining (§4.3);
+	// 0 keeps monolithic transfers. FlushStreams sizes the flusher
+	// worker pools (0 = automatic). Score only.
+	ChunkSize    int64
+	FlushStreams int
 
 	// Ablation knobs (Score only).
 	SplitCache, NoPinning, OnDemandAlloc, NoHostStager bool
@@ -420,6 +425,8 @@ func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fab
 			GPUEvictionPolicy:   cfg.EvictionPolicy,
 			SharedHost:          pool,
 			GPUDirectStorage:    cfg.GPUDirect,
+			ChunkSize:           cfg.ChunkSize,
+			FlushStreams:        cfg.FlushStreams,
 		})
 		if err != nil {
 			return nil, err

@@ -111,6 +111,9 @@ func (l *Link) SetInterceptor(f TransferInterceptor) {
 // An installed interceptor can fail the transfer; Transfer discards that
 // error for callers predating fault injection — fault-aware paths use
 // TryTransfer.
+//
+// Deprecated: use TryTransfer so injected faults surface. Transfer is
+// retained only for tests documenting the legacy behavior.
 func (l *Link) Transfer(size int64) time.Duration {
 	d, _ := l.TryTransfer(size)
 	return d
@@ -250,6 +253,8 @@ type Path []*Link
 
 // Transfer moves size bytes across every hop in order and returns the
 // total simulated duration.
+//
+// Deprecated: use TryTransfer so injected faults surface.
 func (p Path) Transfer(size int64) time.Duration {
 	var total time.Duration
 	for _, l := range p {

@@ -37,6 +37,12 @@ type Recorder struct {
 	repopulations int64            // lost/corrupt replicas re-staged into a faster tier
 	flushAborts   int64            // flush chains abandoned after exhausting every route
 	syncFlushes   int64            // checkpoints that fell back to synchronous flush (§2 cond. 4)
+
+	// Chunked transfer pipelining (§4.3): per-stream overlap accounting.
+	pipelinedStreams int64
+	pipelinedBytes   int64
+	pipelinedElapsed time.Duration // end-to-end stream durations
+	pipelinedHopBusy time.Duration // summed per-hop occupancy
 }
 
 // SeriesPoint is one restore operation's measurement.
@@ -147,6 +153,18 @@ func (r *Recorder) SyncFlush() {
 	r.syncFlushes++
 }
 
+// Pipelined records one chunked multi-hop transfer stream: the bytes it
+// moved, its end-to-end elapsed time, and the summed busy time of its
+// hops (hopBusy > elapsed measures the overlap the pipelining won).
+func (r *Recorder) Pipelined(bytes int64, elapsed, hopBusy time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pipelinedStreams++
+	r.pipelinedBytes += bytes
+	r.pipelinedElapsed += elapsed
+	r.pipelinedHopBusy += hopBusy
+}
+
 // Summary is an immutable snapshot of a Recorder.
 type Summary struct {
 	CheckpointBytes   int64
@@ -166,6 +184,22 @@ type Summary struct {
 	Repopulations int64
 	FlushAborts   int64
 	SyncFlushes   int64
+
+	// Chunked transfer pipelining (§4.3).
+	PipelinedStreams int64
+	PipelinedBytes   int64
+	PipelinedElapsed time.Duration
+	PipelinedHopBusy time.Duration
+}
+
+// PipelineOverlap returns the total simulated transfer time hidden by
+// chunked multi-hop streaming: summed per-hop busy time minus summed
+// end-to-end elapsed time, clamped at zero.
+func (s Summary) PipelineOverlap() time.Duration {
+	if s.PipelinedHopBusy > s.PipelinedElapsed {
+		return s.PipelinedHopBusy - s.PipelinedElapsed
+	}
+	return 0
 }
 
 // TotalRetries sums retried I/O attempts across tiers.
@@ -208,6 +242,10 @@ func (r *Recorder) Snapshot() Summary {
 		Repopulations:     r.repopulations,
 		FlushAborts:       r.flushAborts,
 		SyncFlushes:       r.syncFlushes,
+		PipelinedStreams:  r.pipelinedStreams,
+		PipelinedBytes:    r.pipelinedBytes,
+		PipelinedElapsed:  r.pipelinedElapsed,
+		PipelinedHopBusy:  r.pipelinedHopBusy,
 	}
 }
 
@@ -273,6 +311,10 @@ func Merge(parts ...Summary) Summary {
 		out.Repopulations += p.Repopulations
 		out.FlushAborts += p.FlushAborts
 		out.SyncFlushes += p.SyncFlushes
+		out.PipelinedStreams += p.PipelinedStreams
+		out.PipelinedBytes += p.PipelinedBytes
+		out.PipelinedElapsed += p.PipelinedElapsed
+		out.PipelinedHopBusy += p.PipelinedHopBusy
 		for k, v := range p.Retries {
 			if out.Retries == nil {
 				out.Retries = map[string]int64{}

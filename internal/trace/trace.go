@@ -96,6 +96,21 @@ func (t *Tracer) Span(gpu int, track Track, category, name string) func() {
 	}
 }
 
+// Record appends an already-completed span. The chunked transfer paths
+// use it because a stream's display name (chunk count, hidden time) is
+// only known at completion. Nil-safe.
+func (t *Tracer) Record(gpu int, track Track, category, name string, start, duration time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Name: name, Category: category, GPU: gpu, Track: track,
+		Start: start, Duration: duration,
+	})
+	t.mu.Unlock()
+}
+
 // Len returns the number of recorded events. Nil-safe.
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -217,13 +217,25 @@ func (c *Client) Metrics() *metrics.Recorder { return c.rec }
 // transfer contends on the real PCIe link but only achieves migration
 // efficiency, modeled as transferring the equivalent inflated volume.
 // Under oversubscription pressure (pressured), page thrashing collapses
-// the effective bandwidth further by OversubPenalty.
-func (c *Client) migrate(size int64, pressured bool) {
+// the effective bandwidth further by OversubPenalty. An injected PCIe
+// fault surfaces as the returned error.
+func (c *Client) migrate(size int64, pressured bool) error {
 	eff := c.cfg.MigrationEfficiency
 	if pressured {
 		eff *= c.cfg.OversubPenalty
 	}
-	c.cfg.GPU.PCIeLink().Transfer(int64(float64(size) / eff))
+	_, err := c.cfg.GPU.PCIeLink().TryTransfer(int64(float64(size) / eff))
+	return err
+}
+
+// fail records the first asynchronous failure and wakes waiters.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // waitHostReady blocks until the host backing store is registered.
@@ -293,7 +305,12 @@ func (c *Client) reserveDevice(need int64, exclude *ckpt) (evicted bool, err err
 		// migration (no thrash penalty); the cost is the extra PCIe
 		// traffic and the blocking it causes.
 		c.waitHostReady()
-		c.migrate(bytes, false)
+		if merr := c.migrate(bytes, false); merr != nil {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return evicted, merr
+		}
 		c.spillHostIfNeeded()
 		c.mu.Lock()
 		c.cond.Broadcast()
@@ -335,7 +352,15 @@ func (c *Client) spillHostIfNeeded() {
 		}
 		c.mu.Unlock()
 		if toSSD {
-			c.cfg.NVMe.Transfer(bytes)
+			if _, err := c.cfg.NVMe.TryTransfer(bytes); err != nil {
+				// The spill never landed: un-mark the SSD copy and
+				// surface the failure rather than dropping it silently.
+				c.mu.Lock()
+				victim.ssd = false
+				c.mu.Unlock()
+				c.fail(err)
+				return
+			}
 		}
 	}
 }
@@ -418,7 +443,11 @@ func (c *Client) flusher() {
 			continue
 		}
 		c.waitHostReady()
-		c.migrate(bytes, false) // device → host writeback at migration bandwidth
+		// Device → host writeback at migration bandwidth.
+		if err := c.migrate(bytes, false); err != nil {
+			c.fail(err)
+			continue
+		}
 		c.spillHostIfNeeded()
 		// Flush host copy onward to the SSD for durability.
 		c.mu.Lock()
@@ -428,7 +457,12 @@ func (c *Client) flusher() {
 		}
 		c.mu.Unlock()
 		if toSSD {
-			c.cfg.NVMe.Transfer(bytes)
+			if _, err := c.cfg.NVMe.TryTransfer(bytes); err != nil {
+				c.mu.Lock()
+				k.ssd = false
+				c.mu.Unlock()
+				c.fail(err)
+			}
 		}
 		c.mu.Lock()
 		c.cond.Broadcast()
@@ -512,8 +546,10 @@ func (c *Client) prefetcher() {
 		evicted, err := c.reserveDevice(need, target)
 		_ = evicted // cudaMemPrefetchAsync moves pages in bulk: no thrash
 		if err == nil {
-			c.ensureHost(target)
-			c.migrate(need, false) // host → device prefetch migration
+			err = c.ensureHost(target)
+		}
+		if err == nil {
+			err = c.migrate(need, false) // host → device prefetch migration
 		}
 		c.mu.Lock()
 		if err == nil {
@@ -523,6 +559,9 @@ func (c *Client) prefetcher() {
 		c.cond.Broadcast()
 		if err != nil {
 			c.mu.Unlock()
+			if !errors.Is(err, ErrClosed) {
+				c.fail(err)
+			}
 			return
 		}
 	}
@@ -530,8 +569,9 @@ func (c *Client) prefetcher() {
 
 // ensureHost pulls the checkpoint from the SSD into the host backing
 // store if needed.
-func (c *Client) ensureHost(k *ckpt) {
+func (c *Client) ensureHost(k *ckpt) error {
 	c.mu.Lock()
+	prevHost := k.hostBytes
 	needSSD := k.hostBytes < k.size && k.deviceBytes < k.size
 	if needSSD {
 		c.hostUsed += k.size - k.hostBytes
@@ -540,9 +580,17 @@ func (c *Client) ensureHost(k *ckpt) {
 	c.mu.Unlock()
 	if needSSD {
 		c.waitHostReady()
-		c.cfg.NVMe.Transfer(k.size)
+		if _, err := c.cfg.NVMe.TryTransfer(k.size); err != nil {
+			// The SSD read never completed: undo the host accounting.
+			c.mu.Lock()
+			c.hostUsed -= k.size - prevHost
+			k.hostBytes = prevHost
+			c.mu.Unlock()
+			return err
+		}
 		c.spillHostIfNeeded()
 	}
+	return nil
 }
 
 // Restore reads checkpoint id into the application buffer. Device-
@@ -582,6 +630,13 @@ func (c *Client) Restore(id int64) (payload.Payload, error) {
 		// Fault path: make room (migrate-before-evict), pull from
 		// host (via SSD if spilled), pay fault replay.
 		evicted, err := c.reserveDevice(missing, k)
+		if err == nil {
+			err = c.ensureHost(k)
+		}
+		if err == nil {
+			c.faultCost(missing)
+			err = c.migrate(missing, evicted)
+		}
 		if err != nil {
 			c.mu.Lock()
 			k.inflight = false
@@ -589,9 +644,6 @@ func (c *Client) Restore(id int64) (payload.Payload, error) {
 			c.mu.Unlock()
 			return nil, err
 		}
-		c.ensureHost(k)
-		c.faultCost(missing)
-		c.migrate(missing, evicted)
 		c.mu.Lock()
 		k.deviceBytes = k.size
 		k.inflight = false

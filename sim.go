@@ -340,6 +340,8 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		Tracer:              s.tracer,
 		SharedHost:          sharedPool,
 		GPUDirectStorage:    cc.gpuDirect,
+		ChunkSize:           cc.chunkSize,
+		FlushStreams:        cc.flushStreams,
 	})
 	if err != nil {
 		return nil, err
