@@ -1,13 +1,25 @@
 GO ?= go
 
-.PHONY: verify build test vet race chaos bench bench-smoke clean
+.PHONY: verify build test vet vet-deprecated race chaos bench bench-smoke fuzz-smoke clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
-verify: vet build race
+verify: vet vet-deprecated build race
 
 vet:
 	$(GO) vet ./...
+
+# vet-deprecated fails if non-test code calls the fault-blind transfer
+# shims (Transfer / PipelinedTransfer / CopyD2H / CopyH2D); production
+# paths must use the Try* variants so injected faults surface. The shims
+# stay for tests and external callers.
+vet-deprecated:
+	@bad=$$(grep -rnE '\.(Transfer|PipelinedTransfer|CopyD2H|CopyH2D)\(' \
+		--include='*.go' --exclude='*_test.go' . || true); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated fault-blind transfer calls in non-test code (use Try*):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -27,11 +39,19 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-smoke runs the chunked-vs-monolithic transfer-pipelining ablation
-# once and fails if chunked regresses below the monolithic baseline
-# (DESIGN.md §9).
+# once, fails if chunked regresses below the monolithic baseline
+# (DESIGN.md §9), and emits the measurements as BENCH_pipeline.json.
 bench-smoke:
-	$(GO) test -run TestChunkedPipelineSmoke -v .
+	$(GO) test -run TestChunkedPipelineSmoke -v . -args -bench.out=BENCH_pipeline.json
 	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
+
+# fuzz-smoke gives each fuzz target a short budget on top of its checked-in
+# seed corpus; go test accepts one -fuzz pattern per invocation.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzIDFIFO -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzCacheEviction -fuzztime $(FUZZTIME) ./internal/cachebuf
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_pipeline.json

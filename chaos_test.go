@@ -70,6 +70,9 @@ func TestSSDOutageFallsBackToPFS(t *testing.T) {
 		if st.FlushAborts != 0 {
 			t.Errorf("FlushAborts = %d; the PFS route should have saved every flush", st.FlushAborts)
 		}
+		if err := c.CheckMetricsInvariants(true); err != nil {
+			t.Errorf("metrics invariants after drain: %v", err)
+		}
 	})
 
 	// A few checkpoints reached the SSD store before the outage; corrupt
@@ -230,6 +233,12 @@ func runChaosSchedule(t *testing.T, seed int64, n int) {
 			c.Compute(time.Millisecond)
 		}
 		flushErr = c.WaitFlush()
+		// Every accepted byte must have a decided fate once the flush
+		// chain drained; a failed drain still has to satisfy the
+		// structural invariants.
+		if err := c.CheckMetricsInvariants(flushErr == nil); err != nil {
+			t.Errorf("metrics invariants after drain: %v", err)
+		}
 		for v := n - 1; v >= 0; v-- {
 			got, err := c.Restart(int64(v))
 			if err != nil {
@@ -238,6 +247,9 @@ func runChaosSchedule(t *testing.T, seed int64, n int) {
 			if !bytes.Equal(got, payloads[v]) {
 				t.Errorf("restart %d: returned wrong bytes instead of an error", v)
 			}
+		}
+		if err := c.CheckMetricsInvariants(false); err != nil {
+			t.Errorf("metrics invariants after restores: %v", err)
 		}
 		aborts = c.Stats().FlushAborts
 	})
@@ -270,6 +282,9 @@ func runChaosSchedule(t *testing.T, seed int64, n int) {
 			if !bytes.Equal(got, payloads[v]) {
 				t.Errorf("restart %d: recovered bytes not bit-exact", v)
 			}
+		}
+		if err := c.CheckMetricsInvariants(true); err != nil {
+			t.Errorf("metrics invariants in recovery process: %v", err)
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"score/internal/core"
 	"score/internal/device"
 	"score/internal/faultinject"
+	"score/internal/metrics"
 	"score/internal/payload"
 	"score/internal/predict"
 	"score/internal/simclock"
@@ -315,6 +316,24 @@ func (c *Client) Stats() Stats {
 		PipelinedStreams:     s.PipelinedStreams,
 		PipelineOverlap:      s.PipelineOverlap(),
 	}
+}
+
+// MetricsSummary returns the full internal metrics snapshot — latency
+// histograms, conservation accounting, robustness counters — for
+// exporters and invariant checks. Stats remains the compact view.
+func (c *Client) MetricsSummary() metrics.Summary {
+	return c.inner.Metrics().Snapshot()
+}
+
+// CheckMetricsInvariants verifies the runtime's structural metric
+// invariants (byte conservation bounds, retry-bout bounds, histogram
+// consistency). With quiescent set it additionally asserts the flush
+// pipeline fully drained — valid only after WaitFlush and before Close.
+func (c *Client) CheckMetricsInvariants(quiescent bool) error {
+	if quiescent {
+		return c.inner.CheckInvariantsQuiescent()
+	}
+	return c.inner.CheckInvariants()
 }
 
 // DegradedTiers lists the tiers this client has stopped using after

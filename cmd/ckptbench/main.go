@@ -13,8 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"score/internal/experiments"
@@ -31,6 +34,9 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run: "+strings.Join(experimentNames, ", ")+", or 'all'")
 	scaleName := flag.String("scale", "full", "workload scale: full (paper) or small (1/16)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics registry (histograms, counters, sampled series) as JSON to this file")
+	promListen := flag.String("prom-listen", "", "serve the metrics registry in Prometheus text format on this address (e.g. :9464); blocks after the experiments finish")
+	sample := flag.Duration("sample", 0, "sample tier/link gauges at this simulated interval during every shot (e.g. 100us); series land in -metrics-out")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +61,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	registry := metrics.NewRegistry()
+	if *metricsOut != "" || *promListen != "" {
+		experiments.SetShotObserver(func(res experiments.ShotResult) {
+			registry.Record(res.Label(), res.MergedSummary())
+			if len(res.Series) > 0 {
+				registry.RecordSeries(res.Label(), res.Series)
+			}
+		})
+	}
+	experiments.SetDefaultSampleInterval(*sample)
+	if *promListen != "" {
+		go servePrometheus(*promListen, registry)
+	}
+
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experimentNames
@@ -65,6 +85,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, registry); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics for %d run(s) to %s\n", registry.Len(), *metricsOut)
+	}
+	if *promListen != "" {
+		fmt.Printf("serving Prometheus metrics on %s/metrics (interrupt to exit)\n", *promListen)
+		waitForInterrupt()
+	}
+}
+
+// writeMetrics dumps the registry's JSON export to path.
+func writeMetrics(path string, registry *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := registry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// servePrometheus exposes the registry in Prometheus text exposition
+// format; scrapes during the run see the experiments completed so far.
+func servePrometheus(addr string, registry *metrics.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := registry.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "ckptbench: -prom-listen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 }
 
 func run(name string, scale experiments.Scale) error {

@@ -24,12 +24,17 @@ func main() {
 	versions := flag.Int("versions", 24, "checkpoints per process")
 	size := flag.Int64("size", 64<<20, "checkpoint size in bytes")
 	interval := flag.Duration("interval", 10*time.Millisecond, "compute time between operations")
+	sample := flag.Duration("sample", 100*time.Microsecond, "cache/engine gauge sampling interval for counter tracks (0 disables)")
 	flag.Parse()
 
-	sim, err := score.NewSim(
+	opts := []score.Option{
 		score.WithTracing(),
 		score.WithGPUsPerNode(*gpus),
-	)
+	}
+	if *sample > 0 {
+		opts = append(opts, score.WithSampling(*sample))
+	}
+	sim, err := score.NewSim(opts...)
 	if err != nil {
 		fatal(err)
 	}

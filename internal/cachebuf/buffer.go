@@ -158,6 +158,7 @@ type Buffer struct {
 	policy    Policy
 	seq       int64 // insertion/touch counter
 	stats     Stats
+	waitObs   func(time.Duration) // per-wait eviction-stall observer
 }
 
 // New creates a buffer of the given capacity. The oracle must be non-nil.
@@ -183,6 +184,21 @@ func New(clk simclock.Clock, name string, capacity int64, oracle Oracle) *Buffer
 // SetPolicy selects the eviction policy (default PolicyScore). Intended
 // for configuration at construction time, before concurrent use.
 func (b *Buffer) SetPolicy(p Policy) { b.policy = p }
+
+// SetWaitObserver installs fn to be called with the duration of every
+// individual eviction wait (the Stats.EvictionWait aggregate, per stall).
+// fn runs under the buffer lock and must not call back into the buffer;
+// intended for the metrics layer's eviction-wait histogram. Configure
+// before concurrent use.
+func (b *Buffer) SetWaitObserver(fn func(time.Duration)) { b.waitObs = fn }
+
+// observeWaitLocked accumulates one eviction stall.
+func (b *Buffer) observeWaitLocked(d time.Duration) {
+	b.stats.EvictionWait += d
+	if b.waitObs != nil {
+		b.waitObs(d)
+	}
+}
 
 // Touch records an access to id for the LRU policy; the runtime calls it
 // when a resident checkpoint serves a read.
@@ -288,7 +304,7 @@ func (b *Buffer) reserve(id ID, size int64, wait bool) (int64, error) {
 			// Wait for a state change (consume/flush) and rescan.
 			waitStart := b.clk.Now()
 			b.cond.Wait()
-			b.stats.EvictionWait += b.clk.Now() - waitStart
+			b.observeWaitLocked(b.clk.Now() - waitStart)
 			continue
 		}
 		if !wait && !b.windowEvictableLocked(start, end) {
@@ -393,7 +409,7 @@ func (b *Buffer) evictClaimedLocked(id ID, size int64, startOff, endOff int64) (
 		}
 		waitStart := b.clk.Now()
 		b.cond.Wait()
-		b.stats.EvictionWait += b.clk.Now() - waitStart
+		b.observeWaitLocked(b.clk.Now() - waitStart)
 	}
 
 	// Erase every fragment overlapping [startOff, endOff).
@@ -651,6 +667,46 @@ func (b *Buffer) FreeBytes() int64 {
 		}
 	}
 	return free
+}
+
+// UsedBytes returns the bytes occupied by resident checkpoints
+// (capacity minus gaps) — the sampler's occupancy probe.
+func (b *Buffer) UsedBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	used := b.capacity
+	for _, f := range b.frags {
+		if f.isGap() {
+			used -= f.size
+		}
+	}
+	return used
+}
+
+// ScoreSummary condenses the resident checkpoints' eviction-score
+// distribution for the time-series sampler: mean P-score (seconds until
+// evictable; pinned fragments excluded) and mean S-score (prefetch
+// distance) across resident, unpinned checkpoints.
+func (b *Buffer) ScoreSummary() (meanP, meanS float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int
+	for _, f := range b.frags {
+		if f.isGap() {
+			continue
+		}
+		p, pinned := b.fragPScoreLocked(f)
+		if pinned {
+			continue
+		}
+		meanP += p
+		meanS += b.fragSScoreLocked(f)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return meanP / float64(n), meanS / float64(n)
 }
 
 // LargestGap returns the size of the largest single gap.

@@ -1,0 +1,150 @@
+package cachebuf
+
+import (
+	"testing"
+	"time"
+
+	"score/internal/simclock"
+)
+
+// fuzzOracle is the eviction oracle the fuzzer scripts: evictability is
+// toggled by fuzz ops, and every eviction callback is checked against it
+// — evicting a non-evictable (pinned) replica would lose data.
+type fuzzOracle struct {
+	t         *testing.T
+	evictable map[ID]bool
+	distance  map[ID]int
+	evicted   []ID
+}
+
+func (o *fuzzOracle) Evictable(id ID) bool { return o.evictable[id] }
+func (o *fuzzOracle) TimeToEvictable(id ID) (time.Duration, bool) {
+	if o.evictable[id] {
+		return 0, true
+	}
+	return 0, false // pinned until the fuzzer marks it
+}
+func (o *fuzzOracle) PrefetchDistance(id ID) int {
+	if d, ok := o.distance[id]; ok {
+		return d
+	}
+	return GapDistance - 1
+}
+func (o *fuzzOracle) Evicted(id ID) {
+	if !o.evictable[id] {
+		o.t.Errorf("evicted id %d while not evictable (pinned)", id)
+	}
+	o.evicted = append(o.evicted, id)
+}
+
+// FuzzCacheEviction replays an arbitrary op sequence (reserve, release,
+// touch, mark-evictable, policy change) against the buffer and a naive
+// reference model that tracks the resident set. After every op the buffer
+// must pass its geometry invariants and agree with the model on
+// residency, sizes and used bytes; evictions must only ever claim
+// replicas the oracle declared evictable.
+func FuzzCacheEviction(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82})
+	f.Add([]byte{
+		0x01, 0x02, 0x03, 0x04, // reserve 4 ids
+		0x41, 0x42, // mark two evictable
+		0x05, 0x06, 0x07, // reserve more, forcing eviction
+		0x81, 0x23, 0x08,
+	})
+	f.Add(func() []byte {
+		var seed []byte
+		for i := 0; i < 120; i++ {
+			seed = append(seed, byte(i*37))
+		}
+		return seed
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clk := simclock.NewVirtual()
+		clk.Run(func() {
+			const capacity = 1024
+			o := &fuzzOracle{t: t, evictable: map[ID]bool{}, distance: map[ID]int{}}
+			b := New(clk, "fuzz", capacity, o)
+			model := map[ID]int64{} // resident id -> size
+
+			for i, op := range data {
+				id := ID(op & 0x0F)
+				switch (op >> 4) & 0x07 {
+				case 0, 1: // TryReserve with a size derived from the op index
+					size := int64(1 + (i*131)%300)
+					_, resident := model[id]
+					off, err := b.TryReserve(id, size)
+					switch {
+					case err == nil:
+						if resident {
+							t.Fatalf("op %d: reserve of resident id %d succeeded, want ErrDuplicate", i, id)
+						}
+						if off < 0 || off+size > capacity {
+							t.Fatalf("op %d: reserved [%d,%d) outside capacity %d", i, off, off+size, capacity)
+						}
+						model[id] = size
+					case err == ErrDuplicate:
+						if !resident {
+							t.Fatalf("op %d: ErrDuplicate for non-resident id %d", i, id)
+						}
+					case err == ErrWouldBlock:
+						// Legal whenever no immediately evictable window
+						// exists; the model is unchanged.
+					default:
+						t.Fatalf("op %d: unexpected reserve error: %v", i, err)
+					}
+				case 2: // Release
+					got := b.Release(id)
+					_, want := model[id]
+					if got != want {
+						t.Fatalf("op %d: Release(%d) = %v, model says %v", i, id, got, want)
+					}
+					delete(model, id)
+				case 3: // Touch (LRU bookkeeping only)
+					b.Touch(id)
+				case 4: // mark evictable
+					o.evictable[id] = true
+				case 5: // give the id a prefetch distance (s_score input)
+					o.distance[id] = int(op)
+				case 6: // switch eviction policy
+					b.SetPolicy(Policy(int(op) % 3))
+				case 7: // pin again: freshly reserved replicas start pinned
+					delete(o.evictable, id)
+				}
+
+				// Evictions recorded since the last op leave the model.
+				for _, ev := range o.evicted {
+					if _, ok := model[ev]; !ok {
+						t.Fatalf("op %d: evicted id %d was not resident in the model", i, ev)
+					}
+					delete(model, ev)
+				}
+				o.evicted = o.evicted[:0]
+
+				if err := b.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				if got, want := b.Resident(), len(model); got != want {
+					t.Fatalf("op %d: Resident() = %d, model has %d", i, got, want)
+				}
+				var used int64
+				for mid, msize := range model {
+					off, size, ok := b.Contains(mid)
+					if !ok {
+						t.Fatalf("op %d: model id %d not resident in buffer", i, mid)
+					}
+					if size != msize {
+						t.Fatalf("op %d: id %d size %d, model says %d", i, mid, size, msize)
+					}
+					if off < 0 || off+size > capacity {
+						t.Fatalf("op %d: id %d at [%d,%d) outside capacity", i, mid, off, off+size)
+					}
+					used += msize
+				}
+				if got := b.UsedBytes(); got != used {
+					t.Fatalf("op %d: UsedBytes() = %d, model says %d", i, got, used)
+				}
+			}
+		})
+	})
+}

@@ -97,6 +97,13 @@ func New(p Params) (*Client, error) {
 	if c.gpuP != nil {
 		c.gpuP.SetPolicy(p.GPUEvictionPolicy)
 	}
+	// Per-stall eviction-wait observations feed the latency histogram.
+	// Only buffers owned by this client get an observer: a shared host
+	// pool serves several clients and cannot attribute its stalls.
+	c.gpuC.SetWaitObserver(c.rec.EvictionWait)
+	if c.gpuP != nil {
+		c.gpuP.SetWaitObserver(c.rec.EvictionWait)
+	}
 	c.hostNS = -1
 	if p.SharedHost != nil {
 		c.hstC = p.SharedHost.buf
@@ -106,6 +113,7 @@ func New(p Params) (*Client, error) {
 	} else {
 		c.hstC = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-hostcache", p.GPU.ID()),
 			p.HostCacheSize, &tierOracle{c: c, tier: TierHost})
+		c.hstC.SetWaitObserver(c.rec.EvictionWait)
 	}
 
 	// Pinned host cache registration is slow (~4 GB/s, §4.1.4): either
@@ -363,6 +371,7 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	ck.replicas[TierGPU] = rep
 	c.ckpts[id] = ck
 	c.mu.Unlock()
+	c.rec.CheckpointAccepted(ck.size)
 
 	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
 		fmt.Sprintf("checkpoint %d", id))()
@@ -379,6 +388,7 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 		c.mu.Lock()
 		delete(c.ckpts, id)
 		c.mu.Unlock()
+		c.rec.CheckpointRejected(ck.size)
 		if err == cachebuf.ErrClosed {
 			return ErrClosed
 		}
@@ -448,6 +458,7 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 			delete(ck.replicas, TierHost)
 			delete(c.ckpts, ck.id)
 			c.mu.Unlock()
+			c.rec.CheckpointRejected(ck.size)
 			return ErrClosed
 		default:
 			// Too large for the host cache too: go deeper.
@@ -464,6 +475,7 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 		delete(c.ckpts, ck.id)
 		c.bumpLocked()
 		c.mu.Unlock()
+		c.rec.CheckpointRejected(ck.size)
 		return fmt.Errorf("core: checkpoint %d: synchronous flush: %w", ck.id, err)
 	}
 	c.rec.Checkpoint(ck.size, c.clk.Now()-start)

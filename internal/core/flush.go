@@ -6,6 +6,7 @@ import (
 	"score/internal/cachebuf"
 	"score/internal/ckptstore"
 	"score/internal/lifecycle"
+	"score/internal/metrics"
 	"score/internal/trace"
 )
 
@@ -79,9 +80,17 @@ func (c *Client) runD2H(id ID) {
 	c.mu.Lock()
 	ck := c.ckpts[id]
 	c.mu.Unlock()
-	if ck == nil || c.skipFlush(ck) {
+	if ck == nil {
 		return
 	}
+	if c.skipFlush(ck) {
+		c.accountFate(ck, fateDiscarded)
+		return
+	}
+	start := c.clk.Now()
+	defer func() {
+		c.rec.ObserveDuration(metrics.HistFlushPrefix+TierGPU.String(), c.clk.Now()-start)
+	}()
 	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackD2H, "flush",
 		fmt.Sprintf("flush %d gpu→host", id))()
 	if c.p.GPUDirectStorage || c.tierDegraded(TierHost) {
@@ -174,7 +183,11 @@ func (c *Client) runH2F(id ID) {
 	c.mu.Lock()
 	ck := c.ckpts[id]
 	c.mu.Unlock()
-	if ck == nil || c.skipFlush(ck) {
+	if ck == nil {
+		return
+	}
+	if c.skipFlush(ck) {
+		c.accountFate(ck, fateDiscarded)
 		return
 	}
 	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackH2F, "flush",
@@ -190,11 +203,17 @@ func (c *Client) runH2F(id ID) {
 		return
 	}
 	if hostRep == nil || !hostRep.hasData() {
-		// The host replica vanished (evicted after consumption); the
-		// data is either consumed+discardable or still on the GPU.
+		// The host replica vanished (evicted after consumption, or
+		// sacrificed after an aborted flush); if the checkpoint has no
+		// fate yet the eviction oracle guaranteed it was discardable.
 		// Nothing to flush from here.
+		c.accountFate(ck, fateDiscarded)
 		return
 	}
+	start := c.clk.Now()
+	defer func() {
+		c.rec.ObserveDuration(metrics.HistFlushPrefix+TierHost.String(), c.clk.Now()-start)
+	}()
 	if err := c.directToSSD(ck, false); err != nil {
 		c.abortFlush(ck, TierHost, err)
 		return
@@ -233,6 +252,7 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 			return c.routeToPFS(ck, fromGPU)
 		}
 		ssdRep.fsm.MustTo(lifecycle.WriteComplete)
+		c.accountFate(ck, fateDurable)
 	}
 
 	if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
@@ -316,6 +336,7 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 	}
 	pfsRep.fsm.MustTo(lifecycle.WriteComplete)
 	pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
+	c.accountFate(ck, fateDurable)
 	c.notifyGPU()
 	c.hstC.Notify()
 	return nil
@@ -338,6 +359,7 @@ func (c *Client) abortFlush(ck *checkpoint, srcTier Tier, err error) {
 	c.bumpLocked()
 	c.mu.Unlock()
 	c.rec.FlushAbort()
+	c.accountFate(ck, fateLost)
 	c.markFlushed(ck, srcTier)
 	c.notifyGPU()
 	c.hstC.Notify()

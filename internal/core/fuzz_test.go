@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzIDFIFO drives the compacting FIFO with an arbitrary push/pop
+// sequence and checks every observable against a naive reference queue
+// (a plain slice that re-slices on pop). The two must agree exactly: the
+// compaction step is an allocation optimization, never a semantic one.
+func FuzzIDFIFO(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0xFF})
+	f.Add(func() []byte {
+		// Push/pop churn long enough to cross the head>32 compaction
+		// threshold several times.
+		var seed []byte
+		for i := 0; i < 300; i++ {
+			seed = append(seed, byte(i%2)*0x80|byte(i))
+		}
+		return seed
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fifo idFIFO
+		var ref []ID // naive model: append to push, re-slice to pop
+		next := ID(0)
+
+		for _, op := range data {
+			if op&0x80 == 0 {
+				// Push. Derive the id from a counter plus low op bits so
+				// duplicate ids also occur.
+				id := next + ID(op&0x0F)
+				next++
+				fifo.push(id)
+				ref = append(ref, id)
+			} else {
+				id, ok := fifo.pop()
+				wantOK := len(ref) > 0
+				if ok != wantOK {
+					t.Fatalf("pop ok=%v, reference says %v", ok, wantOK)
+				}
+				if ok {
+					if want := ref[0]; id != want {
+						t.Fatalf("pop = %d, reference head = %d", id, want)
+					}
+					ref = ref[1:]
+				}
+			}
+			if got, want := fifo.len(), len(ref); got != want {
+				t.Fatalf("len = %d, reference len = %d", got, want)
+			}
+		}
+
+		// Drain: the remaining ids must come out in reference order.
+		for len(ref) > 0 {
+			id, ok := fifo.pop()
+			if !ok {
+				t.Fatalf("fifo empty with %d ids still in the reference", len(ref))
+			}
+			if id != ref[0] {
+				t.Fatalf("drain pop = %d, reference head = %d", id, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if id, ok := fifo.pop(); ok {
+			t.Fatalf("pop after drain returned %d", id)
+		}
+	})
+}

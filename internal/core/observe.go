@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"score/internal/metrics"
+)
+
+// This file is the client's observability surface: byte-conservation
+// fate accounting (every accepted checkpoint ends up durable, discarded,
+// or lost — exactly once), sampler probe registration, and the invariant
+// check entry points used by tests and the chaos soak.
+
+// ckptFate is the terminal conservation outcome of one checkpoint.
+type ckptFate int
+
+const (
+	// fateDurable: the bytes landed on a durable tier (SSD or PFS).
+	fateDurable ckptFate = iota
+	// fateDiscarded: the pending flush was cancelled because the
+	// checkpoint was consumed and is discardable (§2 condition 5), or
+	// its cache replica vanished after consumption.
+	fateDiscarded
+	// fateLost: every durable route failed (abortFlush's fail-open).
+	fateLost
+)
+
+// accountFate credits ck's bytes to one conservation fate, exactly once
+// per checkpoint. Later calls (e.g. a discard check on a checkpoint that
+// already flushed) are no-ops. Checkpoints recovered from a durable
+// store were never accepted into this client's pipeline and are
+// excluded, keeping accepted == durable + discarded + lost at
+// quiescence.
+func (c *Client) accountFate(ck *checkpoint, fate ckptFate) {
+	c.mu.Lock()
+	if ck.fateAccounted {
+		c.mu.Unlock()
+		return
+	}
+	if _, recovered := ck.pay.(*storePayload); recovered {
+		c.mu.Unlock()
+		return
+	}
+	ck.fateAccounted = true
+	c.mu.Unlock()
+	switch fate {
+	case fateDurable:
+		c.rec.ConserveDurable(ck.size)
+	case fateDiscarded:
+		c.rec.ConserveDiscarded(ck.size)
+	case fateLost:
+		c.rec.ConserveLost(ck.size)
+	}
+}
+
+// RegisterProbes attaches this client's gauge probes to a sampler: cache
+// occupancy and score means per tier, flush queue depths, and the GPU's
+// copy-engine occupancy. Call before Sampler.Start. prefix
+// disambiguates clients sharing a sampler (GPU IDs repeat across
+// nodes); empty defaults to "gpu<id>". The host-cache probes are
+// registered even for a shared pool (the values are then pool-wide,
+// not per-client).
+func (c *Client) RegisterProbes(s *metrics.Sampler, prefix string) {
+	if prefix == "" {
+		prefix = fmt.Sprintf("gpu%d", c.p.GPU.ID())
+	}
+	name := func(what string) string {
+		return prefix + "." + what
+	}
+	s.Register(name("cache.gpu.used_bytes"), func() float64 {
+		used := c.gpuC.UsedBytes()
+		if c.gpuP != nil {
+			used += c.gpuP.UsedBytes()
+		}
+		return float64(used)
+	})
+	s.Register(name("cache.gpu.resident"), func() float64 {
+		n := c.gpuC.Resident()
+		if c.gpuP != nil {
+			n += c.gpuP.Resident()
+		}
+		return float64(n)
+	})
+	s.Register(name("cache.gpu.score_p_mean"), func() float64 {
+		p, _ := c.gpuC.ScoreSummary()
+		return p
+	})
+	s.Register(name("cache.gpu.score_s_mean"), func() float64 {
+		_, sc := c.gpuC.ScoreSummary()
+		return sc
+	})
+	s.Register(name("cache.host.used_bytes"), func() float64 {
+		return float64(c.hstC.UsedBytes())
+	})
+	s.Register(name("cache.host.resident"), func() float64 {
+		return float64(c.hstC.Resident())
+	})
+	s.Register(name("engines.busy"), func() float64 {
+		return float64(c.p.GPU.EnginesBusy())
+	})
+	s.Register(name("queue.d2h"), func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.d2hQ.len() + c.d2hBusy)
+	})
+	s.Register(name("queue.h2f"), func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.h2fQ.len() + c.h2fBusy)
+	})
+}
+
+// CheckInvariants verifies the recorder's structural invariants (byte
+// conservation bounds, retry-bout bounds, histogram consistency) against
+// the client's current metrics snapshot.
+func (c *Client) CheckInvariants() error {
+	return metrics.CheckInvariants(c.rec.Snapshot())
+}
+
+// CheckInvariantsQuiescent additionally asserts the flush pipeline is
+// fully drained (no pending bytes). Valid only after WaitFlush and
+// before Close.
+func (c *Client) CheckInvariantsQuiescent() error {
+	return metrics.CheckInvariantsQuiescent(c.rec.Snapshot())
+}

@@ -6,6 +6,7 @@ import (
 
 	"score/internal/cachebuf"
 	"score/internal/lifecycle"
+	"score/internal/metrics"
 	"score/internal/trace"
 )
 
@@ -166,7 +167,7 @@ func (c *Client) copyH2D(ck *checkpoint) error {
 		return c.retryIO("pcie", "H2D copy", func() error {
 			st, err := c.p.GPU.TryStreamH2D(nil, ck.size, cs)
 			c.observePipeline(trace.TrackPF, "prefetch",
-				fmt.Sprintf("promote %d host→gpu", ck.id), st)
+				fmt.Sprintf("promote %d host→gpu", ck.id), st, err)
 			return err
 		})
 	}
@@ -193,6 +194,16 @@ func (c *Client) lostDetail(ck *checkpoint) string {
 // pinned prefetches) but reports wouldBlock via promoted=false.
 func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err error) {
 	_ = block // both paths use TryReserve; see doc comment
+	start := c.clk.Now()
+	defer func() {
+		// Only completed promotions that actually moved data feed the
+		// latency histogram; instant already-resident hits would skew it.
+		if promoted && err == nil {
+			if d := c.clk.Now() - start; d > 0 {
+				c.rec.ObserveDuration(metrics.HistPrefetch, d)
+			}
+		}
+	}()
 	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackPF, "prefetch",
 		fmt.Sprintf("promote %d →gpu", ck.id))()
 	// Stage 1: ensure the data is on the host tier.

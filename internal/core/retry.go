@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"score/internal/fabric"
+	"score/internal/metrics"
 )
 
 // RetryPolicy bounds the jittered exponential backoff applied to
@@ -57,19 +58,28 @@ func (c *Client) retryIO(label, what string, op func() error) error {
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.rec.Retry(label)
-			c.clk.Sleep(c.jitter(backoff))
+			sleep := c.jitter(backoff)
+			c.rec.ObserveDuration(metrics.HistRetryBackoff, sleep)
+			c.clk.Sleep(sleep)
 			backoff *= 2
 			if backoff > policy.MaxBackoff {
 				backoff = policy.MaxBackoff
 			}
 		}
 		if c.isClosed() {
+			if attempt > 0 {
+				c.rec.RetryBout(false)
+			}
 			return ErrClosed
 		}
 		if err = op(); err == nil {
+			if attempt > 0 {
+				c.rec.RetryBout(true)
+			}
 			return nil
 		}
 	}
+	c.rec.RetryBout(false)
 	return fmt.Errorf("%w: %s %s (%d attempts): %w", ErrTierIO, label, what, policy.MaxAttempts, err)
 }
 

@@ -23,12 +23,14 @@ import (
 // observePipeline records a completed chunked stream in the metrics and,
 // when tracing, as a post-hoc span (the chunk count and hidden time are
 // only known at completion). Monolithic transfers (Chunks <= 1) record
-// nothing — their spans and counters are unchanged from the seed.
-func (c *Client) observePipeline(track trace.Track, category, name string, st fabric.PipelineStats) {
+// nothing — their spans and counters are unchanged from the seed. Streams
+// that finished without error feed the per-hop byte-conservation
+// invariant; aborted streams carry partial hops and are excluded.
+func (c *Client) observePipeline(track trace.Track, category, name string, st fabric.PipelineStats, streamErr error) {
 	if st.Chunks <= 1 {
 		return
 	}
-	c.rec.Pipelined(st.Bytes, st.Duration, st.HopBusySum())
+	c.rec.Pipelined(st.Bytes, st.Duration, st.HopBusySum(), st.HopBytes, streamErr == nil)
 	if c.p.Tracer != nil {
 		end := c.clk.Now()
 		c.p.Tracer.Record(c.p.GPU.ID(), track, category,
@@ -46,7 +48,7 @@ func (c *Client) copyD2HHost(ck *checkpoint) error {
 		return c.retryIO("pcie", "D2H copy", func() error {
 			st, err := c.p.GPU.TryStreamD2H(nil, ck.size, cs)
 			c.observePipeline(trace.TrackD2H, "flush",
-				fmt.Sprintf("flush %d gpu→host", ck.id), st)
+				fmt.Sprintf("flush %d gpu→host", ck.id), st, err)
 			return err
 		})
 	}
@@ -68,7 +70,7 @@ func (c *Client) transferDown(ck *checkpoint, fromGPU bool, dest *fabric.Link, d
 		return c.retryIO("pcie+"+destLabel, "chunked "+destWhat, func() error {
 			st, err := c.p.GPU.TryStreamD2H(fabric.Path{dest}, ck.size, cs)
 			c.observePipeline(trace.TrackD2H, "flush",
-				fmt.Sprintf("flush %d gpu→%s", ck.id, destLabel), st)
+				fmt.Sprintf("flush %d gpu→%s", ck.id, destLabel), st, err)
 			return err
 		})
 	}
@@ -115,7 +117,7 @@ func (c *Client) readDeepToGPU(ck *checkpoint) error {
 		return c.retryIO(label, "chunked deep read + H2D", func() error {
 			st, err := c.p.GPU.TryStreamH2D(fabric.Path{src}, ck.size, cs)
 			c.observePipeline(trace.TrackPF, "prefetch",
-				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), st)
+				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), st, err)
 			return err
 		})
 	}

@@ -253,6 +253,11 @@ type checkpoint struct {
 	// ErrLost definitively instead of hanging the cache.
 	flushAborted bool
 	flushErr     error // the failure that aborted the flush (diagnostics)
+
+	// fateAccounted: the checkpoint's bytes have been credited to exactly
+	// one conservation fate (durable, discarded, or lost) in the metrics
+	// recorder. Guarded by Client.mu.
+	fateAccounted bool
 }
 
 // dataOn reports whether the checkpoint has a readable replica on tier.

@@ -99,6 +99,14 @@ func (g *GPU) CopyEngines() int {
 	return g.engines
 }
 
+// EnginesBusy returns the number of copy engines currently held by
+// streams — the observability sampler's occupancy probe.
+func (g *GPU) EnginesBusy() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.engBusy
+}
+
 func (g *GPU) acquireEngine() {
 	g.mu.Lock()
 	for g.engBusy >= g.engines {
@@ -203,18 +211,28 @@ func (g *GPU) AllocPinnedHost(size int64) {
 }
 
 // CopyD2D moves size bytes within device memory (e.g. application buffer
-// → GPU cache) and returns the simulated duration.
-func (g *GPU) CopyD2D(size int64) time.Duration { return g.d2d.Transfer(size) }
+// → GPU cache) and returns the simulated duration. Intra-device copies
+// have no fault interceptor, so no error can be lost here.
+func (g *GPU) CopyD2D(size int64) time.Duration {
+	d, _ := g.d2d.TryTransfer(size)
+	return d
+}
 
 // CopyD2H moves size bytes from device to host over PCIe.
 //
 // Deprecated: use TryCopyD2H so injected PCIe faults surface.
-func (g *GPU) CopyD2H(size int64) time.Duration { return g.pcie.Transfer(size) }
+func (g *GPU) CopyD2H(size int64) time.Duration {
+	d, _ := g.TryCopyD2H(size)
+	return d
+}
 
 // CopyH2D moves size bytes from host to device over PCIe.
 //
 // Deprecated: use TryCopyH2D so injected PCIe faults surface.
-func (g *GPU) CopyH2D(size int64) time.Duration { return g.pcie.Transfer(size) }
+func (g *GPU) CopyH2D(size int64) time.Duration {
+	d, _ := g.TryCopyH2D(size)
+	return d
+}
 
 // TryCopyD2H is CopyD2H with injected PCIe faults surfaced.
 func (g *GPU) TryCopyD2H(size int64) (time.Duration, error) { return g.pcie.TryTransfer(size) }

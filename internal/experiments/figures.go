@@ -279,9 +279,5 @@ func Fig9(scale Scale, coupled bool, gpuCounts []int) (FigureResult, error) {
 
 // mergeRanks merges all per-rank summaries of a result.
 func mergeRanks(res ShotResult) metrics.Summary {
-	parts := make([]metrics.Summary, 0, len(res.PerRank))
-	for _, r := range res.PerRank {
-		parts = append(parts, r.Summary)
-	}
-	return metrics.Merge(parts...)
+	return res.MergedSummary()
 }

@@ -20,6 +20,7 @@ import (
 	"score/internal/payload"
 	"score/internal/rtm"
 	"score/internal/simclock"
+	"score/internal/trace"
 	"score/internal/uvmsim"
 )
 
@@ -181,7 +182,30 @@ type ShotConfig struct {
 	// its pure form, used by the allocation ablation.
 	UpfrontHostInit bool
 	EvictionPolicy  cachebuf.Policy
+
+	// SampleInterval, when positive, runs a virtual-clock sampler over
+	// the shot that records cache occupancy, score means, flush queue
+	// depths and copy-engine occupancy per Score rank, plus in-flight
+	// count and cumulative busy time per fabric link, every interval.
+	// The series land in ShotResult.Series.
+	SampleInterval time.Duration
+	// SeriesCapacity bounds each sampled series ring buffer (0 takes
+	// metrics.DefaultSeriesCapacity).
+	SeriesCapacity int
+	// Tracer, when set, receives span events from Score ranks and — with
+	// sampling enabled — every sample as a Chrome-trace counter event.
+	Tracer *trace.Tracer
 }
+
+// defaultSampleInterval is applied to every ShotConfig that does not
+// set its own SampleInterval — the knob ckptbench's -sample flag turns
+// without threading a value through each figure driver.
+var defaultSampleInterval time.Duration
+
+// SetDefaultSampleInterval makes every subsequent shot whose config
+// leaves SampleInterval zero sample its gauges at d (0 disables). Not
+// safe to change while shots are running.
+func SetDefaultSampleInterval(d time.Duration) { defaultSampleInterval = d }
 
 // withDefaults fills the paper's defaults.
 func (c ShotConfig) withDefaults() ShotConfig {
@@ -220,6 +244,9 @@ func (c ShotConfig) withDefaults() ShotConfig {
 	if c.Seed == 0 {
 		c.Seed = 2023
 	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = defaultSampleInterval
+	}
 	if c.BWScale > 0 && c.BWScale != 1 {
 		c.Node.D2DBandwidth *= c.BWScale
 		c.Node.PCIeBandwidth *= c.BWScale
@@ -240,7 +267,39 @@ type ShotResult struct {
 	Config   ShotConfig
 	PerRank  []RankResult
 	Duration time.Duration // simulated makespan
+	// Series holds the sampled time series when Config.SampleInterval
+	// was set (nil otherwise).
+	Series map[string][]metrics.Sample
 }
+
+// Label names the run for metric exports: the Table 1 combo plus the
+// phase-coupling mode.
+func (r ShotResult) Label() string {
+	mode := "immediate-restore"
+	if r.Config.WaitForFlush {
+		mode = "drained-restore"
+	}
+	return fmt.Sprintf("%s (%s)", r.Config.Combo.Label(), mode)
+}
+
+// MergedSummary folds every rank's summary into one (histograms merge
+// bucket-by-bucket; counters add).
+func (r ShotResult) MergedSummary() metrics.Summary {
+	parts := make([]metrics.Summary, 0, len(r.PerRank))
+	for _, rr := range r.PerRank {
+		parts = append(parts, rr.Summary)
+	}
+	return metrics.Merge(parts...)
+}
+
+// shotObserver, when set, receives every completed shot — the hook the
+// ckptbench exporter uses to aggregate metrics across the experiment
+// drivers without threading a registry through each of them.
+var shotObserver func(ShotResult)
+
+// SetShotObserver installs fn as the completed-shot hook (nil removes
+// it). Not safe to change while shots are running.
+func SetShotObserver(fn func(ShotResult)) { shotObserver = fn }
 
 // MeanCheckpointThroughput is the per-GPU application-observed write
 // throughput, computed as the aggregate ratio (total bytes over total
@@ -369,6 +428,25 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		orders[rank] = cfg.Order.Sequence(cfg.Snapshots, cfg.Seed+int64(rank))
 	}
 
+	var sampler *metrics.Sampler
+	if cfg.SampleInterval > 0 {
+		sampler = metrics.NewSampler(clk, cfg.SampleInterval, cfg.SeriesCapacity)
+		for rank, rt := range rts {
+			if sc, ok := rt.(scoreRuntime); ok {
+				sc.Client.RegisterProbes(sampler, fmt.Sprintf("rank%d", rank))
+			}
+		}
+		registerLinkProbes(sampler, cluster)
+		if cfg.Tracer != nil {
+			tracer := cfg.Tracer
+			sampler.SetCounterSink(func(name string, at time.Duration, v float64) {
+				tracer.Counter(0, name, at, v)
+			})
+		}
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
 	var barrier *simclock.Barrier
 	if cfg.TightlyCoupled {
 		barrier = simclock.NewBarrier(clk, ranks)
@@ -394,9 +472,62 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		if err := rts[rank].Err(); err != nil {
 			return res, fmt.Errorf("rank %d async: %w", rank, err)
 		}
-		res.PerRank = append(res.PerRank, RankResult{Rank: rank, Summary: rts[rank].Metrics().Snapshot()})
+		// Assert the metrics invariants for every scenario. Drained-
+		// restore runs can additionally be checked at quiescence (the
+		// mid-run WaitFlush emptied the queues; the makespan was
+		// captured above). Immediate-restore runs cannot be drained
+		// here: prefetched-but-unconsumed replicas stay pinned after
+		// the backward pass, so a trailing flush may legitimately hold
+		// its reservation until Close.
+		check := metrics.CheckInvariants
+		if cfg.WaitForFlush {
+			if err := rts[rank].WaitFlush(); err != nil {
+				return res, fmt.Errorf("rank %d final drain: %w", rank, err)
+			}
+			check = metrics.CheckInvariantsQuiescent
+		}
+		sum := rts[rank].Metrics().Snapshot()
+		if err := check(sum); err != nil {
+			return res, fmt.Errorf("rank %d metrics invariants: %w", rank, err)
+		}
+		res.PerRank = append(res.PerRank, RankResult{Rank: rank, Summary: sum})
+	}
+	if sampler != nil {
+		sampler.Stop()
+		res.Series = sampler.Series()
+	}
+	if shotObserver != nil {
+		shotObserver(res)
 	}
 	return res, nil
+}
+
+// registerLinkProbes adds one in-flight-transfers gauge and one
+// cumulative-busy-seconds counter per distinct fabric link of the
+// cluster (per-GPU PCIe links, per-node NVMe, the shared PFS).
+func registerLinkProbes(s *metrics.Sampler, cluster *fabric.Cluster) {
+	seen := map[*fabric.Link]bool{}
+	add := func(l *fabric.Link) {
+		if l == nil || seen[l] {
+			return
+		}
+		seen[l] = true
+		s.Register("link."+l.Name()+".inflight", func() float64 {
+			return float64(l.InFlight())
+		})
+		s.Register("link."+l.Name()+".busy_seconds", func() float64 {
+			return l.BusyTime().Seconds()
+		})
+	}
+	for _, node := range cluster.Nodes {
+		add(node.NVMe)
+		add(node.PFS)
+		for g := 0; g < node.Config().GPUs; g++ {
+			d2d, pcie := node.GPULinks(g)
+			add(d2d)
+			add(pcie)
+		}
+	}
 }
 
 func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fabric.Node, pool *core.SharedHostCache) (Runtime, error) {
@@ -427,6 +558,7 @@ func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fab
 			GPUDirectStorage:    cfg.GPUDirect,
 			ChunkSize:           cfg.ChunkSize,
 			FlushStreams:        cfg.FlushStreams,
+			Tracer:              cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -65,6 +65,7 @@ type Link struct {
 	totalBytes     int64
 	totalTransfers int64
 	peakConcurrent int
+	busy           time.Duration // simulated time with >=1 active transfer
 }
 
 type transfer struct {
@@ -208,6 +209,16 @@ func (l *Link) Stats() (bytes, transfers int64, peakConcurrent int) {
 	return l.totalBytes, l.totalTransfers, l.peakConcurrent
 }
 
+// BusyTime returns the cumulative simulated time during which the link had
+// at least one transfer in flight. The observability sampler differences
+// successive readings to compute per-interval utilization.
+func (l *Link) BusyTime() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.settleLocked()
+	return l.busy
+}
+
 // settleLocked credits progress to every active transfer for the simulated
 // time elapsed since the last settlement, at the fair share that was in
 // effect over that interval. Must be called with l.mu held, and after
@@ -219,6 +230,7 @@ func (l *Link) settleLocked() {
 	if elapsed <= 0 || len(l.active) == 0 {
 		return
 	}
+	l.busy += elapsed
 	share := l.bw / float64(len(l.active))
 	credit := share * elapsed.Seconds()
 	for t := range l.active {
@@ -256,11 +268,8 @@ type Path []*Link
 //
 // Deprecated: use TryTransfer so injected faults surface.
 func (p Path) Transfer(size int64) time.Duration {
-	var total time.Duration
-	for _, l := range p {
-		total += l.Transfer(size)
-	}
-	return total
+	d, _ := p.TryTransfer(size)
+	return d
 }
 
 // TryTransfer moves size bytes hop by hop, stopping at the first hop that

@@ -21,6 +21,10 @@ type PipelineStats struct {
 	// like the Path. With no pipelining their sum equals Duration; with
 	// overlap the sum exceeds it.
 	HopBusy []time.Duration
+	// HopBytes is the payload successfully carried by each hop, indexed
+	// like the Path. On an error-free stream every entry equals Bytes —
+	// the conservation invariant metrics.CheckInvariants enforces.
+	HopBytes []int64
 }
 
 // HopBusySum returns the total per-hop occupancy across all hops.
@@ -62,9 +66,10 @@ type pipeline struct {
 	// closed[h] means no more chunks will ever be appended to
 	// queues[h]: the upstream stage has finished or aborted.
 	closed []bool
-	// busy accumulates per-hop transfer time (aliases the caller's
-	// PipelineStats.HopBusy).
-	busy []time.Duration
+	// busy and bytes accumulate per-hop transfer time and payload
+	// (aliasing the caller's PipelineStats.HopBusy / HopBytes).
+	busy  []time.Duration
+	bytes []int64
 	// err is the first hop failure; once set, every stage aborts
 	// without charging further transfers.
 	err error
@@ -108,7 +113,11 @@ func (p Path) TryPipelinedTransfer(size, chunkSize int64) (time.Duration, error)
 // is how every caller in this runtime uses it (the destination
 // reservation is made before the stream starts).
 func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
-	st := PipelineStats{Bytes: size, HopBusy: make([]time.Duration, len(p))}
+	st := PipelineStats{
+		Bytes:    size,
+		HopBusy:  make([]time.Duration, len(p)),
+		HopBytes: make([]int64, len(p)),
+	}
 	if size <= 0 || len(p) == 0 {
 		return st, nil
 	}
@@ -124,6 +133,7 @@ func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
 			if err != nil {
 				break
 			}
+			st.HopBytes[i] += size
 		}
 		st.Duration = clk.Now() - start
 		return st, err
@@ -136,6 +146,7 @@ func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
 		heads:  make([]int, nHops),
 		closed: make([]bool, nHops),
 		busy:   st.HopBusy,
+		bytes:  st.HopBytes,
 	}
 	ps.cond = clk.NewCond(&ps.mu)
 
@@ -170,6 +181,7 @@ func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
 			ps.mu.Unlock()
 			break
 		}
+		ps.bytes[0] += n
 		ps.queues[1] = append(ps.queues[1], n)
 		ps.cond.Broadcast()
 		ps.mu.Unlock()
@@ -229,6 +241,7 @@ func (ps *pipeline) runHop(h int) {
 			ps.mu.Unlock()
 			return
 		}
+		ps.bytes[h] += n
 		if h+1 < len(ps.path) {
 			ps.queues[h+1] = append(ps.queues[h+1], n)
 			ps.cond.Broadcast()

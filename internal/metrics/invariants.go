@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckInvariants verifies the conservation laws the observability layer
+// turns into correctness oracles. They must hold at any point in a run:
+//
+//   - fate accounting never over-credits: durable + discarded + lost
+//     bytes never exceed the bytes accepted into the pipeline;
+//   - retry bouts are conservative: every recorded bout carried at least
+//     one retry, so bouts <= total retries, and tiers are only marked
+//     degraded after a bout exhausted its attempts;
+//   - every repopulation was preceded by a fallback read;
+//   - per-hop pipelined bytes match the payload: each hop of a complete
+//     chunked stream moved exactly the stream's payload size;
+//   - histograms are internally consistent (bucket counts sum to the
+//     total) and agree with the operation counters they shadow.
+//
+// A nil error means every invariant holds.
+func CheckInvariants(s Summary) error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	// Fate accounting.
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"accepted", s.AcceptedBytes}, {"durable", s.DurableBytes},
+		{"discarded", s.DiscardedBytes}, {"lost", s.LostBytes},
+	} {
+		if c.v < 0 {
+			fail("conservation: %s bytes negative (%d)", c.name, c.v)
+		}
+	}
+	if pending := s.PendingFlushBytes(); pending < 0 {
+		fail("conservation: fates over-credited — durable(%d)+discarded(%d)+lost(%d) exceed accepted(%d) by %d",
+			s.DurableBytes, s.DiscardedBytes, s.LostBytes, s.AcceptedBytes, -pending)
+	}
+
+	// Retry bouts. A recovered bout by definition retried at least once;
+	// an exhausted bout may have had its attempts capped at one, so only
+	// recovered bouts bound the per-retry counters.
+	if s.RetryBoutsRecovered > s.TotalRetries() {
+		fail("retries: %d recovered bouts but only %d retried attempts", s.RetryBoutsRecovered, s.TotalRetries())
+	}
+	if d := s.TotalDegradations(); d > s.RetryBoutsExhausted {
+		fail("retries: %d degradations but only %d exhausted bouts", d, s.RetryBoutsExhausted)
+	}
+	if s.Repopulations > s.FallbackReads {
+		fail("retries: %d repopulations but only %d fallback reads", s.Repopulations, s.FallbackReads)
+	}
+
+	// Pipelined per-hop byte conservation.
+	if s.PipelinedHopBytes != s.PipelinedHopBytesWant {
+		fail("pipeline: per-hop bytes %d != expected payload×hops %d (diff %d)",
+			s.PipelinedHopBytes, s.PipelinedHopBytesWant, s.PipelinedHopBytes-s.PipelinedHopBytesWant)
+	}
+
+	// Histogram internal consistency.
+	for name, h := range s.Histograms {
+		var sum int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				fail("histogram %s: negative bucket count %d", name, c)
+			}
+			sum += c
+		}
+		if sum != h.Count {
+			fail("histogram %s: bucket counts sum to %d, total says %d", name, sum, h.Count)
+		}
+	}
+	if h, ok := s.Histograms[HistCheckpoint]; ok && h.Count != s.CheckpointOps {
+		fail("histogram %s: %d samples vs %d checkpoint ops", HistCheckpoint, h.Count, s.CheckpointOps)
+	}
+	if h, ok := s.Histograms[HistRestore]; ok && h.Count != s.RestoreOps {
+		fail("histogram %s: %d samples vs %d restore ops", HistRestore, h.Count, s.RestoreOps)
+	}
+
+	// Series consistency.
+	if int64(len(s.RestoreSeries)) != s.RestoreOps {
+		fail("restore series has %d points for %d restore ops", len(s.RestoreSeries), s.RestoreOps)
+	}
+
+	return errors.Join(errs...)
+}
+
+// CheckInvariantsQuiescent verifies the running invariants plus the
+// stronger balance that only holds once the flush pipeline has drained
+// (after WaitFlush): every accepted byte has a decided fate, and accepted
+// bytes equal the checkpoint bytes the application observed.
+func CheckInvariantsQuiescent(s Summary) error {
+	var errs []error
+	if err := CheckInvariants(s); err != nil {
+		errs = append(errs, err)
+	}
+	if s.ConservationTracked() {
+		if pending := s.PendingFlushBytes(); pending != 0 {
+			errs = append(errs, fmt.Errorf(
+				"conservation: %d bytes still pending at quiescence — accepted(%d) != durable(%d)+discarded(%d)+lost(%d)",
+				pending, s.AcceptedBytes, s.DurableBytes, s.DiscardedBytes, s.LostBytes))
+		}
+		if s.AcceptedBytes != s.CheckpointBytes {
+			errs = append(errs, fmt.Errorf(
+				"conservation: accepted bytes %d != checkpointed bytes %d",
+				s.AcceptedBytes, s.CheckpointBytes))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// healthySummary builds a summary that satisfies every invariant, for the
+// violation tests to perturb one field at a time.
+func healthySummary() Summary {
+	r := NewRecorder()
+	r.Checkpoint(1000, time.Millisecond)
+	r.CheckpointAccepted(1000)
+	r.ConserveDurable(600)
+	r.ConserveDiscarded(400)
+	r.Retry("ssd")
+	r.RetryBout(true)
+	return r.Snapshot()
+}
+
+func TestCheckInvariantsHealthy(t *testing.T) {
+	s := healthySummary()
+	if err := CheckInvariants(s); err != nil {
+		t.Errorf("healthy summary failed running invariants: %v", err)
+	}
+	if err := CheckInvariantsQuiescent(s); err != nil {
+		t.Errorf("healthy drained summary failed quiescent invariants: %v", err)
+	}
+}
+
+func TestCheckInvariantsViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Summary)
+		wantSub string
+	}{
+		{
+			"fates over-credited",
+			func(s *Summary) { s.DurableBytes += 500 },
+			"over-credited",
+		},
+		{
+			"negative accepted",
+			func(s *Summary) { s.AcceptedBytes = -1 },
+			"negative",
+		},
+		{
+			"recovered bouts exceed retries",
+			func(s *Summary) { s.RetryBoutsRecovered = 99 },
+			"recovered bouts",
+		},
+		{
+			"degradations exceed exhausted bouts",
+			func(s *Summary) { s.Degradations = map[string]int64{"ssd": 1} },
+			"exhausted bouts",
+		},
+		{
+			"repopulations without fallback reads",
+			func(s *Summary) { s.Repopulations = 3 },
+			"fallback reads",
+		},
+		{
+			"pipelined hop bytes diverge",
+			func(s *Summary) { s.PipelinedHopBytes += 7 },
+			"per-hop bytes",
+		},
+		{
+			"histogram sum mismatch",
+			func(s *Summary) {
+				h := s.Histograms[HistCheckpoint]
+				h.Count += 5
+				s.Histograms[HistCheckpoint] = h
+			},
+			"bucket counts sum",
+		},
+		{
+			"restore series length mismatch",
+			func(s *Summary) { s.RestoreOps = 4 },
+			"restore series",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := healthySummary()
+			tc.mutate(&s)
+			err := CheckInvariants(s)
+			if err == nil {
+				t.Fatal("mutated summary passed invariants")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckInvariantsQuiescentCatchesPending(t *testing.T) {
+	s := healthySummary()
+	s.DiscardedBytes -= 100 // 100 bytes left with undecided fate
+	if err := CheckInvariants(s); err != nil {
+		t.Errorf("pending bytes must be legal while running: %v", err)
+	}
+	err := CheckInvariantsQuiescent(s)
+	if err == nil {
+		t.Fatal("quiescent check passed with pending bytes")
+	}
+	if !strings.Contains(err.Error(), "pending") {
+		t.Errorf("error %q does not mention pending bytes", err)
+	}
+}
+
+func TestCheckInvariantsQuiescentCatchesAcceptGap(t *testing.T) {
+	s := healthySummary()
+	// A checkpoint the application saw but the pipeline never accepted.
+	s.CheckpointBytes += 512
+	err := CheckInvariantsQuiescent(s)
+	if err == nil {
+		t.Fatal("quiescent check passed with accepted != checkpointed")
+	}
+	if !strings.Contains(err.Error(), "checkpointed") {
+		t.Errorf("error %q does not mention the checkpoint gap", err)
+	}
+}
+
+func TestCheckInvariantsQuiescentSkipsUntrackedRuns(t *testing.T) {
+	// A summary from a run that predates fate tracking (all conservation
+	// counters zero) must not fail the quiescent balance.
+	var s Summary
+	s.CheckpointBytes = 1000
+	if err := CheckInvariantsQuiescent(s); err != nil {
+		t.Errorf("untracked summary failed quiescent invariants: %v", err)
+	}
+}

@@ -43,6 +43,50 @@ type Recorder struct {
 	pipelinedBytes   int64
 	pipelinedElapsed time.Duration // end-to-end stream durations
 	pipelinedHopBusy time.Duration // summed per-hop occupancy
+
+	// Per-hop byte conservation for complete pipelined streams: every hop
+	// of an error-free stream must carry exactly the payload size.
+	pipelinedHopBytes     int64 // observed per-hop bytes, summed
+	pipelinedHopBytesWant int64 // payload size × hop count
+
+	// Conservation (fate) accounting: every byte accepted into the
+	// checkpoint pipeline must end up exactly one of durable, discarded
+	// (consumed before flush, §2 cond. 5) or lost (flush chain aborted).
+	// CheckInvariants enforces the balance.
+	acceptedBytes  int64
+	durableBytes   int64
+	discardedBytes int64
+	lostBytes      int64
+
+	// Retry bouts: one bout = one retried I/O sequence (>=1 retries). A
+	// bout either recovers (the operation eventually succeeds) or exhausts
+	// its attempts; CheckInvariants ties bouts to the per-retry counters.
+	retryBoutsRecovered int64
+	retryBoutsExhausted int64
+
+	// Fixed-boundary latency histograms, keyed by the Hist* constants.
+	hists map[string]*Histogram
+}
+
+// observeLocked records d into the named histogram. Caller holds r.mu.
+func (r *Recorder) observeLocked(name string, d time.Duration) {
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	h.Observe(d)
+}
+
+// ObserveDuration records one duration sample into the named
+// fixed-boundary histogram (see the Hist* constants).
+func (r *Recorder) ObserveDuration(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(name, d)
 }
 
 // SeriesPoint is one restore operation's measurement.
@@ -69,6 +113,60 @@ func (r *Recorder) Checkpoint(bytes int64, blocked time.Duration) {
 	r.ckptBytes += bytes
 	r.ckptBlocked += blocked
 	r.ckptOps++
+	r.observeLocked(HistCheckpoint, blocked)
+}
+
+// CheckpointAccepted records bytes entering the flush pipeline. Paired
+// with exactly one of ConserveDurable, ConserveDiscarded, ConserveLost or
+// CheckpointRejected per checkpoint.
+func (r *Recorder) CheckpointAccepted(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.acceptedBytes += bytes
+}
+
+// CheckpointRejected un-accounts a previously accepted checkpoint whose
+// admission ultimately failed (e.g. the synchronous-flush fallback could
+// not land it anywhere).
+func (r *Recorder) CheckpointRejected(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.acceptedBytes -= bytes
+}
+
+// ConserveDurable records bytes whose flush chain reached a durable tier.
+func (r *Recorder) ConserveDurable(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.durableBytes += bytes
+}
+
+// ConserveDiscarded records bytes whose flush was skipped because the
+// checkpoint was consumed first (§2 cond. 5) or its cached replica was
+// released before the chain ran.
+func (r *Recorder) ConserveDiscarded(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.discardedBytes += bytes
+}
+
+// ConserveLost records bytes whose flush chain was abandoned after
+// exhausting every durable route.
+func (r *Recorder) ConserveLost(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lostBytes += bytes
+}
+
+// RetryBout records the outcome of one retried I/O sequence.
+func (r *Recorder) RetryBout(recovered bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if recovered {
+		r.retryBoutsRecovered++
+	} else {
+		r.retryBoutsExhausted++
+	}
 }
 
 // Restore records one restore operation.
@@ -85,6 +183,7 @@ func (r *Recorder) Restore(iter int, bytes int64, blocked time.Duration, prefetc
 		PrefetchDistance: prefetchDistance,
 	})
 	r.prefetchDist = append(r.prefetchDist, prefetchDistance)
+	r.observeLocked(HistRestore, blocked)
 }
 
 // EvictionWait accumulates time spent blocked on evictions.
@@ -92,6 +191,7 @@ func (r *Recorder) EvictionWait(d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.evictionWait += d
+	r.observeLocked(HistEvictionWait, d)
 }
 
 // Deviation records a restore that was not the next hinted checkpoint.
@@ -156,13 +256,22 @@ func (r *Recorder) SyncFlush() {
 // Pipelined records one chunked multi-hop transfer stream: the bytes it
 // moved, its end-to-end elapsed time, and the summed busy time of its
 // hops (hopBusy > elapsed measures the overlap the pipelining won).
-func (r *Recorder) Pipelined(bytes int64, elapsed, hopBusy time.Duration) {
+// hopBytes carries the payload observed per hop; for complete (error-free)
+// streams every hop must have moved exactly bytes, which CheckInvariants
+// verifies against the accumulated totals.
+func (r *Recorder) Pipelined(bytes int64, elapsed, hopBusy time.Duration, hopBytes []int64, complete bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pipelinedStreams++
 	r.pipelinedBytes += bytes
 	r.pipelinedElapsed += elapsed
 	r.pipelinedHopBusy += hopBusy
+	if complete {
+		for _, hb := range hopBytes {
+			r.pipelinedHopBytes += hb
+		}
+		r.pipelinedHopBytesWant += bytes * int64(len(hopBytes))
+	}
 }
 
 // Summary is an immutable snapshot of a Recorder.
@@ -190,6 +299,36 @@ type Summary struct {
 	PipelinedBytes   int64
 	PipelinedElapsed time.Duration
 	PipelinedHopBusy time.Duration
+
+	// Per-hop byte conservation for complete pipelined streams.
+	PipelinedHopBytes     int64
+	PipelinedHopBytesWant int64
+
+	// Conservation (fate) accounting; see CheckInvariants.
+	AcceptedBytes  int64
+	DurableBytes   int64
+	DiscardedBytes int64
+	LostBytes      int64
+
+	// Retry bout outcomes.
+	RetryBoutsRecovered int64
+	RetryBoutsExhausted int64
+
+	// Fixed-boundary latency histograms keyed by the Hist* constants.
+	Histograms map[string]HistogramSnapshot `json:",omitempty"`
+}
+
+// PendingFlushBytes returns accepted bytes whose fate has not been decided
+// yet. It is zero at quiescence (after WaitFlush / Close).
+func (s Summary) PendingFlushBytes() int64 {
+	return s.AcceptedBytes - s.DurableBytes - s.DiscardedBytes - s.LostBytes
+}
+
+// ConservationTracked reports whether this summary came from a runtime
+// that performs fate accounting (the Score runtime does; the baseline
+// runtimes only keep throughput counters).
+func (s Summary) ConservationTracked() bool {
+	return s.AcceptedBytes != 0 || s.DurableBytes != 0 || s.DiscardedBytes != 0 || s.LostBytes != 0
 }
 
 // PipelineOverlap returns the total simulated transfer time hidden by
@@ -226,6 +365,13 @@ func (r *Recorder) Snapshot() Summary {
 	defer r.mu.Unlock()
 	series := make([]SeriesPoint, len(r.restoreSeries))
 	copy(series, r.restoreSeries)
+	var hists map[string]HistogramSnapshot
+	if len(r.hists) > 0 {
+		hists = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hists[name] = h.Snapshot()
+		}
+	}
 	return Summary{
 		CheckpointBytes:   r.ckptBytes,
 		CheckpointBlocked: r.ckptBlocked,
@@ -246,6 +392,19 @@ func (r *Recorder) Snapshot() Summary {
 		PipelinedBytes:    r.pipelinedBytes,
 		PipelinedElapsed:  r.pipelinedElapsed,
 		PipelinedHopBusy:  r.pipelinedHopBusy,
+
+		PipelinedHopBytes:     r.pipelinedHopBytes,
+		PipelinedHopBytesWant: r.pipelinedHopBytesWant,
+
+		AcceptedBytes:  r.acceptedBytes,
+		DurableBytes:   r.durableBytes,
+		DiscardedBytes: r.discardedBytes,
+		LostBytes:      r.lostBytes,
+
+		RetryBoutsRecovered: r.retryBoutsRecovered,
+		RetryBoutsExhausted: r.retryBoutsExhausted,
+
+		Histograms: hists,
 	}
 }
 
@@ -315,6 +474,23 @@ func Merge(parts ...Summary) Summary {
 		out.PipelinedBytes += p.PipelinedBytes
 		out.PipelinedElapsed += p.PipelinedElapsed
 		out.PipelinedHopBusy += p.PipelinedHopBusy
+		out.PipelinedHopBytes += p.PipelinedHopBytes
+		out.PipelinedHopBytesWant += p.PipelinedHopBytesWant
+		out.AcceptedBytes += p.AcceptedBytes
+		out.DurableBytes += p.DurableBytes
+		out.DiscardedBytes += p.DiscardedBytes
+		out.LostBytes += p.LostBytes
+		out.RetryBoutsRecovered += p.RetryBoutsRecovered
+		out.RetryBoutsExhausted += p.RetryBoutsExhausted
+		for name, h := range p.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramSnapshot{}
+			}
+			merged, err := out.Histograms[name].merge(h)
+			if err == nil {
+				out.Histograms[name] = merged
+			}
+		}
 		for k, v := range p.Retries {
 			if out.Retries == nil {
 				out.Retries = map[string]int64{}

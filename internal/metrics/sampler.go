@@ -1,0 +1,214 @@
+// Time-series sampling: a simclock-driven sampler polls registered gauge
+// probes (link utilization, copy-engine occupancy, cache occupancy, …) at
+// a fixed cadence into fixed-capacity ring buffers, so long soaks record
+// bounded, recent-biased timelines instead of unbounded slices.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"score/internal/simclock"
+)
+
+// Sample is one (simulated time, value) point of a sampled series.
+type Sample struct {
+	At    time.Duration `json:"at"`
+	Value float64       `json:"value"`
+}
+
+// Series is a fixed-capacity ring buffer of samples. The zero value is not
+// usable; the Sampler allocates them.
+type Series struct {
+	ring []Sample
+	head int // next write position
+	n    int // number of valid samples
+}
+
+func newSeries(capacity int) *Series { return &Series{ring: make([]Sample, capacity)} }
+
+func (s *Series) add(p Sample) {
+	s.ring[s.head] = p
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// Samples returns the retained points in chronological order.
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// DefaultSampleInterval is the sampler cadence used when none is given:
+// fine enough to resolve individual flush/prefetch phases at the simulated
+// bandwidths the experiments use, coarse enough to stay cheap.
+const DefaultSampleInterval = 100 * time.Microsecond
+
+// DefaultSeriesCapacity bounds each series' ring buffer.
+const DefaultSeriesCapacity = 4096
+
+// Sampler polls registered probes on a simulated-time cadence. It must be
+// started from inside a running clock (Start launches a clock-managed
+// task) and stopped before the root task finishes, otherwise the virtual
+// clock would keep advancing on the sampler's timer alone.
+type Sampler struct {
+	clk      simclock.Clock
+	interval time.Duration
+	capacity int
+
+	mu      sync.Mutex
+	cond    simclock.Cond
+	probes  []probe
+	series  map[string]*Series
+	sink    func(name string, at time.Duration, v float64)
+	running bool
+	stopped bool
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewSampler returns a sampler on clk. Non-positive interval or capacity
+// select the defaults.
+func NewSampler(clk simclock.Clock, interval time.Duration, capacity int) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	s := &Sampler{clk: clk, interval: interval, capacity: capacity, series: map[string]*Series{}}
+	s.cond = clk.NewCond(&s.mu)
+	return s
+}
+
+// Register adds a named gauge probe. fn is called on the sampler task at
+// every tick; it must not block on simulated time.
+func (s *Sampler) Register(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, probe{name: name, fn: fn})
+	if s.series[name] == nil {
+		s.series[name] = newSeries(s.capacity)
+	}
+}
+
+// SetCounterSink forwards every sample to fn as well (used to mirror the
+// series into Chrome-trace counter events without a trace dependency).
+func (s *Sampler) SetCounterSink(fn func(name string, at time.Duration, v float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = fn
+}
+
+// Start launches the sampling task on the clock. It may be called at most
+// once; Stop must be called before the simulation's root task returns.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.running || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.mu.Unlock()
+	s.clk.Go(s.loop)
+}
+
+func (s *Sampler) loop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.stopped {
+		// WaitTimeout rather than Sleep: Stop can interrupt the wait, so a
+		// stopped sampler never holds a pending timer that would keep the
+		// virtual clock advancing after the workload finished.
+		s.cond.WaitTimeout(s.interval)
+		if s.stopped {
+			return
+		}
+		s.sampleLocked()
+	}
+}
+
+func (s *Sampler) sampleLocked() {
+	at := s.clk.Now()
+	probes := s.probes
+	sink := s.sink
+	// Probes may take component locks; release ours while polling so a
+	// probe reading a structure that also records into this sampler's
+	// recorder cannot deadlock.
+	s.mu.Unlock()
+	vals := make([]float64, len(probes))
+	for i, p := range probes {
+		vals[i] = p.fn()
+	}
+	s.mu.Lock()
+	for i, p := range probes {
+		if ser := s.series[p.name]; ser != nil {
+			ser.add(Sample{At: at, Value: vals[i]})
+		}
+	}
+	if sink != nil {
+		s.mu.Unlock()
+		for i, p := range probes {
+			sink(p.name, at, vals[i])
+		}
+		s.mu.Lock()
+	}
+}
+
+// Stop halts the sampling task after taking one final sample, so the
+// series always reflect the end state. Safe to call multiple times.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	if s.running {
+		s.sampleLocked()
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// Interval returns the sampling cadence.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Series returns the sampled timelines, name → chronological samples.
+func (s *Sampler) Series() map[string][]Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]Sample, len(s.series))
+	for name, ser := range s.series {
+		pts := ser.Samples()
+		// A final Stop-time sample can race a concurrent tick; keep the
+		// exported series strictly chronological regardless.
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].At < pts[j].At })
+		out[name] = pts
+	}
+	return out
+}
+
+// SeriesNames returns the registered series names, sorted.
+func (s *Sampler) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"score/internal/simclock"
+)
+
+func TestSamplerTicksOnVirtualClock(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		s := NewSampler(clk, time.Millisecond, 0)
+		var gauge atomic.Int64 // probe runs on the sampler task
+		s.Register("g", func() float64 { return float64(gauge.Load()) })
+		s.Start()
+		for i := 1; i <= 5; i++ {
+			gauge.Store(int64(i))
+			clk.Sleep(time.Millisecond)
+		}
+		s.Stop()
+
+		pts := s.Series()["g"]
+		// Five interval ticks plus the final Stop-time sample.
+		if len(pts) < 5 || len(pts) > 6 {
+			t.Fatalf("got %d samples, want 5 or 6", len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].At < pts[i-1].At {
+				t.Errorf("samples out of order: %v after %v", pts[i].At, pts[i-1].At)
+			}
+		}
+		if last := pts[len(pts)-1]; last.Value != 5 {
+			t.Errorf("final sample value = %v, want 5", last.Value)
+		}
+	})
+}
+
+func TestSamplerStopTakesFinalSample(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		s := NewSampler(clk, time.Hour, 0) // interval never elapses
+		s.Register("g", func() float64 { return 42 })
+		s.Start()
+		clk.Sleep(time.Millisecond)
+		s.Stop()
+		pts := s.Series()["g"]
+		if len(pts) != 1 {
+			t.Fatalf("got %d samples, want exactly the Stop-time one", len(pts))
+		}
+		if pts[0].Value != 42 || pts[0].At != time.Millisecond {
+			t.Errorf("final sample = %+v, want value 42 at 1ms", pts[0])
+		}
+		s.Stop() // idempotent
+		if got := len(s.Series()["g"]); got != 1 {
+			t.Errorf("second Stop added samples: %d", got)
+		}
+	})
+}
+
+func TestSamplerRingCapacity(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		s := NewSampler(clk, time.Millisecond, 4)
+		var tick atomic.Int64 // probe runs on the sampler task
+		s.Register("g", func() float64 { return float64(tick.Add(1)) })
+		s.Start()
+		clk.Sleep(10 * time.Millisecond)
+		s.Stop()
+		pts := s.Series()["g"]
+		if len(pts) != 4 {
+			t.Fatalf("ring kept %d samples, want capacity 4", len(pts))
+		}
+		// The ring is recent-biased: the newest sample survives.
+		if last := pts[len(pts)-1]; last.Value != float64(tick.Load()) {
+			t.Errorf("newest sample value = %v, want %v", last.Value, float64(tick.Load()))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value != pts[i-1].Value+1 {
+				t.Errorf("retained window not contiguous: %v after %v", pts[i].Value, pts[i-1].Value)
+			}
+		}
+	})
+}
+
+func TestSamplerCounterSink(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		s := NewSampler(clk, time.Millisecond, 0)
+		s.Register("g", func() float64 { return 7 })
+		type event struct {
+			name string
+			at   time.Duration
+			v    float64
+		}
+		var mu sync.Mutex // sink runs on the sampler task
+		var events []event
+		s.SetCounterSink(func(name string, at time.Duration, v float64) {
+			mu.Lock()
+			events = append(events, event{name, at, v})
+			mu.Unlock()
+		})
+		s.Start()
+		clk.Sleep(3 * time.Millisecond)
+		s.Stop()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(events) == 0 {
+			t.Fatal("counter sink saw no events")
+		}
+		for _, e := range events {
+			if e.name != "g" || e.v != 7 {
+				t.Errorf("sink event = %+v, want name g value 7", e)
+			}
+		}
+	})
+}
+
+func TestSamplerSeriesNames(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		s := NewSampler(clk, time.Millisecond, 0)
+		s.Register("z", func() float64 { return 0 })
+		s.Register("a", func() float64 { return 0 })
+		got := s.SeriesNames()
+		if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+			t.Errorf("SeriesNames = %v, want [a z]", got)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"score/internal/metrics"
+)
+
+// This file reads back the machine-readable artifacts the benchmarks
+// emit: the metrics registry's JSON export (ckptbench -metrics-out) and
+// the pipeline bench records (make bench-smoke), so downstream tooling
+// and tests can round-trip them.
+
+// LoadMetricsExport parses a metrics registry JSON export, validating
+// its schema tag.
+func LoadMetricsExport(r io.Reader) (*metrics.ExportFile, error) {
+	var f metrics.ExportFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: parsing metrics export: %w", err)
+	}
+	if f.Schema != metrics.ExportSchema {
+		return nil, fmt.Errorf("report: metrics export schema %q, want %q", f.Schema, metrics.ExportSchema)
+	}
+	return &f, nil
+}
+
+// LoadMetricsFile reads a metrics registry JSON export from disk.
+func LoadMetricsFile(path string) (*metrics.ExportFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMetricsExport(f)
+}
+
+// MetricsTable renders one summary row per run of an export — a quick
+// human-readable view of a -metrics-out file.
+func MetricsTable(f *metrics.ExportFile) *Table {
+	tab := NewTable("Metrics export — per-run summaries",
+		"run", "ckpt bytes", "restore bytes", "retries", "degradations", "pending")
+	for _, run := range f.Runs {
+		s := run.Summary
+		tab.AddRow(run.Label, s.CheckpointBytes, s.RestoreBytes,
+			s.TotalRetries(), s.TotalDegradations(), s.PendingFlushBytes())
+	}
+	return tab
+}
+
+// BenchSchema tags the pipeline bench-record file format.
+const BenchSchema = "score-bench/v1"
+
+// BenchRecord is one benchmark measurement from the bench-smoke run.
+type BenchRecord struct {
+	// Name identifies the benchmark case (e.g. "pipeline/chunked").
+	Name string `json:"name"`
+	// NsPerOp is the simulated nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesMoved is the total payload the case pushed through the
+	// fabric.
+	BytesMoved int64 `json:"bytes_moved"`
+	// OverlapRatio is hidden transfer time over summed hop busy time
+	// (0 = store-and-forward, approaching 1 with deep pipelines).
+	OverlapRatio float64 `json:"overlap_ratio"`
+}
+
+// benchFile is the on-disk envelope of a bench-record set.
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchRecords writes records as an indented JSON file, sorted by
+// name for stable diffs.
+func WriteBenchRecords(w io.Writer, records []BenchRecord) error {
+	sorted := make([]BenchRecord, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	data, err := json.MarshalIndent(benchFile{Schema: BenchSchema, Records: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteBenchFile writes records to path via WriteBenchRecords.
+func WriteBenchFile(path string, records []BenchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBenchRecords(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBenchRecords parses a bench-record file, validating its schema
+// tag.
+func LoadBenchRecords(r io.Reader) ([]BenchRecord, error) {
+	var f benchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: parsing bench records: %w", err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("report: bench records schema %q, want %q", f.Schema, BenchSchema)
+	}
+	return f.Records, nil
+}
+
+// LoadBenchFile reads a bench-record file from disk.
+func LoadBenchFile(path string) ([]BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBenchRecords(f)
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"score/internal/metrics"
+)
+
+func sampleRegistry() *metrics.Registry {
+	rec := metrics.NewRecorder()
+	rec.Checkpoint(8192, 3*time.Millisecond)
+	rec.CheckpointAccepted(8192)
+	rec.ConserveDurable(8192)
+	rec.Restore(0, 8192, time.Millisecond, 2)
+	rec.Retry("nvme")
+	rec.RetryBout(true)
+	reg := metrics.NewRegistry()
+	reg.Record("fig6a (drained-restore)", rec.Snapshot())
+	reg.RecordSeries("fig6a (drained-restore)", map[string][]metrics.Sample{
+		"rank0.cache.gpu.used_bytes": {
+			{At: time.Millisecond, Value: 4096},
+			{At: 2 * time.Millisecond, Value: 8192},
+		},
+	})
+	return reg
+}
+
+func TestMetricsExportRoundTrip(t *testing.T) {
+	reg := sampleRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := LoadMetricsExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 1 {
+		t.Fatalf("round-trip kept %d runs, want 1", len(f.Runs))
+	}
+	run := f.Runs[0]
+	if run.Label != "fig6a (drained-restore)" {
+		t.Errorf("label = %q", run.Label)
+	}
+	s := run.Summary
+	if s.CheckpointBytes != 8192 || s.RestoreBytes != 8192 || s.TotalRetries() != 1 {
+		t.Errorf("summary did not round-trip: %+v", s)
+	}
+	if h, ok := s.Histograms[metrics.HistCheckpoint]; !ok || h.Count != 1 || h.P99() == 0 {
+		t.Errorf("checkpoint histogram did not round-trip: %+v", h)
+	}
+	if err := metrics.CheckInvariantsQuiescent(s); err != nil {
+		t.Errorf("round-tripped summary fails invariants: %v", err)
+	}
+	pts := run.Series["rank0.cache.gpu.used_bytes"]
+	if len(pts) != 2 || pts[1].Value != 8192 {
+		t.Errorf("series did not round-trip: %+v", pts)
+	}
+
+	tab := MetricsTable(f)
+	out := tab.String()
+	if !strings.Contains(out, "fig6a (drained-restore)") || !strings.Contains(out, "8192") {
+		t.Errorf("MetricsTable missing run data:\n%s", out)
+	}
+}
+
+func TestLoadMetricsExportRejectsWrongSchema(t *testing.T) {
+	if _, err := LoadMetricsExport(strings.NewReader(`{"schema":"bogus/v0","runs":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := LoadMetricsExport(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestBenchRecordsRoundTrip(t *testing.T) {
+	records := []BenchRecord{
+		{Name: "pipeline/mono", NsPerOp: 2.5e6, BytesMoved: 64 << 20, OverlapRatio: 0},
+		{Name: "pipeline/chunked", NsPerOp: 1.2e6, BytesMoved: 64 << 20, OverlapRatio: 0.55},
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchRecords(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-trip kept %d records, want 2", len(got))
+	}
+	// Writer sorts by name for stable diffs.
+	if got[0].Name != "pipeline/chunked" || got[1].Name != "pipeline/mono" {
+		t.Errorf("records not sorted by name: %q, %q", got[0].Name, got[1].Name)
+	}
+	if got[0].OverlapRatio != 0.55 || got[0].BytesMoved != 64<<20 || got[0].NsPerOp != 1.2e6 {
+		t.Errorf("chunked record did not round-trip: %+v", got[0])
+	}
+}
+
+func TestLoadBenchRecordsRejectsWrongSchema(t *testing.T) {
+	if _, err := LoadBenchRecords(strings.NewReader(`{"schema":"bogus","records":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestBenchFileDiskRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/BENCH_pipeline.json"
+	records := []BenchRecord{{Name: "pipeline/chunked", NsPerOp: 1e6, BytesMoved: 1 << 20, OverlapRatio: 0.4}}
+	if err := WriteBenchFile(path, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != records[0] {
+		t.Errorf("disk round-trip = %+v, want %+v", got, records)
+	}
+}

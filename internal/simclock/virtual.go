@@ -153,7 +153,11 @@ func (c *Virtual) maybeAdvanceLocked() (deadlocked bool) {
 		if next > c.now {
 			c.now = next
 		}
-		woke := 0
+		// Wake exactly one timer per advance: same-deadline waiters resume
+		// one at a time in registration order, each running to its next
+		// blocking point before the next wakes. Waking them all at once
+		// would hand several runnable goroutines to the real scheduler,
+		// whose interleaving is not reproducible.
 		for c.timers.Len() > 0 && c.timers[0].deadline <= c.now {
 			w := heap.Pop(&c.timers).(*waiter)
 			if w.fired {
@@ -165,9 +169,6 @@ func (c *Virtual) maybeAdvanceLocked() (deadlocked bool) {
 			}
 			c.runnable++
 			w.ch <- true
-			woke++
-		}
-		if woke > 0 {
 			return false
 		}
 		// All entries at this deadline were stale; try the next one.

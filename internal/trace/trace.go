@@ -59,14 +59,24 @@ type Event struct {
 	Duration time.Duration
 }
 
+// CounterEvent is one sampled counter value (rendered as a stacked area
+// track in the trace viewer, alongside the span rows).
+type CounterEvent struct {
+	Name  string
+	GPU   int // process row
+	At    time.Duration
+	Value float64
+}
+
 // Tracer collects events; safe for concurrent use. A nil *Tracer is a
 // valid no-op sink, so instrumented code needs no nil checks beyond the
 // method receivers.
 type Tracer struct {
 	now func() time.Duration
 
-	mu     sync.Mutex
-	events []Event
+	mu       sync.Mutex
+	events   []Event
+	counters []CounterEvent
 }
 
 // New creates a tracer reading timestamps from now (typically the
@@ -111,6 +121,45 @@ func (t *Tracer) Record(gpu int, track Track, category, name string, start, dura
 	t.mu.Unlock()
 }
 
+// Counter appends one sampled counter value (tier occupancy, link
+// utilization, …) at simulated time at. Nil-safe.
+func (t *Tracer) Counter(gpu int, name string, at time.Duration, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters = append(t.counters, CounterEvent{Name: name, GPU: gpu, At: at, Value: value})
+	t.mu.Unlock()
+}
+
+// Counters returns a copy of the recorded counter events sorted by time.
+// Ties are broken on every remaining field: tasks woken at the same
+// simulated instant run in real-scheduler order, so append order is not
+// reproducible — the full ordering keeps exports byte-identical anyway.
+func (t *Tracer) Counters() []CounterEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]CounterEvent, len(t.counters))
+	copy(out, t.counters)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.GPU != b.GPU {
+			return a.GPU < b.GPU
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Value < b.Value
+	})
+	return out
+}
+
 // Len returns the number of recorded events. Nil-safe.
 func (t *Tracer) Len() int {
 	if t == nil {
@@ -122,6 +171,9 @@ func (t *Tracer) Len() int {
 }
 
 // Events returns a copy of the recorded events sorted by start time.
+// Ties are broken on every remaining field (see Counters) so the export
+// does not depend on the real-scheduler interleaving of same-instant
+// tasks.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -130,28 +182,48 @@ func (t *Tracer) Events() []Event {
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
 	t.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.GPU != b.GPU {
+			return a.GPU < b.GPU
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Duration < b.Duration
+	})
 	return out
 }
 
-// chromeEvent is the trace-event JSON schema ("X" complete events plus
-// "M" metadata rows for names).
+// chromeEvent is the trace-event JSON schema ("X" complete events, "C"
+// counter samples, plus "M" metadata rows for names).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`            // microseconds
-	Dur  float64           `json:"dur,omitempty"` // microseconds
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`            // microseconds
+	Dur  float64                `json:"dur,omitempty"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
 }
 
 // WriteJSON exports the timeline as a Chrome trace-event array, loadable
-// in chrome://tracing or ui.perfetto.dev.
+// in chrome://tracing or ui.perfetto.dev. Counter events render as area
+// tracks above each GPU's span rows.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := t.Events()
-	out := make([]chromeEvent, 0, len(events)+16)
+	counters := t.Counters()
+	out := make([]chromeEvent, 0, len(events)+len(counters)+16)
 
 	// Metadata: name each GPU (process) and task (thread) row.
 	seen := map[[2]int]bool{}
@@ -163,9 +235,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		seen[key] = true
 		out = append(out,
 			chromeEvent{Name: "process_name", Ph: "M", Pid: e.GPU, Tid: int(e.Track),
-				Args: map[string]string{"name": fmt.Sprintf("GPU %d", e.GPU)}},
+				Args: map[string]interface{}{"name": fmt.Sprintf("GPU %d", e.GPU)}},
 			chromeEvent{Name: "thread_name", Ph: "M", Pid: e.GPU, Tid: int(e.Track),
-				Args: map[string]string{"name": e.Track.String()}},
+				Args: map[string]interface{}{"name": e.Track.String()}},
 		)
 	}
 	for _, e := range events {
@@ -174,6 +246,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			Ts:  float64(e.Start) / float64(time.Microsecond),
 			Dur: float64(e.Duration) / float64(time.Microsecond),
 			Pid: e.GPU, Tid: int(e.Track),
+		})
+	}
+	for _, c := range counters {
+		out = append(out, chromeEvent{
+			Name: c.Name, Ph: "C",
+			Ts:  float64(c.At) / float64(time.Microsecond),
+			Pid: c.GPU,
+			Args: map[string]interface{}{"value": c.Value},
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,188 @@
+package score_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"score"
+	"score/internal/metrics"
+)
+
+// TestChunkedMonolithicMetamorphic is the metamorphic property of chunked
+// transfer pipelining: splitting every multi-hop transfer into chunks is a
+// latency optimization, never a semantic one. For each seeded
+// configuration the same workload runs twice — ChunkSize=0 (monolithic)
+// and ChunkSize>0 (pipelined) — and the two runs must agree on every byte
+// that moved (checkpointed, accepted, durable, restored) and on the final
+// store contents, file for file, bit for bit.
+func TestChunkedMonolithicMetamorphic(t *testing.T) {
+	const configs = 20
+	for i := 0; i < configs; i++ {
+		seed := int64(4000 + i)
+		t.Run(fmt.Sprintf("config-%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			n := 4 + r.Intn(8)
+			payloads := make([][]byte, n)
+			for v := range payloads {
+				b := make([]byte, (16+r.Intn(112))<<10)
+				r.Read(b)
+				payloads[v] = b
+			}
+			gpuCache := int64(128+r.Intn(256)) << 10
+			hostCache := int64(512+r.Intn(1024)) << 10
+			chunk := int64(8+r.Intn(56)) << 10
+			gpuDirect := r.Intn(2) == 0
+
+			mono := runMetamorphicWorkload(t, payloads, gpuCache, hostCache, 0, gpuDirect)
+			chunked := runMetamorphicWorkload(t, payloads, gpuCache, hostCache, chunk, gpuDirect)
+
+			type byteCounter struct {
+				name string
+				get  func(metrics.Summary) int64
+			}
+			for _, c := range []byteCounter{
+				{"checkpointed", func(s metrics.Summary) int64 { return s.CheckpointBytes }},
+				{"accepted", func(s metrics.Summary) int64 { return s.AcceptedBytes }},
+				{"durable", func(s metrics.Summary) int64 { return s.DurableBytes }},
+				{"discarded", func(s metrics.Summary) int64 { return s.DiscardedBytes }},
+				{"lost", func(s metrics.Summary) int64 { return s.LostBytes }},
+				{"restored", func(s metrics.Summary) int64 { return s.RestoreBytes }},
+			} {
+				if m, ch := c.get(mono.summary), c.get(chunked.summary); m != ch {
+					t.Errorf("%s bytes diverge: monolithic %d, chunked %d", c.name, m, ch)
+				}
+			}
+			// The chunked run's per-hop conservation: every hop of every
+			// completed stream moved exactly the payload size.
+			if chunked.summary.PipelinedHopBytes != chunked.summary.PipelinedHopBytesWant {
+				t.Errorf("chunked per-hop bytes %d != expected %d",
+					chunked.summary.PipelinedHopBytes, chunked.summary.PipelinedHopBytesWant)
+			}
+			if mono.summary.PipelinedStreams != 0 {
+				t.Errorf("monolithic run recorded %d pipelined streams", mono.summary.PipelinedStreams)
+			}
+
+			if !mono.ssd.equal(chunked.ssd) {
+				t.Errorf("SSD store contents diverge:\n  monolithic: %v\n  chunked:    %v", mono.ssd, chunked.ssd)
+			}
+			if !mono.pfs.equal(chunked.pfs) {
+				t.Errorf("PFS store contents diverge:\n  monolithic: %v\n  chunked:    %v", mono.pfs, chunked.pfs)
+			}
+		})
+	}
+}
+
+type metamorphicResult struct {
+	summary  metrics.Summary
+	ssd, pfs storeDigest
+}
+
+// runMetamorphicWorkload checkpoints the payloads, drains the flush
+// chain, restores everything backward bit-exact, and returns the metrics
+// summary plus content digests of both stores.
+func runMetamorphicWorkload(t *testing.T, payloads [][]byte, gpuCache, hostCache, chunk int64, gpuDirect bool) metamorphicResult {
+	t.Helper()
+	ssdDir, pfsDir := t.TempDir(), t.TempDir()
+	sim, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res metamorphicResult
+	sim.Run(func() {
+		opts := []score.ClientOption{
+			score.WithGPUCache(gpuCache), score.WithHostCache(hostCache),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+		}
+		if chunk > 0 {
+			opts = append(opts, score.WithChunkSize(chunk))
+		}
+		if gpuDirect {
+			opts = append(opts, score.WithGPUDirect())
+		}
+		c, err := sim.NewClient(0, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v, p := range payloads {
+			if err := c.Checkpoint(int64(v), p); err != nil {
+				t.Fatalf("chunk=%d: checkpoint %d: %v", chunk, v, err)
+			}
+			c.Compute(500 * time.Microsecond)
+		}
+		if err := c.WaitFlush(); err != nil {
+			t.Fatalf("chunk=%d: WaitFlush: %v", chunk, err)
+		}
+		for v := len(payloads) - 1; v >= 0; v-- {
+			got, err := c.Restart(int64(v))
+			if err != nil {
+				t.Fatalf("chunk=%d: restart %d: %v", chunk, v, err)
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Fatalf("chunk=%d: restart %d not bit-exact", chunk, v)
+			}
+		}
+		if err := c.CheckMetricsInvariants(false); err != nil {
+			t.Errorf("chunk=%d: metrics invariants: %v", chunk, err)
+		}
+		res.summary = c.MetricsSummary()
+	})
+	res.ssd = digestDir(t, ssdDir)
+	res.pfs = digestDir(t, pfsDir)
+	return res
+}
+
+// storeDigest maps store file basenames to content hashes.
+type storeDigest map[string]string
+
+func (d storeDigest) equal(other storeDigest) bool {
+	if len(d) != len(other) {
+		return false
+	}
+	for name, sum := range d {
+		if other[name] != sum {
+			return false
+		}
+	}
+	return true
+}
+
+func (d storeDigest) String() string {
+	names := make([]string, 0, len(d))
+	for name := range d {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%s ", name, d[name][:8])
+	}
+	return b.String()
+}
+
+func digestDir(t *testing.T, dir string) storeDigest {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := storeDigest{}
+	for _, f := range files {
+		if fi, err := os.Stat(f); err != nil || fi.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[filepath.Base(f)] = fmt.Sprintf("%x", sha256.Sum256(buf))
+	}
+	return d
+}

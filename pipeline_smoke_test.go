@@ -1,11 +1,17 @@
 package score_test
 
 import (
+	"flag"
 	"testing"
 
 	"score/internal/experiments"
+	"score/internal/report"
 	"score/internal/rtm"
 )
+
+// benchOut, when set, makes the smoke test write its measurements as a
+// bench-record JSON file (make bench-smoke passes BENCH_pipeline.json).
+var benchOut = flag.String("bench.out", "", "write pipeline bench records to this JSON file")
 
 // TestChunkedPipelineSmoke is the `make bench-smoke` gate: one run of the
 // chunked-vs-monolithic ablation on the GPUDirect shot. Chunked transfer
@@ -41,4 +47,33 @@ func TestChunkedPipelineSmoke(t *testing.T) {
 	if c, m := chunked.TotalIOWait(), mono.TotalIOWait(); c > m {
 		t.Errorf("chunked io-wait %v regressed above monolithic %v", c, m)
 	}
+
+	if *benchOut != "" {
+		records := []report.BenchRecord{
+			benchRecord("pipeline/monolithic", mono),
+			benchRecord("pipeline/chunked", chunked),
+		}
+		if err := report.WriteBenchFile(*benchOut, records); err != nil {
+			t.Fatalf("writing %s: %v", *benchOut, err)
+		}
+		t.Logf("wrote %d bench records to %s", len(records), *benchOut)
+	}
+}
+
+// benchRecord condenses one shot into the bench-record schema: simulated
+// nanoseconds per checkpoint, total payload through the pipeline, and the
+// fraction of hop busy time hidden by chunk overlap.
+func benchRecord(name string, res experiments.ShotResult) report.BenchRecord {
+	sum := res.MergedSummary()
+	rec := report.BenchRecord{
+		Name:       name,
+		BytesMoved: sum.CheckpointBytes + sum.RestoreBytes,
+	}
+	if sum.CheckpointOps > 0 {
+		rec.NsPerOp = float64(res.Duration.Nanoseconds()) / float64(sum.CheckpointOps)
+	}
+	if sum.PipelinedHopBusy > 0 {
+		rec.OverlapRatio = sum.PipelineOverlap().Seconds() / sum.PipelinedHopBusy.Seconds()
+	}
+	return rec
 }

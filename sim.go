@@ -12,6 +12,7 @@ import (
 	"score/internal/device"
 	"score/internal/fabric"
 	"score/internal/faultinject"
+	"score/internal/metrics"
 	"score/internal/predict"
 	"score/internal/simclock"
 	"score/internal/trace"
@@ -57,6 +58,7 @@ type Sim struct {
 	cluster *fabric.Cluster
 	cfg     simConfig
 	tracer  *trace.Tracer
+	sampler *metrics.Sampler
 	shared  map[int]*core.SharedHostCache // per-node pools (lazily built)
 }
 
@@ -66,7 +68,8 @@ type simConfig struct {
 	hbm        int64
 	realTime   float64 // 0 = virtual clock
 	tracing    bool
-	sharedHost int64 // per-node shared host cache pool size; 0 = private
+	sample     time.Duration // gauge sampling cadence; 0 = off
+	sharedHost int64         // per-node shared host cache pool size; 0 = private
 }
 
 // Option configures a Sim.
@@ -117,6 +120,14 @@ func WithRealTime(speedup float64) Option {
 	return func(c *simConfig) { c.realTime = speedup }
 }
 
+// WithSampling polls every client's cache/engine/queue gauges at the
+// given simulated interval for the duration of Run. The timelines are
+// available from Sim.SampledSeries afterwards, and — combined with
+// WithTracing — appear as counter tracks in the Chrome trace export.
+func WithSampling(interval time.Duration) Option {
+	return func(c *simConfig) { c.sample = interval }
+}
+
 // NewSim builds a simulated cluster.
 func NewSim(opts ...Option) (*Sim, error) {
 	cfg := simConfig{nodes: 1, node: fabric.DGXA100(), hbm: 40 * fabric.GB}
@@ -146,6 +157,14 @@ func NewSim(opts ...Option) (*Sim, error) {
 	if cfg.tracing {
 		s.tracer = trace.New(clk.Now)
 	}
+	if cfg.sample > 0 {
+		s.sampler = metrics.NewSampler(clk, cfg.sample, 0)
+		if s.tracer != nil {
+			s.sampler.SetCounterSink(func(name string, at time.Duration, v float64) {
+				s.tracer.Counter(0, name, at, v)
+			})
+		}
+	}
 	if cfg.sharedHost < 0 {
 		return nil, errors.New("score: shared host cache size must be positive")
 	}
@@ -166,11 +185,31 @@ func (s *Sim) WriteTrace(w io.Writer) error {
 // simulated work it spawned and waited for) completes. All Sim and Client
 // calls must happen inside Run.
 func (s *Sim) Run(fn func()) {
+	if s.sampler != nil {
+		// The sampler task must start inside the run and stop before the
+		// root task returns, or its timer alone would keep the virtual
+		// clock advancing.
+		inner := fn
+		fn = func() {
+			s.sampler.Start()
+			defer s.sampler.Stop()
+			inner()
+		}
+	}
 	if s.clk != nil {
 		s.clk.Run(fn)
 		return
 	}
 	s.real.Run(fn)
+}
+
+// SampledSeries returns the gauge timelines recorded under WithSampling,
+// name → chronological samples. Call after Run.
+func (s *Sim) SampledSeries() map[string][]metrics.Sample {
+	if s.sampler == nil {
+		return nil
+	}
+	return s.sampler.Series()
 }
 
 // Clock returns the simulation's time source.
@@ -345,6 +384,9 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.sampler != nil {
+		client.RegisterProbes(s.sampler, fmt.Sprintf("node%d.gpu%d", node, gpu))
 	}
 	out := &Client{inner: client, dev: dev, clk: s.clock(), quarantined: quarantined}
 	if cc.autoHints {

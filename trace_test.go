@@ -74,3 +74,71 @@ func TestWriteTraceWithoutTracingFails(t *testing.T) {
 		t.Error("WriteTrace without WithTracing should fail")
 	}
 }
+
+// TestSimSamplingProducesCounterTracks checks the WithSampling facade:
+// gauge timelines surface via SampledSeries and — with tracing on — as
+// Chrome counter (ph "C") events in the trace export.
+func TestSimSamplingProducesCounterTracks(t *testing.T) {
+	sim, err := score.NewSim(score.WithTracing(), score.WithSampling(100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(func() {
+		c, err := sim.NewClient(0, 0,
+			score.WithGPUCache(16<<20), score.WithHostCache(64<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v := int64(0); v < 4; v++ {
+			if err := c.CheckpointVirtual(v, 4<<20); err != nil {
+				t.Fatal(err)
+			}
+			c.Compute(time.Millisecond)
+		}
+		if err := c.WaitFlush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	series := sim.SampledSeries()
+	used, ok := series["node0.gpu0.cache.gpu.used_bytes"]
+	if !ok {
+		t.Fatalf("no GPU cache occupancy series; have %d series", len(series))
+	}
+	if len(used) == 0 {
+		t.Fatal("GPU cache occupancy series is empty")
+	}
+	var peak float64
+	for _, p := range used {
+		if p.Value > peak {
+			peak = p.Value
+		}
+	}
+	if peak == 0 {
+		t.Error("GPU cache occupancy never rose above zero across 4 checkpoints")
+	}
+
+	var buf bytes.Buffer
+	if err := sim.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var counters int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "C" && strings.HasPrefix(e.Name, "node0.gpu0.") {
+			counters++
+		}
+	}
+	if counters == 0 {
+		t.Error("trace export has no counter events for the sampled client")
+	}
+}
