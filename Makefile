@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet vet-deprecated race chaos bench bench-smoke fuzz-smoke clean
+.PHONY: verify build test vet vet-deprecated race chaos chaos-rank bench bench-smoke fuzz-smoke clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -34,6 +34,12 @@ race:
 # checkpoint pipeline (see chaos_test.go and DESIGN.md §8).
 chaos:
 	$(GO) test -race -run TestChaosSoak . -args -chaos.schedules=200
+
+# chaos-rank soaks the cluster failure model under -race: seeded
+# rank/node kills mid-flush, partner-copy recovery, and the restart
+# path's bit-exactness contract (DESIGN.md §11).
+chaos-rank:
+	$(GO) test -race -count 5 -run 'TestRankFailure|TestKillMidFlush|TestDegradedTierHeals' . ./internal/experiments
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

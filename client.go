@@ -31,6 +31,9 @@ type clientConfig struct {
 	chunkSize     int64
 	flushStreams  int
 	injector      *faultinject.Injector
+	partnerDir    string
+	tracker       *CommitTracker
+	rank          int
 }
 
 // WithGPUCache sets the device cache reservation (default 4 GiB, the
@@ -273,6 +276,15 @@ type Stats struct {
 	// PipelineOverlap is the total simulated transfer time hidden by
 	// pipelining chunks across consecutive hops.
 	PipelineOverlap time.Duration
+	// TierRecoveries counts degraded tiers this client healed after a
+	// recovery probe succeeded.
+	TierRecoveries int64
+	// PartnerCopies and PartnerCopyBytes count replicas staged on the
+	// partner node's SSD (WithPartnerCopy); PartnerCopyFailures counts
+	// replication attempts that failed.
+	PartnerCopies, PartnerCopyBytes, PartnerCopyFailures int64
+	// RankDeaths is 1 once this rank was killed by fault injection.
+	RankDeaths int64
 }
 
 // PredictedHints reports how many hints the auto-hint predictor has
@@ -315,6 +327,11 @@ func (c *Client) Stats() Stats {
 		SyncFlushes:          s.SyncFlushes,
 		PipelinedStreams:     s.PipelinedStreams,
 		PipelineOverlap:      s.PipelineOverlap(),
+		TierRecoveries:       s.TotalTierRecoveries(),
+		PartnerCopies:        s.PartnerCopies,
+		PartnerCopyBytes:     s.PartnerCopyBytes,
+		PartnerCopyFailures:  s.PartnerCopyFailures,
+		RankDeaths:           s.RankDeaths,
 	}
 }
 

@@ -27,7 +27,7 @@ import (
 
 var experimentNames = []string{
 	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations",
+	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "rankfail",
 }
 
 func main() {
@@ -37,6 +37,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics registry (histograms, counters, sampled series) as JSON to this file")
 	promListen := flag.String("prom-listen", "", "serve the metrics registry in Prometheus text format on this address (e.g. :9464); blocks after the experiments finish")
 	sample := flag.Duration("sample", 0, "sample tier/link gauges at this simulated interval during every shot (e.g. 100us); series land in -metrics-out")
+	chunk := flag.Int64("chunk", 0, "stream multi-hop transfers in chunks of this many bytes, overlapping consecutive hops (0 = monolithic transfers)")
 	flag.Parse()
 
 	if *list {
@@ -45,9 +46,37 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "ckptbench: -exp required (use -list to enumerate)")
+
+	// Validate the flag set up front: a bad combination exits with a
+	// usage error before any (potentially long) experiment runs.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ckptbench: "+format+"\n", args...)
+		flag.Usage()
 		os.Exit(2)
+	}
+	if *exp == "" {
+		usageErr("-exp required (use -list to enumerate)")
+	}
+	if *exp != "all" {
+		known := false
+		for _, n := range experimentNames {
+			if *exp == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			usageErr("unknown experiment %q", *exp)
+		}
+	}
+	if *sample < 0 {
+		usageErr("-sample must be non-negative (got %v)", *sample)
+	}
+	if *sample > 0 && *metricsOut == "" && *promListen == "" {
+		usageErr("-sample records series only with -metrics-out or -prom-listen; add one or drop -sample")
+	}
+	if *chunk < 0 {
+		usageErr("-chunk must be non-negative (got %d)", *chunk)
 	}
 
 	var scale experiments.Scale
@@ -57,8 +86,7 @@ func main() {
 	case "small":
 		scale = experiments.Small()
 	default:
-		fmt.Fprintf(os.Stderr, "ckptbench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		usageErr("unknown scale %q", *scaleName)
 	}
 
 	registry := metrics.NewRegistry()
@@ -71,6 +99,7 @@ func main() {
 		})
 	}
 	experiments.SetDefaultSampleInterval(*sample)
+	experiments.SetDefaultChunkSize(*chunk)
 	if *promListen != "" {
 		go servePrometheus(*promListen, registry)
 	}
@@ -203,6 +232,8 @@ func run(name string, scale experiments.Scale) error {
 			return err
 		}
 		return abl.Render(os.Stdout)
+	case "rankfail":
+		return runRankFail()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -245,6 +276,41 @@ func renderFig7Series(fig experiments.FigureResult) error {
 		fmt.Printf("prefetch-distance curve: %s\n\n", report.Sparkline(dists))
 	}
 	return nil
+}
+
+// runRankFail runs the cluster failure scenario twice — with and without
+// partner-copy replication — and prints the recovery outcomes side by
+// side: a full-node kill mid-flush is survivable only with replication.
+func runRankFail() error {
+	tab := report.NewTable("Rank failure — node kill mid-flush, restart from LatestConsistent()",
+		"partner copy", "ranks killed", "commit lag", "partner bytes", "recoverable", "restored version", "ranks restored")
+	for _, partner := range []bool{false, true} {
+		root, err := os.MkdirTemp("", "ckptbench-rankfail-*")
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RankFailure(experiments.RankFailConfig{
+			StoreRoot:   root,
+			PartnerCopy: partner,
+		})
+		os.RemoveAll(root)
+		if err != nil {
+			return err
+		}
+		restored := "—"
+		if res.Recoverable {
+			restored = fmt.Sprintf("v%d", res.LatestConsistent)
+		}
+		tab.AddRow(
+			map[bool]string{false: "off", true: "on"}[partner],
+			len(res.Killed), res.CommitLag,
+			sizeMB(res.PartnerCopyBytes),
+			map[bool]string{false: "NO", true: "yes"}[res.Recoverable],
+			restored,
+			fmt.Sprintf("%d/%d", res.RestoredRanks, res.Ranks),
+		)
+	}
+	return tab.Render(os.Stdout)
 }
 
 func maxSeconds(d time.Duration) float64 {

@@ -65,13 +65,19 @@ type FaultHook interface {
 }
 
 // Store is a directory of checkpoint files with an in-memory index.
-// Methods are safe for concurrent use.
+// Methods are safe for concurrent use, including Scrub under active
+// writers: commit renames take scrubMu shared, a scrub pass takes it
+// exclusive, so a scrub never observes (or quarantines) a half-committed
+// file and never races a commit's rename with its quarantine rename.
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	index map[int64]int64 // id -> payload length
-	hook  FaultHook
+	mu     sync.Mutex
+	index  map[int64]int64 // id -> payload length
+	hook   FaultHook
+	tmpSeq int64 // unique temp-file names; two writers never share one
+
+	scrubMu sync.RWMutex
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook
@@ -143,12 +149,31 @@ func encode(id int64, payload []byte) []byte {
 	return buf
 }
 
-// writeAtomic commits buf as id's checkpoint file via temp file + rename.
-func (s *Store) writeAtomic(id int64, buf []byte) error {
-	tmp := s.path(id) + tempSuffix
+// writeTemp writes buf to a fresh uniquely-named temp file for id. Each
+// writer gets its own temp name, so two concurrent writes of the same id
+// can never interleave into one torn temp file.
+func (s *Store) writeTemp(id int64, buf []byte) (string, error) {
+	s.mu.Lock()
+	s.tmpSeq++
+	seq := s.tmpSeq
+	s.mu.Unlock()
+	tmp := fmt.Sprintf("%s.%d%s", s.path(id), seq, tempSuffix)
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("ckptstore: writing %s: %w", tmp, err)
+		return "", fmt.Errorf("ckptstore: writing %s: %w", tmp, err)
 	}
+	return tmp, nil
+}
+
+// writeAtomic commits buf as id's checkpoint file via temp file + rename.
+// The rename holds scrubMu shared so it cannot interleave with a scrub
+// pass's quarantine renames.
+func (s *Store) writeAtomic(id int64, buf []byte) error {
+	tmp, err := s.writeTemp(id, buf)
+	if err != nil {
+		return err
+	}
+	s.scrubMu.RLock()
+	defer s.scrubMu.RUnlock()
 	if err := os.Rename(tmp, s.path(id)); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("ckptstore: committing %d: %w", id, err)
@@ -157,7 +182,9 @@ func (s *Store) writeAtomic(id int64, buf []byte) error {
 }
 
 // Put durably stores payload under id. The write is atomic: a crash
-// leaves either the complete checkpoint or nothing.
+// leaves either the complete checkpoint or nothing. The commit re-checks
+// for a duplicate under the lock, so of two racing Puts of the same id
+// exactly one wins and the file always matches the indexed entry.
 func (s *Store) Put(id int64, payload []byte) error {
 	s.mu.Lock()
 	if _, dup := s.index[id]; dup {
@@ -171,10 +198,23 @@ func (s *Store) Put(id int64, payload []byte) error {
 			return fmt.Errorf("ckptstore: writing %d: %w", id, err)
 		}
 	}
-	if err := s.writeAtomic(id, encode(id, payload)); err != nil {
+	tmp, err := s.writeTemp(id, encode(id, payload))
+	if err != nil {
 		return err
 	}
+	s.scrubMu.RLock()
+	defer s.scrubMu.RUnlock()
 	s.mu.Lock()
+	if _, dup := s.index[id]; dup {
+		s.mu.Unlock()
+		_ = os.Remove(tmp)
+		return ErrExists
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		s.mu.Unlock()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("ckptstore: committing %d: %w", id, err)
+	}
 	s.index[id] = int64(len(payload))
 	s.mu.Unlock()
 	return nil
@@ -269,8 +309,12 @@ func (s *Store) TotalBytes() int64 {
 // checkpoints and files Open skipped as corrupt, so a scrub after reopen
 // leaves the directory clean. It returns the quarantined ids, ascending.
 // Scrub reads the disk directly, bypassing any fault hook, so it reports
-// ground truth even mid-chaos.
+// ground truth even mid-chaos. The pass holds the scrub lock exclusively:
+// concurrent writers block at their commit rename until the pass ends, so
+// a healthy just-committed checkpoint is never mistaken for corruption.
 func (s *Store) Scrub() ([]int64, error) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("ckptstore: scrubbing %s: %w", s.dir, err)

@@ -366,3 +366,147 @@ func TestRestageBypassesFaultHook(t *testing.T) {
 		t.Errorf("Get after restage: %q, %v", got, err)
 	}
 }
+
+// TestScrubUnderActiveWriters runs scrub passes concurrently with Put and
+// Restage traffic. A scrub must never quarantine a checkpoint that was
+// committed healthy — the historical race renamed a just-committed file
+// to .corrupt when its validation interleaved with the commit rename.
+func TestScrubUnderActiveWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+
+	const writers = 4
+	const perWriter = 25
+	payload := func(id int64) []byte {
+		return bytes.Repeat([]byte{byte(id)}, 64+int(id%7))
+	}
+
+	done := make(chan struct{})
+	errc := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			for i := 0; i < perWriter; i++ {
+				id := int64(w*perWriter + i)
+				if err := s.Put(id, payload(id)); err != nil {
+					errc <- err
+					return
+				}
+				if i%5 == 0 {
+					if err := s.Restage(id, payload(id)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+			errc <- nil
+		}()
+	}
+	go func() {
+		for {
+			select {
+			case <-done:
+				errc <- nil
+				return
+			default:
+			}
+			if q, err := s.Scrub(); err != nil {
+				errc <- err
+				return
+			} else if len(q) != 0 {
+				errc <- errors.New("scrub quarantined healthy checkpoints under active writers")
+				return
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// Every write survived on disk and validates, even across a reopen.
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 0 {
+		t.Fatalf("reopen found %d corrupt file(s): %v", len(corrupt), corrupt)
+	}
+	for id := int64(0); id < writers*perWriter; id++ {
+		got, err := s2.Get(id)
+		if err != nil || !bytes.Equal(got, payload(id)) {
+			t.Fatalf("checkpoint %d after concurrent scrub: %v", id, err)
+		}
+	}
+}
+
+// TestConcurrentPutSameID races writers of one id: exactly one wins, and
+// the surviving file matches the indexed winner's bytes.
+func TestConcurrentPutSameID(t *testing.T) {
+	s, _ := openT(t, t.TempDir())
+	const racers = 8
+	wins := make(chan []byte, racers)
+	errc := make(chan error, racers)
+	for r := 0; r < racers; r++ {
+		data := bytes.Repeat([]byte{byte(r + 1)}, 32)
+		go func() {
+			err := s.Put(42, data)
+			if err == nil {
+				wins <- data
+			}
+			errc <- err
+		}()
+	}
+	var winners int
+	for r := 0; r < racers; r++ {
+		err := <-errc
+		switch {
+		case err == nil:
+			winners++
+		case errors.Is(err, ErrExists):
+		default:
+			t.Fatalf("racing Put: %v", err)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("racing Puts of one id: %d winners, want 1", winners)
+	}
+	want := <-wins
+	if got, err := s.Get(42); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("file does not match the winning Put: err=%v", err)
+	}
+}
+
+// TestOpenRemovesOrphanedTempFiles: a crash mid-write leaves *.tmp files
+// behind; Open must unlink them (including the unique-suffix form) and
+// index only committed checkpoints.
+func TestOpenRemovesOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Put(1, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"2.ckpt.tmp", "3.ckpt.17.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, corrupt := openT(t, dir)
+	if len(corrupt) != 0 {
+		t.Fatalf("orphaned temp files reported corrupt: %v", corrupt)
+	}
+	if got := s2.IDs(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("IDs after reopen = %v, want [1]", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("orphaned temp file survived reopen: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package coord tracks cluster-wide checkpoint consistency across the
+// ranks of one job: the VELOC-style group-commit rule under which a
+// checkpoint version only becomes restart-safe once *every* rank holds
+// it at a durable tier. Each rank reports its per-version durability
+// transitions (core's fate accounting drives this through the
+// CommitHook interface); the tracker answers the two questions a
+// restart path needs — which versions are globally committed, and what
+// is the newest one — plus the monitoring view (commit lag, rank
+// deaths) the observability layer samples.
+//
+// The tracker is mechanical on purpose: it records what ranks report
+// and computes set intersections. Whether a dead rank's durable copies
+// actually survived (process kill: node-local SSD intact; node kill:
+// gone unless partner-copied) is the scenario layer's knowledge — on
+// restart it rebuilds a fresh tracker from what the stores really
+// hold, which is the ground truth the running tracker approximates.
+package coord
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"score/internal/metrics"
+)
+
+// Tracker accumulates per-rank durability reports for one job. All
+// methods are safe for concurrent use. Versions must be non-negative
+// (the runtime enforces this for checkpoint ids).
+type Tracker struct {
+	mu     sync.Mutex
+	ranks  int
+	holds  map[int64]map[int]struct{} // version -> ranks holding a durable copy
+	high   int64                      // highest version any rank reported durable
+	any    bool                       // a durable report has been seen
+	dead   map[int]struct{}
+	deaths int64
+}
+
+// New creates a tracker for a job of the given rank count.
+func New(ranks int) (*Tracker, error) {
+	if ranks < 1 {
+		return nil, errors.New("coord: need at least one rank")
+	}
+	return &Tracker{
+		ranks: ranks,
+		holds: map[int64]map[int]struct{}{},
+		dead:  map[int]struct{}{},
+	}, nil
+}
+
+// Ranks returns the job's rank count.
+func (t *Tracker) Ranks() int { return t.ranks }
+
+// MarkDurable records that rank holds version at a durable tier. Out-of-
+// range ranks and negative versions are ignored (defensive: reports come
+// from per-rank hooks).
+func (t *Tracker) MarkDurable(rank int, version int64) {
+	if version < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= t.ranks {
+		return
+	}
+	set := t.holds[version]
+	if set == nil {
+		set = map[int]struct{}{}
+		t.holds[version] = set
+	}
+	set[rank] = struct{}{}
+	if !t.any || version > t.high {
+		t.high = version
+		t.any = true
+	}
+}
+
+// MarkLost retracts rank's claim on version — the rank's flush chain for
+// it was aborted, or its copy died with the process before reaching a
+// durable tier. Retracting a claim that was never made is a no-op.
+func (t *Tracker) MarkLost(rank int, version int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if set := t.holds[version]; set != nil {
+		delete(set, rank)
+		if len(set) == 0 {
+			delete(t.holds, version)
+		}
+	}
+}
+
+// RankDead records that rank died. Its existing durable claims stand —
+// node-local checkpoint files outlive a process kill — and the restart
+// path decides what actually survived; use RetractRank when a whole
+// node's storage is known lost.
+func (t *Tracker) RankDead(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= t.ranks {
+		return
+	}
+	if _, dup := t.dead[rank]; !dup {
+		t.dead[rank] = struct{}{}
+		t.deaths++
+	}
+}
+
+// RetractRank drops every durable claim rank has made — the node-kill
+// case, where the rank's local SSD died with it and no copy survives
+// (partner replicas, tracked by the partner rank's restart-side
+// reports, are unaffected).
+func (t *Tracker) RetractRank(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for v, set := range t.holds {
+		delete(set, rank)
+		if len(set) == 0 {
+			delete(t.holds, v)
+		}
+	}
+}
+
+// RankDeaths returns the number of distinct ranks reported dead.
+func (t *Tracker) RankDeaths() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deaths
+}
+
+// DeadRanks lists the ranks reported dead, ascending.
+func (t *Tracker) DeadRanks() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.dead))
+	for r := range t.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CommittedVersions lists the globally committed versions — those every
+// rank holds durable — in ascending order.
+func (t *Tracker) CommittedVersions() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int64
+	for v, set := range t.holds {
+		if len(set) == t.ranks {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LatestConsistent returns the newest globally committed version — the
+// version a cluster restart should restore from. ok is false when no
+// version has committed on every rank yet.
+func (t *Tracker) LatestConsistent() (version int64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	found := false
+	var best int64
+	for v, set := range t.holds {
+		if len(set) != t.ranks {
+			continue
+		}
+		if !found || v > best {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CommitLag measures how far the cluster's committed frontier trails the
+// fastest rank: the highest version any rank reported durable minus the
+// latest consistent version (counting from -1 when nothing has
+// committed). 0 means every durable version is globally committed.
+func (t *Tracker) CommitLag() int64 {
+	latest, ok := t.LatestConsistent()
+	if !ok {
+		latest = -1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.any {
+		return 0
+	}
+	return t.high - latest
+}
+
+// RegisterProbes attaches the tracker's gauges to a sampler: the latest
+// consistent version (-1 before the first global commit), the commit
+// lag, and the rank-death count. Call before Sampler.Start; prefix
+// defaults to "coord".
+func (t *Tracker) RegisterProbes(s *metrics.Sampler, prefix string) {
+	if prefix == "" {
+		prefix = "coord"
+	}
+	s.Register(prefix+".committed_version", func() float64 {
+		v, ok := t.LatestConsistent()
+		if !ok {
+			return -1
+		}
+		return float64(v)
+	})
+	s.Register(prefix+".commit_lag", func() float64 {
+		return float64(t.CommitLag())
+	})
+	s.Register(prefix+".rank_deaths", func() float64 {
+		return float64(t.RankDeaths())
+	})
+}

@@ -1,0 +1,142 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCommitRequiresEveryRank(t *testing.T) {
+	tr, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.LatestConsistent(); ok {
+		t.Fatal("empty tracker reports a consistent version")
+	}
+	tr.MarkDurable(0, 0)
+	tr.MarkDurable(1, 0)
+	if _, ok := tr.LatestConsistent(); ok {
+		t.Fatal("version committed with only 2/3 ranks durable")
+	}
+	if lag := tr.CommitLag(); lag != 1 {
+		t.Fatalf("CommitLag = %d, want 1 (version 0 durable somewhere, none committed)", lag)
+	}
+	tr.MarkDurable(2, 0)
+	v, ok := tr.LatestConsistent()
+	if !ok || v != 0 {
+		t.Fatalf("LatestConsistent = (%d, %v), want (0, true)", v, ok)
+	}
+	if lag := tr.CommitLag(); lag != 0 {
+		t.Fatalf("CommitLag = %d, want 0", lag)
+	}
+}
+
+func TestLatestConsistentPicksNewestFullVersion(t *testing.T) {
+	tr, _ := New(2)
+	for v := int64(0); v < 4; v++ {
+		tr.MarkDurable(0, v)
+	}
+	tr.MarkDurable(1, 0)
+	tr.MarkDurable(1, 1)
+	tr.MarkDurable(1, 3)
+	v, ok := tr.LatestConsistent()
+	if !ok || v != 3 {
+		t.Fatalf("LatestConsistent = (%d, %v), want (3, true)", v, ok)
+	}
+	got := tr.CommittedVersions()
+	want := []int64{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("CommittedVersions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommittedVersions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMarkLostRetractsClaim(t *testing.T) {
+	tr, _ := New(2)
+	tr.MarkDurable(0, 5)
+	tr.MarkDurable(1, 5)
+	if v, ok := tr.LatestConsistent(); !ok || v != 5 {
+		t.Fatalf("LatestConsistent = (%d, %v), want (5, true)", v, ok)
+	}
+	tr.MarkLost(1, 5)
+	if _, ok := tr.LatestConsistent(); ok {
+		t.Fatal("version still committed after a rank retracted it")
+	}
+	tr.MarkLost(1, 99) // never claimed: no-op
+}
+
+func TestRetractRankDropsAllClaims(t *testing.T) {
+	tr, _ := New(2)
+	tr.MarkDurable(0, 0)
+	tr.MarkDurable(0, 1)
+	tr.MarkDurable(1, 0)
+	tr.MarkDurable(1, 1)
+	tr.RetractRank(1)
+	if _, ok := tr.LatestConsistent(); ok {
+		t.Fatal("versions survive RetractRank of a required rank")
+	}
+	// The surviving rank's claims are untouched: re-reporting rank 1
+	// re-commits.
+	tr.MarkDurable(1, 1)
+	if v, ok := tr.LatestConsistent(); !ok || v != 1 {
+		t.Fatalf("LatestConsistent = (%d, %v), want (1, true)", v, ok)
+	}
+}
+
+func TestRankDeathsCountDistinct(t *testing.T) {
+	tr, _ := New(4)
+	tr.RankDead(2)
+	tr.RankDead(2)
+	tr.RankDead(0)
+	tr.RankDead(99) // out of range: ignored
+	if n := tr.RankDeaths(); n != 2 {
+		t.Fatalf("RankDeaths = %d, want 2", n)
+	}
+	dead := tr.DeadRanks()
+	if len(dead) != 2 || dead[0] != 0 || dead[1] != 2 {
+		t.Fatalf("DeadRanks = %v, want [0 2]", dead)
+	}
+}
+
+func TestDefensiveInputs(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	tr, _ := New(1)
+	tr.MarkDurable(0, -1) // negative version ignored
+	tr.MarkDurable(5, 0)  // out-of-range rank ignored
+	if _, ok := tr.LatestConsistent(); ok {
+		t.Fatal("defensive inputs produced a committed version")
+	}
+	tr.MarkDurable(0, 7)
+	if v, ok := tr.LatestConsistent(); !ok || v != 7 {
+		t.Fatalf("single-rank job: LatestConsistent = (%d, %v), want (7, true)", v, ok)
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	const ranks, versions = 8, 32
+	tr, _ := New(ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for v := int64(0); v < versions; v++ {
+				tr.MarkDurable(r, v)
+			}
+		}(r)
+	}
+	wg.Wait()
+	v, ok := tr.LatestConsistent()
+	if !ok || v != versions-1 {
+		t.Fatalf("LatestConsistent = (%d, %v), want (%d, true)", v, ok, versions-1)
+	}
+	if got := len(tr.CommittedVersions()); got != versions {
+		t.Fatalf("committed %d versions, want %d", got, versions)
+	}
+}

@@ -38,6 +38,7 @@ type Client struct {
 	q       restoreQueue
 	started bool // prefetcher activated
 	closed  bool
+	killed  bool  // the rank died (fault injection); implies closed soon
 	err     error // first asynchronous failure
 
 	d2hQ, h2fQ idFIFO // flush queues
@@ -52,7 +53,8 @@ type Client struct {
 	stagedBytes int64  // host-stager budget accounting
 	events      uint64 // progress generation: bumped on real state changes
 
-	degraded [TierPFS + 1]bool // tiers marked persistently failed
+	degraded   [TierPFS + 1]bool          // tiers marked persistently failed
+	degradedAt [TierPFS + 1]time.Duration // when each mark was (last) set
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand // retry jitter; seeded for deterministic replays
@@ -136,7 +138,7 @@ func New(p Params) (*Client, error) {
 		c.hostReadyAt = c.clk.Now()
 	}
 
-	if p.Store != nil || p.PFSStore != nil {
+	if p.Store != nil || p.PFSStore != nil || p.PartnerStore != nil {
 		c.recoverFromStore()
 	}
 
@@ -166,18 +168,32 @@ func New(p Params) (*Client, error) {
 
 // recoverFromStore rebuilds the checkpoint table from the durable
 // stores: every valid stored checkpoint reappears as a FLUSHED replica
-// on the tier(s) whose store holds it (SSD, PFS, or both), restorable
-// through the normal promotion path with tier fallback.
+// on the tier(s) whose store holds it (SSD, partner SSD, PFS, or any
+// combination), restorable through the normal promotion path with tier
+// fallback.
 func (c *Client) recoverFromStore() {
 	type durable struct {
-		size         int64
-		onSSD, onPFS bool
+		size                    int64
+		onSSD, onPartner, onPFS bool
 	}
 	found := map[int64]*durable{}
 	if c.p.Store != nil {
 		for _, id := range c.p.Store.IDs() {
 			if size, err := c.p.Store.Size(id); err == nil {
 				found[id] = &durable{size: size, onSSD: true}
+			}
+		}
+	}
+	if c.p.PartnerStore != nil {
+		for _, id := range c.p.PartnerStore.IDs() {
+			size, err := c.p.PartnerStore.Size(id)
+			if err != nil {
+				continue
+			}
+			if d := found[id]; d != nil {
+				d.onPartner = true
+			} else {
+				found[id] = &durable{size: size, onPartner: true}
 			}
 		}
 	}
@@ -206,6 +222,9 @@ func (c *Client) recoverFromStore() {
 		if d.onSSD {
 			replicas[TierSSD] = &replica{tier: TierSSD, fsm: flushed()}
 		}
+		if d.onPartner {
+			replicas[TierPartner] = &replica{tier: TierPartner, fsm: flushed()}
+		}
 		if d.onPFS {
 			replicas[TierPFS] = &replica{tier: TierPFS, fsm: flushed()}
 		}
@@ -213,8 +232,8 @@ func (c *Client) recoverFromStore() {
 			id:   ID(id),
 			size: d.size,
 			pay: &storePayload{
-				ssd: c.p.Store, pfs: c.p.PFSStore, rec: c.rec,
-				id: id, size: d.size,
+				ssd: c.p.Store, partner: c.p.PartnerStore, pfs: c.p.PFSStore,
+				rec: c.rec, id: id, size: d.size,
 			},
 			replicas: replicas,
 		}
@@ -352,6 +371,10 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	start := c.clk.Now()
 
 	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return ErrKilled
+	}
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
@@ -442,6 +465,7 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 			}
 			cpErr := c.copyD2HHost(ck)
 			if cpErr == nil {
+				c.healTier(TierHost)
 				hostRep.fsm.MustTo(lifecycle.WriteComplete)
 				c.hstC.Notify()
 				c.enqueueH2F(ck)
@@ -450,9 +474,12 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 			}
 			// PCIe toward the host is dead: release the reservation and
 			// try the deeper route (which will fail too if PCIe itself is
-			// the problem — surfaced below).
+			// the problem — surfaced below). A dying client skips the
+			// degradation — that is a shutdown, not a tier fault.
 			c.dropReplica(ck, TierHost)
-			c.degradeTier(TierHost)
+			if !isShutdownErr(cpErr) {
+				c.degradeTier(TierHost)
+			}
 		case cachebuf.ErrClosed:
 			c.mu.Lock()
 			delete(ck.replicas, TierHost)
@@ -527,6 +554,10 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 	start := c.clk.Now()
 
 	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return nil, ErrKilled
+	}
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
@@ -654,6 +685,9 @@ func (c *Client) WaitFlush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for c.d2hQ.len() > 0 || c.h2fQ.len() > 0 || c.d2hBusy > 0 || c.h2fBusy > 0 {
+		if c.killed {
+			return ErrKilled
+		}
 		if c.closed {
 			return ErrClosed
 		}

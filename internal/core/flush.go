@@ -47,10 +47,15 @@ func (c *Client) popFlushJob(q *idFIFO, busy *int) (ID, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for q.len() == 0 {
-		if c.closed {
+		if c.closed || c.killed {
 			return 0, false
 		}
 		c.cond.Wait()
+	}
+	if c.killed {
+		// The rank died with jobs still queued; finishKill sweeps their
+		// fates. Don't start work for a dead process.
+		return 0, false
 	}
 	id, _ := q.pop()
 	*busy++
@@ -149,10 +154,16 @@ func (c *Client) runD2H(id ID) {
 		c.p.GPU.AllocPinnedHost(ck.size)
 	}
 	if err := c.copyD2HHost(ck); err != nil {
+		c.dropReplica(ck, TierHost)
+		if isShutdownErr(err) {
+			// The rank died (or closed) mid-copy: the chain resolves as
+			// lost, not as a tier fault.
+			c.abortFlush(ck, TierGPU, err)
+			return
+		}
 		// The PCIe hop toward the host cache kept failing: release the
 		// reservation, mark the host tier degraded, and try the direct
 		// route (which surfaces its own failure if PCIe itself is dead).
-		c.dropReplica(ck, TierHost)
 		c.degradeTier(TierHost)
 		if err := c.directToSSD(ck, true); err != nil {
 			c.abortFlush(ck, TierGPU, err)
@@ -161,6 +172,7 @@ func (c *Client) runD2H(id ID) {
 		c.markFlushed(ck, TierGPU)
 		return
 	}
+	c.healTier(TierHost)
 	hostRep.fsm.MustTo(lifecycle.WriteComplete)
 	c.hstC.Notify()
 
@@ -239,22 +251,39 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 	c.mu.Unlock()
 	if !ssdRep.hasData() {
 		ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
-		if err := c.writeSSD(ck, fromGPU); err != nil {
-			// The SSD route is dead for this checkpoint: drop the
-			// half-written replica, mark the tier degraded so later
-			// flushes skip it, and reroute to the PFS.
+		err := c.writeSSD(ck, fromGPU)
+		if err == nil {
+			// The write landed, but only a live process gets credit for a
+			// durable transition — a kill racing the flush must resolve
+			// the chain as lost, not durable.
+			err = c.killGate()
+		}
+		if err != nil {
 			c.mu.Lock()
 			if ck.replicas[TierSSD] == ssdRep {
 				delete(ck.replicas, TierSSD)
 			}
 			c.mu.Unlock()
+			if isShutdownErr(err) {
+				return err
+			}
+			// The SSD route is dead for this checkpoint: drop the
+			// half-written replica, mark the tier degraded so later
+			// flushes skip it, and reroute to the PFS.
 			c.degradeTier(TierSSD)
 			return c.routeToPFS(ck, fromGPU)
 		}
+		c.healTier(TierSSD)
 		ssdRep.fsm.MustTo(lifecycle.WriteComplete)
 		c.accountFate(ck, fateDurable)
 	}
 
+	if c.p.PartnerStore != nil && !ck.dataOn(TierPartner) {
+		// Partner-copy replication (SCR/VELOC): stage a replica on the
+		// partner node's SSD so a whole-node loss keeps the version
+		// restorable. Best effort — the local SSD already holds the data.
+		c.routeToPartner(ck)
+	}
 	if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
 		// Best effort: the SSD already holds the data, so a PFS failure
 		// here loses persistence breadth, not the checkpoint.
@@ -326,6 +355,11 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 		}
 		return nil
 	}()
+	if err == nil {
+		// Same rule as the SSD route: no durable credit for a process
+		// that died mid-flush.
+		err = c.killGate()
+	}
 	if err != nil {
 		c.mu.Lock()
 		if ck.replicas[TierPFS] == pfsRep {
@@ -340,6 +374,70 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 	c.notifyGPU()
 	c.hstC.Notify()
 	return nil
+}
+
+// routeToPartner stages a replica of ck on the partner node's SSD over
+// the inter-node fabric: local NIC → partner NIC → partner NVMe, then a
+// durable put to the partner store. Best effort, like the PFS leg of a
+// flush — the local SSD already holds the data, so a partner failure
+// costs redundancy (and the ability to survive a node loss), not the
+// checkpoint. Persistent failures degrade the partner tier; a later
+// probe heals it.
+func (c *Client) routeToPartner(ck *checkpoint) {
+	if c.p.PartnerStore == nil || c.tierDegraded(TierPartner) || c.killGate() != nil {
+		return
+	}
+	c.mu.Lock()
+	rep := ck.replicas[TierPartner]
+	if rep == nil {
+		rep = &replica{tier: TierPartner, fsm: lifecycle.NewMachine(c.clk)}
+		ck.replicas[TierPartner] = rep
+	}
+	hasData := rep.hasData()
+	c.mu.Unlock()
+	if hasData {
+		return
+	}
+	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackH2F, "partner-copy",
+		fmt.Sprintf("replicate %d → partner ssd", ck.id))()
+	rep.fsm.MustTo(lifecycle.WriteInProgress)
+	err := func() error {
+		if err := c.retryIO("partner", "partner copy", func() error {
+			return c.partnerHop(ck.size, true)
+		}); err != nil {
+			return err
+		}
+		if data := ck.pay.Bytes(); data != nil {
+			return c.retryIO("partner", "store put", func() error {
+				if err := c.p.PartnerStore.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
+					return err
+				}
+				return nil
+			})
+		}
+		return nil
+	}()
+	if err == nil {
+		err = c.killGate()
+	}
+	if err != nil {
+		c.mu.Lock()
+		if ck.replicas[TierPartner] == rep {
+			delete(ck.replicas, TierPartner)
+		}
+		c.mu.Unlock()
+		c.rec.PartnerCopyFailure()
+		if !isShutdownErr(err) {
+			c.degradeTier(TierPartner)
+		}
+		return
+	}
+	rep.fsm.MustTo(lifecycle.WriteComplete)
+	rep.fsm.MustTo(lifecycle.Flushed) // durable the moment the put lands
+	c.healTier(TierPartner)
+	c.rec.PartnerCopy(ck.size)
+	c.notifyGPU()
+	c.hstC.Notify()
 }
 
 // abortFlush gives up on making ck durable: every route below srcTier

@@ -51,6 +51,18 @@ func (c *Client) accountFate(ck *checkpoint, fate ckptFate) {
 	case fateLost:
 		c.rec.ConserveLost(ck.size)
 	}
+	// Group commit (§cluster failure model): report durable/lost
+	// transitions so the job-wide tracker can compute the globally
+	// committed frontier. Discards are deliberately not reported — a
+	// consumed-and-discardable version is not restart state.
+	if c.p.Commit != nil {
+		switch fate {
+		case fateDurable:
+			c.p.Commit.MarkDurable(c.p.Rank, int64(ck.id))
+		case fateLost:
+			c.p.Commit.MarkLost(c.p.Rank, int64(ck.id))
+		}
+	}
 }
 
 // RegisterProbes attaches this client's gauge probes to a sampler: cache

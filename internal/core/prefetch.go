@@ -139,7 +139,7 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 	// tier that has the data directly into the application buffer.
 	c.mu.Lock()
 	onHost := ck.dataOn(TierHost)
-	onDeep := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
+	onDeep := ck.dataOn(TierSSD) || ck.dataOn(TierPartner) || ck.dataOn(TierPFS)
 	c.mu.Unlock()
 	switch {
 	case onHost:
@@ -209,7 +209,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 	// Stage 1: ensure the data is on the host tier.
 	c.mu.Lock()
 	onHost := ck.dataOn(TierHost)
-	onLower := ck.dataOn(TierSSD) || ck.dataOn(TierPFS)
+	onLower := ck.dataOn(TierSSD) || ck.dataOn(TierPartner) || ck.dataOn(TierPFS)
 	c.mu.Unlock()
 
 	if !onHost && c.p.GPUDirectStorage && onLower {

@@ -20,6 +20,13 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the per-retry sleep.
 	MaxBackoff time.Duration
+	// ProbeInterval is how long a degraded tier stays quarantined before
+	// the next operation is allowed to probe it again; a successful
+	// probe re-promotes the tier (TierRecovery), a failed one re-arms
+	// the quarantine. 0 takes the default (100ms simulated); negative
+	// disables probing, keeping degradations sticky for the client's
+	// lifetime (the pre-recovery behavior).
+	ProbeInterval time.Duration
 }
 
 func (rp RetryPolicy) withDefaults() RetryPolicy {
@@ -31,6 +38,9 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if rp.MaxBackoff <= 0 {
 		rp.MaxBackoff = 8 * time.Millisecond
+	}
+	if rp.ProbeInterval == 0 {
+		rp.ProbeInterval = 100 * time.Millisecond
 	}
 	return rp
 }
@@ -66,11 +76,11 @@ func (c *Client) retryIO(label, what string, op func() error) error {
 				backoff = policy.MaxBackoff
 			}
 		}
-		if c.isClosed() {
+		if lerr := c.liveErr(); lerr != nil {
 			if attempt > 0 {
 				c.rec.RetryBout(false)
 			}
-			return ErrClosed
+			return lerr
 		}
 		if err = op(); err == nil {
 			if attempt > 0 {
@@ -97,15 +107,38 @@ func (c *Client) isClosed() bool {
 	return c.closed
 }
 
+// liveErr reports why the client can no longer perform I/O: ErrKilled
+// after a rank kill, ErrClosed after an orderly Close, nil while alive.
+func (c *Client) liveErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return ErrKilled
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// isShutdownErr distinguishes "the client is going away" from a tier
+// fault: degradation and fallback routing must not trigger on it.
+func isShutdownErr(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, ErrKilled)
+}
+
 // degradeTier marks t persistently failed. Flush routing and the read
 // path consult this to skip the tier: a degraded SSD makes flushes route
 // host→PFS directly and reads prefer the PFS replica; a degraded host
-// makes D2H flushes stream GPU→SSD.
+// makes D2H flushes stream GPU→SSD. Only the first transition counts as
+// a Degradation; a failed recovery probe merely refreshes the quarantine
+// timestamp.
 func (c *Client) degradeTier(t Tier) {
 	c.mu.Lock()
 	already := c.degraded[t]
+	c.degraded[t] = true
+	c.degradedAt[t] = c.clk.Now()
 	if !already {
-		c.degraded[t] = true
 		c.bumpLocked()
 	}
 	c.mu.Unlock()
@@ -117,11 +150,39 @@ func (c *Client) degradeTier(t Tier) {
 	c.hstC.Notify()
 }
 
-// tierDegraded reports whether t has been marked degraded.
+// tierDegraded reports whether t should currently be skipped. A degraded
+// tier re-enters probation once Retry.ProbeInterval has elapsed since it
+// was (last) marked: the caller's next operation probes it, healTier
+// clears the mark on success, and a failure re-arms the quarantine.
 func (c *Client) tierDegraded(t Tier) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.degraded[t]
+	if !c.degraded[t] {
+		return false
+	}
+	if pi := c.p.Retry.ProbeInterval; pi > 0 && c.clk.Now() >= c.degradedAt[t]+pi {
+		return false // probation: let the caller try the tier again
+	}
+	return true
+}
+
+// healTier clears a degradation after an operation on t succeeded — the
+// recovery half of the degradation ladder. A no-op on healthy tiers, so
+// success paths call it unconditionally.
+func (c *Client) healTier(t Tier) {
+	c.mu.Lock()
+	healed := c.degraded[t]
+	if healed {
+		c.degraded[t] = false
+		c.bumpLocked()
+	}
+	c.mu.Unlock()
+	if !healed {
+		return
+	}
+	c.rec.TierRecovery(t.String())
+	c.notifyGPU()
+	c.hstC.Notify()
 }
 
 // DegradedTiers is the client's health view: the tiers marked
@@ -139,29 +200,48 @@ func (c *Client) DegradedTiers() []Tier {
 }
 
 // readDeep charges a verified read of ck's bytes from the fastest
-// below-host tier holding data. A persistently failing SSD read falls
-// back to the PFS replica (degrading the SSD tier); a checkpoint with no
-// readable deep replica is definitively lost.
+// below-host tier holding data, falling down the ladder — local SSD,
+// partner SSD, PFS — when a tier keeps failing (degrading it as it
+// goes). A checkpoint with no readable deep replica is definitively
+// lost.
 func (c *Client) readDeep(ck *checkpoint) error {
 	c.mu.Lock()
 	onSSD := ck.dataOn(TierSSD)
+	onPartner := ck.dataOn(TierPartner)
 	onPFS := ck.dataOn(TierPFS)
 	c.mu.Unlock()
 
-	if onSSD && (!c.tierDegraded(TierSSD) || !onPFS) {
+	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
 		err := c.retryIO("ssd", "NVMe read", func() error {
 			return c.deepHop(c.p.NVMe, ck.size)
 		})
 		if err == nil {
+			c.healTier(TierSSD)
 			return nil
 		}
-		if !onPFS {
+		if isShutdownErr(err) || !(onPartner || onPFS) {
 			return err
 		}
 		c.degradeTier(TierSSD)
 	}
-	if onPFS {
+	if onPartner && (!c.tierDegraded(TierPartner) || !onPFS) {
 		if onSSD {
+			c.rec.FallbackRead()
+		}
+		err := c.retryIO("partner", "partner SSD read", func() error {
+			return c.partnerHop(ck.size, false)
+		})
+		if err == nil {
+			c.healTier(TierPartner)
+			return nil
+		}
+		if isShutdownErr(err) || !onPFS {
+			return err
+		}
+		c.degradeTier(TierPartner)
+	}
+	if onPFS {
+		if onSSD || onPartner {
 			c.rec.FallbackRead()
 		}
 		return c.retryIO("pfs", "PFS read", func() error {
@@ -181,5 +261,26 @@ func (c *Client) deepHop(l *fabric.Link, size int64) error {
 		return err
 	}
 	_, err := l.TryTransfer(size)
+	return err
+}
+
+// partnerHop charges a crossing of the inter-node partner path: the
+// write direction (local NIC → partner NIC → partner NVMe) for
+// replication, the reverse for reads. Chunked configurations pipeline
+// the hops.
+func (c *Client) partnerHop(size int64, write bool) error {
+	path := c.p.PartnerPath
+	if !write {
+		rev := make(fabric.Path, len(path))
+		for i, l := range path {
+			rev[len(path)-1-i] = l
+		}
+		path = rev
+	}
+	if cs := c.p.ChunkSize; cs > 0 {
+		_, err := path.TryPipelinedTransfer(size, cs)
+		return err
+	}
+	_, err := path.TryTransfer(size)
 	return err
 }

@@ -112,7 +112,7 @@ func (c *Client) nextStageTargetLocked(freeHostBytes int64) *checkpoint {
 		if rep := ck.replicas[TierHost]; rep != nil {
 			continue // a flush or another promotion is materializing it
 		}
-		if !ck.dataOn(TierSSD) && !ck.dataOn(TierPFS) {
+		if !ck.dataOn(TierSSD) && !ck.dataOn(TierPartner) && !ck.dataOn(TierPFS) {
 			continue // still being flushed down; the flusher will land it
 		}
 		if freeHostBytes < ck.size && i >= maxResidentDist {

@@ -110,32 +110,54 @@ func (c *Client) readDeepToGPU(ck *checkpoint) error {
 
 	c.mu.Lock()
 	onSSD := ck.dataOn(TierSSD)
+	onPartner := ck.dataOn(TierPartner)
 	onPFS := ck.dataOn(TierPFS)
 	c.mu.Unlock()
 
-	stream := func(label, srcName string, src *fabric.Link) error {
+	stream := func(label, srcName string, inward fabric.Path) error {
 		return c.retryIO(label, "chunked deep read + H2D", func() error {
-			st, err := c.p.GPU.TryStreamH2D(fabric.Path{src}, ck.size, cs)
+			st, err := c.p.GPU.TryStreamH2D(inward, ck.size, cs)
 			c.observePipeline(trace.TrackPF, "prefetch",
 				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), st, err)
 			return err
 		})
 	}
-	if onSSD && (!c.tierDegraded(TierSSD) || !onPFS) {
-		err := stream("ssd+pcie", "ssd", c.p.NVMe)
+	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
+		err := stream("ssd+pcie", "ssd", fabric.Path{c.p.NVMe})
 		if err == nil {
+			c.healTier(TierSSD)
 			return nil
 		}
-		if !onPFS {
+		if isShutdownErr(err) || !(onPartner || onPFS) {
 			return err
 		}
 		c.degradeTier(TierSSD)
 	}
-	if onPFS {
+	if onPartner && (!c.tierDegraded(TierPartner) || !onPFS) {
 		if onSSD {
 			c.rec.FallbackRead()
 		}
-		return stream("pfs+pcie", "pfs", c.p.PFS)
+		// Read direction reverses the replication path: partner NVMe →
+		// partner NIC → local NIC, then the PCIe hop onto the GPU.
+		rev := make(fabric.Path, len(c.p.PartnerPath))
+		for i, l := range c.p.PartnerPath {
+			rev[len(rev)-1-i] = l
+		}
+		err := stream("partner+pcie", "partner", rev)
+		if err == nil {
+			c.healTier(TierPartner)
+			return nil
+		}
+		if isShutdownErr(err) || !onPFS {
+			return err
+		}
+		c.degradeTier(TierPartner)
+	}
+	if onPFS {
+		if onSSD || onPartner {
+			c.rec.FallbackRead()
+		}
+		return stream("pfs+pcie", "pfs", fabric.Path{c.p.PFS})
 	}
 	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
 }

@@ -41,6 +41,11 @@ const (
 	// TierSSD is the node-local NVMe tier, shared by co-located
 	// processes.
 	TierSSD
+	// TierPartner is a replica staged on a partner node's SSD over the
+	// inter-node fabric (SCR/VELOC partner-copy). Slower to reach than
+	// the local SSD, faster than the PFS, and — unlike the local SSD —
+	// it survives the loss of this whole node.
+	TierPartner
 	// TierPFS is the globally shared parallel file system (slowest).
 	TierPFS
 )
@@ -54,6 +59,8 @@ func (t Tier) String() string {
 		return "host"
 	case TierSSD:
 		return "ssd"
+	case TierPartner:
+		return "partner"
 	case TierPFS:
 		return "pfs"
 	}
@@ -69,7 +76,24 @@ var (
 	// ErrDuplicateCheckpoint: a version was written twice (checkpoints
 	// are immutable, §1).
 	ErrDuplicateCheckpoint = errors.New("core: checkpoint version already written")
+	// ErrKilled: the rank was killed by fault injection; the process is
+	// gone and every subsequent call fails.
+	ErrKilled = errors.New("core: rank killed")
 )
+
+// CommitHook receives a rank's per-version durability transitions, one
+// call per (rank, version) fate. internal/coord implements it for
+// cluster-wide group commit; core only reports, it never blocks on the
+// hook, so implementations must be non-blocking and concurrency-safe.
+type CommitHook interface {
+	// MarkDurable: the rank holds version at a durable tier.
+	MarkDurable(rank int, version int64)
+	// MarkLost: the rank's copy of version is gone before ever becoming
+	// durable (flush chain aborted, or the process died with it).
+	MarkLost(rank int, version int64)
+	// RankDead: the rank's process died.
+	RankDead(rank int)
+}
 
 // Params configures a Client.
 type Params struct {
@@ -178,6 +202,21 @@ type Params struct {
 	// FaultSeed seeds the retry jitter (and any other client-local
 	// randomness) so fault-injection runs replay deterministically.
 	FaultSeed int64
+
+	// Rank is this client's rank index in the job, reported through
+	// Commit. Meaningful only when Commit is set.
+	Rank int
+	// Commit, when set, receives per-version durability transitions for
+	// cluster-wide group commit (internal/coord).
+	Commit CommitHook
+
+	// PartnerStore and PartnerPath enable partner-copy replication: a
+	// flush that lands on the local SSD also stages a replica on a
+	// partner node's SSD, crossing PartnerPath (local NIC → partner NIC
+	// → partner NVMe) on the simulated fabric. Both must be set
+	// together. Reads traverse the path in reverse.
+	PartnerStore *ckptstore.Store
+	PartnerPath  fabric.Path
 }
 
 // withDefaults fills unset sizes with the paper's §5.3.4 configuration.
@@ -210,6 +249,8 @@ func (p Params) validate() error {
 		return errors.New("core: Params.ChunkSize must be non-negative")
 	case p.FlushStreams < 0:
 		return errors.New("core: Params.FlushStreams must be non-negative")
+	case (p.PartnerStore == nil) != (len(p.PartnerPath) == 0):
+		return errors.New("core: PartnerStore and PartnerPath must be set together")
 	}
 	return nil
 }
@@ -280,15 +321,16 @@ func (ck *checkpoint) durableBelow(t Tier) bool {
 
 // storePayload is a lazily loaded payload backed by the durable stores,
 // used for checkpoints recovered after a restart. The load is verified
-// (the store's CRC layer) and tier-aware: the SSD store is preferred,
-// and a failed or corrupt SSD read falls back to the PFS store,
-// re-populating the SSD copy on success.
+// (the store's CRC layer) and tier-aware: the local SSD store is
+// preferred, and a failed or corrupt read falls back down the ladder —
+// partner SSD, then PFS — re-populating the local SSD copy on success.
 type storePayload struct {
-	ssd  *ckptstore.Store // may be nil (PFS-only recovery)
-	pfs  *ckptstore.Store // may be nil (SSD-only recovery)
-	rec  *metrics.Recorder
-	id   int64
-	size int64
+	ssd     *ckptstore.Store // may be nil
+	partner *ckptstore.Store // may be nil (no partner-copy)
+	pfs     *ckptstore.Store // may be nil
+	rec     *metrics.Recorder
+	id      int64
+	size    int64
 
 	once sync.Once
 	data []byte
@@ -297,36 +339,37 @@ type storePayload struct {
 
 func (p *storePayload) load() {
 	p.once.Do(func() {
-		ssdErr := ckptstore.ErrNotFound
-		if p.ssd != nil && p.ssd.Has(p.id) {
-			p.data, ssdErr = p.ssd.Get(p.id)
-			if ssdErr == nil {
-				return
+		// The fallback ladder, fastest first. The first Get error is
+		// kept: it names the tier that *should* have served the read.
+		missErr := error(ckptstore.ErrNotFound)
+		firstErr := false
+		for i, st := range []*ckptstore.Store{p.ssd, p.partner, p.pfs} {
+			if st == nil || !st.Has(p.id) {
+				continue
 			}
-			p.data = nil
-		}
-		if p.pfs == nil || !p.pfs.Has(p.id) {
-			p.err = ssdErr
+			data, err := st.Get(p.id)
+			if err != nil {
+				if !firstErr {
+					missErr, firstErr = err, true
+				}
+				continue
+			}
+			if i > 0 && p.ssd != nil && p.rec != nil {
+				// The faster durable tier failed (or never had the
+				// bytes); the read is served from a deeper copy.
+				p.rec.FallbackRead()
+			}
+			p.data = data
+			if i > 0 && p.ssd != nil {
+				// Repair the faster tier so later reads and future
+				// restarts find the checkpoint locally again.
+				if rerr := p.ssd.Restage(p.id, data); rerr == nil && p.rec != nil {
+					p.rec.Repopulation()
+				}
+			}
 			return
 		}
-		if p.ssd != nil && p.rec != nil {
-			// The faster durable tier failed (or never had the bytes);
-			// the read is served from the PFS.
-			p.rec.FallbackRead()
-		}
-		data, err := p.pfs.Get(p.id)
-		if err != nil {
-			p.err = err
-			return
-		}
-		p.data = data
-		if p.ssd != nil {
-			// Repair the faster tier so later reads and future restarts
-			// find the checkpoint locally again.
-			if rerr := p.ssd.Restage(p.id, data); rerr == nil && p.rec != nil {
-				p.rec.Repopulation()
-			}
-		}
+		p.err = missErr
 	})
 }
 

@@ -1,0 +1,298 @@
+// Rank-failure scenario: the cluster failure model end to end. Phase one
+// runs a multi-rank job under a seeded kill schedule that takes out a
+// whole node mid-flush; phase two deletes the dead node's SSD contents
+// (a node loss takes its local stores with it), restarts every rank, and
+// restores the newest globally committed version — which must come back
+// bit-exact on every rank. With partner-copy replication the node kill
+// is survivable (the dead ranks' checkpoints live on the next node's
+// SSD); without it the scenario reports the job unrecoverable rather
+// than ever returning wrong bytes.
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"score"
+)
+
+// RankFailConfig parameterizes one rank-failure scenario.
+type RankFailConfig struct {
+	// Nodes and GPUsPerNode shape the cluster (defaults: 2 nodes × 2
+	// GPUs). Ranks are numbered node*GPUsPerNode+gpu.
+	Nodes, GPUsPerNode int
+	// Checkpoints is the number of versions each rank writes (default 6).
+	Checkpoints int
+	// Size is the per-checkpoint payload size in bytes (default 1 MiB).
+	Size int64
+	// Interval is the compute time between checkpoints (default 10 ms).
+	Interval time.Duration
+	// KillNode is the node whose ranks die; KillAt the virtual time of
+	// death (default: node 0 at 2.5 intervals — mid-flush of an early
+	// version).
+	KillNode int
+	KillAt   time.Duration
+	// KillRankOnly kills a single rank (GPU 0 of KillNode) instead of
+	// the whole node: a process crash, not a node loss, so the node's
+	// SSD contents survive the failure.
+	KillRankOnly bool
+	// PartnerCopy enables partner-copy replication; without it a node
+	// kill must be reported unrecoverable.
+	PartnerCopy bool
+	// StoreRoot is the directory backing every rank's durable stores:
+	// <root>/node<i>/local/rank<r> and <root>/node<i>/partner/rank<r>.
+	// Node death is modeled by deleting <root>/node<KillNode>.
+	StoreRoot string
+	// Seed drives the deterministic payload generator.
+	Seed int64
+}
+
+func (c RankFailConfig) withDefaults() RankFailConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 2
+	}
+	if c.Checkpoints == 0 {
+		c.Checkpoints = 6
+	}
+	if c.Size == 0 {
+		c.Size = 1 << 20
+	}
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.KillAt == 0 {
+		c.KillAt = c.Interval*2 + c.Interval/2
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	return c
+}
+
+// RankFailResult reports one scenario run.
+type RankFailResult struct {
+	// Ranks is the job size; Killed lists the ranks that died, ascending.
+	Ranks  int
+	Killed []int
+	// RankDeaths and CommitLag are the running tracker's view at the end
+	// of phase one (before restart).
+	RankDeaths int64
+	CommitLag  int64
+	// PartnerCopies/PartnerCopyBytes sum the replicas the job staged on
+	// partner SSDs (0 without PartnerCopy).
+	PartnerCopies, PartnerCopyBytes int64
+	// Recoverable reports whether a globally committed version survived;
+	// LatestConsistent is that version (-1 when none).
+	Recoverable      bool
+	LatestConsistent int64
+	// RestoredRanks counts ranks that restored LatestConsistent
+	// bit-exactly after the restart (equals Ranks when Recoverable).
+	RestoredRanks int
+}
+
+// rankPayload deterministically generates rank/version-unique bytes, so
+// phase two can verify restored data against a regenerated reference.
+func rankPayload(seed int64, rank int, version, size int64) []byte {
+	buf := make([]byte, size)
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(rank+1)*0xBF58476D1CE4E5B9 ^
+		uint64(version+1)*0x94D049BB133111EB
+	if x == 0 {
+		x = 1
+	}
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	return buf
+}
+
+func (c RankFailConfig) localDir(node, rank int) string {
+	return filepath.Join(c.StoreRoot, fmt.Sprintf("node%d", node), "local", fmt.Sprintf("rank%d", rank))
+}
+
+// partnerDir is where rank r (on node) replicates to: the partner node's
+// SSD. It lives under the partner's node directory so a kill of that
+// node destroys the replicas it hosts.
+func (c RankFailConfig) partnerDir(node, rank int) string {
+	p := (node + 1) % c.Nodes
+	return filepath.Join(c.StoreRoot, fmt.Sprintf("node%d", p), "partner", fmt.Sprintf("rank%d", rank))
+}
+
+// RankFailure runs the scenario. Deterministic: the same config (and
+// StoreRoot contents) produces the identical result.
+func RankFailure(cfg RankFailConfig) (RankFailResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StoreRoot == "" {
+		return RankFailResult{}, errors.New("experiments: RankFailConfig.StoreRoot required")
+	}
+	if cfg.KillNode < 0 || cfg.KillNode >= cfg.Nodes {
+		return RankFailResult{}, fmt.Errorf("experiments: kill node %d out of range [0,%d)", cfg.KillNode, cfg.Nodes)
+	}
+	ranks := cfg.Nodes * cfg.GPUsPerNode
+	res := RankFailResult{Ranks: ranks, LatestConsistent: -1}
+	if cfg.KillRankOnly {
+		res.Killed = []int{cfg.KillNode * cfg.GPUsPerNode}
+	} else {
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			res.Killed = append(res.Killed, cfg.KillNode*cfg.GPUsPerNode+g)
+		}
+	}
+
+	// Phase one: run the job under the kill schedule.
+	sim, err := score.NewSim(score.WithNodes(cfg.Nodes), score.WithGPUsPerNode(cfg.GPUsPerNode))
+	if err != nil {
+		return res, err
+	}
+	tracker, err := sim.NewCommitTracker(ranks)
+	if err != nil {
+		return res, err
+	}
+	inj := sim.NewFaultInjector(cfg.Seed)
+	if cfg.KillRankOnly {
+		inj.AddKills(score.KillRank(cfg.KillNode, 0, cfg.KillAt))
+	} else {
+		inj.AddKills(score.KillNode(cfg.KillNode, cfg.KillAt))
+	}
+
+	var runErr error
+	sim.Run(func() {
+		clients := make([]*score.Client, ranks)
+		for node := 0; node < cfg.Nodes; node++ {
+			for g := 0; g < cfg.GPUsPerNode; g++ {
+				rank := node*cfg.GPUsPerNode + g
+				opts := []score.ClientOption{
+					// Small caches + async host registration keep setup
+					// near zero virtual time, so KillAt lands mid-job
+					// rather than during construction (a 32 GiB pinned
+					// registration alone costs seconds of virtual time).
+					score.WithGPUCache(16 * cfg.Size),
+					score.WithHostCache(16 * cfg.Size),
+					score.WithAsyncHostInit(),
+					score.WithStore(cfg.localDir(node, rank)),
+					score.WithCommitTracker(tracker, rank),
+					score.WithFaultInjector(inj),
+				}
+				if cfg.PartnerCopy {
+					opts = append(opts, score.WithPartnerCopy(cfg.partnerDir(node, rank)))
+				}
+				cl, err := sim.NewClient(node, g, opts...)
+				if err != nil {
+					runErr = err
+					return
+				}
+				clients[rank] = cl
+			}
+		}
+		wg := sim.NewWaitGroup()
+		for rank, cl := range clients {
+			rank, cl := rank, cl
+			wg.Add(1)
+			sim.Clock().Go(func() {
+				defer wg.Done()
+				for v := int64(0); v < int64(cfg.Checkpoints); v++ {
+					data := rankPayload(cfg.Seed, rank, v, cfg.Size)
+					if err := cl.Checkpoint(v, data); err != nil {
+						return // killed mid-run: the sweep owns the rest
+					}
+					cl.Compute(cfg.Interval)
+				}
+				_ = cl.WaitFlush() // ErrKilled when death raced the drain
+			})
+		}
+		wg.Wait()
+		for _, cl := range clients {
+			st := cl.Stats()
+			res.PartnerCopies += st.PartnerCopies
+			res.PartnerCopyBytes += st.PartnerCopyBytes
+			cl.Close()
+		}
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+	res.RankDeaths = tracker.RankDeaths()
+	res.CommitLag = tracker.CommitLag()
+
+	// A whole-node death takes its SSD contents with it — local stores
+	// and any partner replicas it hosted. A single-rank (process) crash
+	// leaves the disk intact.
+	if !cfg.KillRankOnly {
+		if err := os.RemoveAll(filepath.Join(cfg.StoreRoot, fmt.Sprintf("node%d", cfg.KillNode))); err != nil {
+			return res, err
+		}
+	}
+
+	// Phase two: restart every rank and recompute the consistent frontier
+	// from what each recovered store actually holds — ground truth, not
+	// the running tracker's view.
+	sim2, err := score.NewSim(score.WithNodes(cfg.Nodes), score.WithGPUsPerNode(cfg.GPUsPerNode))
+	if err != nil {
+		return res, err
+	}
+	restartTracker, err := sim2.NewCommitTracker(ranks)
+	if err != nil {
+		return res, err
+	}
+	sim2.Run(func() {
+		clients := make([]*score.Client, ranks)
+		for node := 0; node < cfg.Nodes; node++ {
+			for g := 0; g < cfg.GPUsPerNode; g++ {
+				rank := node*cfg.GPUsPerNode + g
+				opts := []score.ClientOption{
+					score.WithGPUCache(16 * cfg.Size),
+					score.WithHostCache(16 * cfg.Size),
+					score.WithStore(cfg.localDir(node, rank)),
+				}
+				if cfg.PartnerCopy {
+					opts = append(opts, score.WithPartnerCopy(cfg.partnerDir(node, rank)))
+				}
+				cl, err := sim2.NewClient(node, g, opts...)
+				if err != nil {
+					runErr = err
+					return
+				}
+				clients[rank] = cl
+				for _, v := range cl.RecoveredVersions() {
+					restartTracker.MarkDurable(rank, v)
+				}
+			}
+		}
+		defer func() {
+			for _, cl := range clients {
+				cl.Close()
+			}
+		}()
+		latest, ok := restartTracker.LatestConsistent()
+		if !ok {
+			return // unrecoverable: no version is durable on every rank
+		}
+		res.LatestConsistent = latest
+		want := make([][]byte, ranks)
+		for rank := range clients {
+			want[rank] = rankPayload(cfg.Seed, rank, latest, cfg.Size)
+		}
+		for rank, cl := range clients {
+			got, err := cl.Restart(latest)
+			if err != nil {
+				runErr = fmt.Errorf("experiments: rank %d restart of v%d: %w", rank, latest, err)
+				return
+			}
+			if !bytes.Equal(got, want[rank]) {
+				runErr = fmt.Errorf("experiments: rank %d restored v%d with wrong bytes", rank, latest)
+				return
+			}
+			res.RestoredRanks++
+		}
+		res.Recoverable = res.RestoredRanks == ranks
+	})
+	return res, runErr
+}

@@ -207,6 +207,16 @@ var defaultSampleInterval time.Duration
 // safe to change while shots are running.
 func SetDefaultSampleInterval(d time.Duration) { defaultSampleInterval = d }
 
+// defaultChunkSize mirrors defaultSampleInterval for the chunked-transfer
+// knob: ckptbench's -chunk flag sets it once instead of threading a value
+// through each figure driver.
+var defaultChunkSize int64
+
+// SetDefaultChunkSize makes every subsequent shot whose config leaves
+// ChunkSize zero stream transfers in chunks of n bytes (0 keeps the
+// monolithic transfers). Not safe to change while shots are running.
+func SetDefaultChunkSize(n int64) { defaultChunkSize = n }
+
 // withDefaults fills the paper's defaults.
 func (c ShotConfig) withDefaults() ShotConfig {
 	if c.Nodes == 0 {
@@ -247,11 +257,17 @@ func (c ShotConfig) withDefaults() ShotConfig {
 	if c.SampleInterval == 0 {
 		c.SampleInterval = defaultSampleInterval
 	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = defaultChunkSize
+	}
 	if c.BWScale > 0 && c.BWScale != 1 {
 		c.Node.D2DBandwidth *= c.BWScale
 		c.Node.PCIeBandwidth *= c.BWScale
 		c.Node.NVMePerDrive *= c.BWScale
 		c.Node.PFSBandwidth *= c.BWScale
+		if c.Node.NICBandwidth > 0 {
+			c.Node.NICBandwidth *= c.BWScale
+		}
 	}
 	return c
 }
@@ -522,6 +538,7 @@ func registerLinkProbes(s *metrics.Sampler, cluster *fabric.Cluster) {
 	for _, node := range cluster.Nodes {
 		add(node.NVMe)
 		add(node.PFS)
+		add(node.NIC)
 		for g := 0; g < node.Config().GPUs; g++ {
 			d2d, pcie := node.GPULinks(g)
 			add(d2d)

@@ -28,6 +28,12 @@ type NodeConfig struct {
 	// PFSBandwidth is the per-node share of parallel file system
 	// bandwidth in bytes/second.
 	PFSBandwidth float64
+	// NICBandwidth is the per-node inter-node fabric bandwidth in
+	// bytes/second (HDR InfiniBand class on the paper's platform), used
+	// by partner-copy replication. 0 takes the DGX-A100 default so
+	// pre-existing configurations that only set the four local
+	// bandwidths keep working.
+	NICBandwidth float64
 	// LinkLatency is the fixed per-transfer latency applied to host and
 	// storage links (device-to-device latency is negligible).
 	LinkLatency time.Duration
@@ -43,6 +49,7 @@ func DGXA100() NodeConfig {
 		NVMeDrives:    4,
 		NVMePerDrive:  4 * GB,
 		PFSBandwidth:  10 * GB,
+		NICBandwidth:  25 * GB, // HDR-class inter-node fabric
 		LinkLatency:   10 * time.Microsecond,
 	}
 }
@@ -54,6 +61,8 @@ func (c NodeConfig) Validate() error {
 		return fmt.Errorf("fabric: node needs at least one GPU, got %d", c.GPUs)
 	case c.D2DBandwidth <= 0 || c.PCIeBandwidth <= 0 || c.NVMePerDrive <= 0 || c.PFSBandwidth <= 0:
 		return fmt.Errorf("fabric: all bandwidths must be positive")
+	case c.NICBandwidth < 0:
+		return fmt.Errorf("fabric: NICBandwidth must be >= 0 (0 means default)")
 	case c.GPUsPerPCIe < 1:
 		return fmt.Errorf("fabric: GPUsPerPCIe must be >= 1, got %d", c.GPUsPerPCIe)
 	case c.NVMeDrives < 1:
@@ -70,6 +79,7 @@ type Node struct {
 	D2D  []*Link
 	PCIe []*Link
 	NVMe *Link
+	NIC  *Link // inter-node fabric endpoint (partner-copy traffic)
 	PFS  *Link // shared across nodes; owned by the Cluster
 }
 
@@ -103,6 +113,11 @@ func NewCluster(clk simclock.Clock, n int, cfg NodeConfig) (*Cluster, error) {
 		}
 		node.NVMe = NewLink(clk, fmt.Sprintf("node%d.nvme", i),
 			float64(cfg.NVMeDrives)*cfg.NVMePerDrive, cfg.LinkLatency)
+		nic := cfg.NICBandwidth
+		if nic <= 0 {
+			nic = DGXA100().NICBandwidth
+		}
+		node.NIC = NewLink(clk, fmt.Sprintf("node%d.nic", i), nic, cfg.LinkLatency)
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil

@@ -53,6 +53,13 @@ const (
 	// SiteHostAlloc is pinned host memory allocation/registration
 	// (pressure slows it; it never fails outright).
 	SiteHostAlloc
+	// SitePartner is the inter-node fabric leg of partner-copy
+	// replication (transfers crossing the rank's own node NIC).
+	SitePartner
+	// SitePartnerStoreWrite is a durable write to the partner-copy store.
+	SitePartnerStoreWrite
+	// SitePartnerStoreRead is a durable read from the partner-copy store.
+	SitePartnerStoreRead
 
 	numSites
 )
@@ -76,6 +83,12 @@ func (s Site) String() string {
 		return "pfsstore-read"
 	case SiteHostAlloc:
 		return "host-alloc"
+	case SitePartner:
+		return "partner"
+	case SitePartnerStoreWrite:
+		return "partnerstore-write"
+	case SitePartnerStoreRead:
+		return "partnerstore-read"
 	}
 	return fmt.Sprintf("Site(%d)", int(s))
 }
@@ -194,6 +207,34 @@ func Delay(site Site, d time.Duration, after, until time.Duration) Rule {
 	return Rule{Site: site, Kind: KindSlow, Delay: d, After: after, Until: until}
 }
 
+// KillSpec schedules the abrupt death of one rank — or a whole node —
+// at a virtual time. Unlike Rules, which fault individual operations, a
+// kill takes the process down: its GPU and host tiers vanish, in-flight
+// flushes resolve as lost, and every later call on the killed client
+// fails. A node kill (GPU == -1) additionally means the node's local
+// SSD contents do not survive into a restart; the scenario layer models
+// that by discarding the node's store directories.
+type KillSpec struct {
+	// Node is the node index the kill targets.
+	Node int
+	// GPU selects one rank on the node; -1 kills every rank on it.
+	GPU int
+	// At is the virtual time the kill fires.
+	At time.Duration
+}
+
+// KillRank schedules rank (node, gpu) to die at virtual time at.
+func KillRank(node, gpu int, at time.Duration) KillSpec {
+	return KillSpec{Node: node, GPU: gpu, At: at}
+}
+
+// KillNode schedules every rank on node to die at virtual time at — a
+// whole-node failure: GPUs, host memory, and the node-local SSD are all
+// lost.
+func KillNode(node int, at time.Duration) KillSpec {
+	return KillSpec{Node: node, GPU: -1, At: at}
+}
+
 // Decision is the injector's verdict for one operation. The zero value
 // means "proceed untouched".
 type Decision struct {
@@ -224,6 +265,7 @@ type Injector struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	rules []*rule
+	kills []KillSpec
 	ops   [numSites]int64 // operations observed per site
 	hits  [numSites]int64 // faults injected per site
 }
@@ -251,6 +293,52 @@ func (in *Injector) Add(rules ...Rule) {
 		rc := r
 		in.rules = append(in.rules, &rule{Rule: rc})
 	}
+}
+
+// AddKills installs rank/node kill schedules. The runtime layer reads
+// them with KillAt when a client attaches the injector and arms a timer
+// on the virtual clock.
+func (in *Injector) AddKills(kills ...KillSpec) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.kills = append(in.kills, kills...)
+}
+
+// Kills returns a copy of the installed kill schedules.
+func (in *Injector) Kills() []KillSpec {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]KillSpec, len(in.kills))
+	copy(out, in.kills)
+	return out
+}
+
+// KillAt reports the earliest scheduled death of rank (node, gpu),
+// considering both rank kills and whole-node kills.
+func (in *Injector) KillAt(node, gpu int) (at time.Duration, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, k := range in.kills {
+		if k.Node != node || (k.GPU != gpu && k.GPU != -1) {
+			continue
+		}
+		if !ok || k.At < at {
+			at, ok = k.At, true
+		}
+	}
+	return at, ok
+}
+
+// NodeKilled reports whether a whole-node kill is scheduled for node.
+func (in *Injector) NodeKilled(node int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, k := range in.kills {
+		if k.Node == node && k.GPU == -1 {
+			return true
+		}
+	}
+	return false
 }
 
 // Decide evaluates one operation at site on checkpoint id (pass a

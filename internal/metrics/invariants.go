@@ -53,6 +53,16 @@ func CheckInvariants(s Summary) error {
 	if s.Repopulations > s.FallbackReads {
 		fail("retries: %d repopulations but only %d fallback reads", s.Repopulations, s.FallbackReads)
 	}
+	// A tier heals only after being marked degraded, and the transitions
+	// alternate, so per-tier recoveries never exceed degradations.
+	for tier, rec := range s.TierRecoveries {
+		if rec > s.Degradations[tier] {
+			fail("retries: tier %q healed %d times but degraded only %d times", tier, rec, s.Degradations[tier])
+		}
+	}
+	if s.PartnerCopyBytes < 0 {
+		fail("partner: negative replicated bytes (%d)", s.PartnerCopyBytes)
+	}
 
 	// Pipelined per-hop byte conservation.
 	if s.PipelinedHopBytes != s.PipelinedHopBytesWant {

@@ -31,12 +31,19 @@ type Recorder struct {
 	deviationReads int64 // restores that deviated from the hint order
 
 	// Robustness counters (fault injection / degradation).
-	retries       map[string]int64 // tier name -> retried I/O attempts
-	degradations  map[string]int64 // tier name -> times marked degraded
-	fallbackReads int64            // reads served from a deeper tier after a faster one failed
-	repopulations int64            // lost/corrupt replicas re-staged into a faster tier
-	flushAborts   int64            // flush chains abandoned after exhausting every route
-	syncFlushes   int64            // checkpoints that fell back to synchronous flush (§2 cond. 4)
+	retries        map[string]int64 // tier name -> retried I/O attempts
+	degradations   map[string]int64 // tier name -> times marked degraded
+	tierRecoveries map[string]int64 // tier name -> degradations healed by a probe
+	fallbackReads  int64            // reads served from a deeper tier after a faster one failed
+	repopulations  int64            // lost/corrupt replicas re-staged into a faster tier
+	flushAborts    int64            // flush chains abandoned after exhausting every route
+	syncFlushes    int64            // checkpoints that fell back to synchronous flush (§2 cond. 4)
+
+	// Cluster failure model: partner-copy replication and rank deaths.
+	partnerCopies       int64 // replicas staged on the partner node's SSD
+	partnerCopyBytes    int64
+	partnerCopyFailures int64 // replication attempts that failed
+	rankDeaths          int64 // injected kills of this rank (0 or 1)
 
 	// Chunked transfer pipelining (§4.3): per-stream overlap accounting.
 	pipelinedStreams int64
@@ -221,6 +228,39 @@ func (r *Recorder) Degradation(tier string) {
 	r.degradations[tier]++
 }
 
+// TierRecovery records the named tier healing: a recovery probe
+// succeeded after the tier had been marked degraded.
+func (r *Recorder) TierRecovery(tier string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tierRecoveries == nil {
+		r.tierRecoveries = map[string]int64{}
+	}
+	r.tierRecoveries[tier]++
+}
+
+// PartnerCopy records one replica staged on the partner node's SSD.
+func (r *Recorder) PartnerCopy(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.partnerCopies++
+	r.partnerCopyBytes += bytes
+}
+
+// PartnerCopyFailure records a partner replication attempt that failed.
+func (r *Recorder) PartnerCopyFailure() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.partnerCopyFailures++
+}
+
+// RankDeath records this rank being killed by fault injection.
+func (r *Recorder) RankDeath() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rankDeaths++
+}
+
 // FallbackRead records a read served from a deeper tier after a faster
 // tier's replica failed or was missing.
 func (r *Recorder) FallbackRead() {
@@ -287,12 +327,19 @@ type Summary struct {
 	DeviationReads    int64
 
 	// Robustness counters.
-	Retries       map[string]int64
-	Degradations  map[string]int64
-	FallbackReads int64
-	Repopulations int64
-	FlushAborts   int64
-	SyncFlushes   int64
+	Retries        map[string]int64
+	Degradations   map[string]int64
+	TierRecoveries map[string]int64
+	FallbackReads  int64
+	Repopulations  int64
+	FlushAborts    int64
+	SyncFlushes    int64
+
+	// Cluster failure model.
+	PartnerCopies       int64
+	PartnerCopyBytes    int64
+	PartnerCopyFailures int64
+	RankDeaths          int64
 
 	// Chunked transfer pipelining (§4.3).
 	PipelinedStreams int64
@@ -359,6 +406,15 @@ func (s Summary) TotalDegradations() int64 {
 	return t
 }
 
+// TotalTierRecoveries sums healed degradations across tiers.
+func (s Summary) TotalTierRecoveries() int64 {
+	var t int64
+	for _, n := range s.TierRecoveries {
+		t += n
+	}
+	return t
+}
+
 // Snapshot returns the current totals.
 func (r *Recorder) Snapshot() Summary {
 	r.mu.Lock()
@@ -384,10 +440,16 @@ func (r *Recorder) Snapshot() Summary {
 		DeviationReads:    r.deviationReads,
 		Retries:           copyCounts(r.retries),
 		Degradations:      copyCounts(r.degradations),
+		TierRecoveries:    copyCounts(r.tierRecoveries),
 		FallbackReads:     r.fallbackReads,
 		Repopulations:     r.repopulations,
 		FlushAborts:       r.flushAborts,
 		SyncFlushes:       r.syncFlushes,
+
+		PartnerCopies:       r.partnerCopies,
+		PartnerCopyBytes:    r.partnerCopyBytes,
+		PartnerCopyFailures: r.partnerCopyFailures,
+		RankDeaths:          r.rankDeaths,
 		PipelinedStreams:  r.pipelinedStreams,
 		PipelinedBytes:    r.pipelinedBytes,
 		PipelinedElapsed:  r.pipelinedElapsed,
@@ -470,6 +532,10 @@ func Merge(parts ...Summary) Summary {
 		out.Repopulations += p.Repopulations
 		out.FlushAborts += p.FlushAborts
 		out.SyncFlushes += p.SyncFlushes
+		out.PartnerCopies += p.PartnerCopies
+		out.PartnerCopyBytes += p.PartnerCopyBytes
+		out.PartnerCopyFailures += p.PartnerCopyFailures
+		out.RankDeaths += p.RankDeaths
 		out.PipelinedStreams += p.PipelinedStreams
 		out.PipelinedBytes += p.PipelinedBytes
 		out.PipelinedElapsed += p.PipelinedElapsed
@@ -502,6 +568,12 @@ func Merge(parts ...Summary) Summary {
 				out.Degradations = map[string]int64{}
 			}
 			out.Degradations[k] += v
+		}
+		for k, v := range p.TierRecoveries {
+			if out.TierRecoveries == nil {
+				out.TierRecoveries = map[string]int64{}
+			}
+			out.TierRecoveries[k] += v
 		}
 	}
 	sort.SliceStable(out.RestoreSeries, func(i, j int) bool {

@@ -160,6 +160,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		{"score_pending_flush_bytes", "accepted bytes with undecided fate", "gauge", func(s Summary) float64 { return float64(s.PendingFlushBytes()) }},
 		{"score_retry_bouts_recovered_total", "retried I/O sequences that eventually succeeded", "counter", func(s Summary) float64 { return float64(s.RetryBoutsRecovered) }},
 		{"score_retry_bouts_exhausted_total", "retried I/O sequences that exhausted their attempts", "counter", func(s Summary) float64 { return float64(s.RetryBoutsExhausted) }},
+		{"score_partner_copies_total", "replicas staged on the partner node's SSD", "counter", func(s Summary) float64 { return float64(s.PartnerCopies) }},
+		{"score_partner_copy_bytes_total", "bytes replicated to partner SSDs", "counter", func(s Summary) float64 { return float64(s.PartnerCopyBytes) }},
+		{"score_partner_copy_failures_total", "partner replication attempts that failed", "counter", func(s Summary) float64 { return float64(s.PartnerCopyFailures) }},
+		{"score_rank_deaths_total", "ranks killed by fault injection", "counter", func(s Summary) float64 { return float64(s.RankDeaths) }},
 	}
 	for _, sc := range scalars {
 		sc := sc
@@ -179,6 +183,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, run := range ex.Runs {
 		for _, tier := range sortedKeys(run.Summary.Degradations) {
 			fmt.Fprintf(b, "score_degradations_total{run=%q,tier=%q} %d\n", run.Label, tier, run.Summary.Degradations[tier])
+		}
+	}
+	counter("score_tier_recoveries_total", "degraded tiers healed by recovery probes")
+	for _, run := range ex.Runs {
+		for _, tier := range sortedKeys(run.Summary.TierRecoveries) {
+			fmt.Fprintf(b, "score_tier_recoveries_total{run=%q,tier=%q} %d\n", run.Label, tier, run.Summary.TierRecoveries[tier])
 		}
 	}
 

@@ -329,7 +329,8 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 			s.shared[node] = sharedPool
 		}
 	}
-	var store, pfsStore *ckptstore.Store
+	var store, pfsStore, partnerStore *ckptstore.Store
+	var partnerPath fabric.Path
 	var quarantined []int64
 	if cc.storeDir != "" {
 		st, q, err := openStore(cc.storeDir, cc.scrubOnOpen)
@@ -345,6 +346,21 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		}
 		pfsStore, quarantined = st, append(quarantined, q...)
 	}
+	if cc.partnerDir != "" {
+		pn, err := partnerNode(node, s.cfg.nodes)
+		if err != nil {
+			return nil, err
+		}
+		st, q, err := openStore(cc.partnerDir, cc.scrubOnOpen)
+		if err != nil {
+			return nil, err
+		}
+		partnerStore, quarantined = st, append(quarantined, q...)
+		// Replication crosses both nodes' NICs onto the partner's NVMe;
+		// reads traverse the same path reversed.
+		partner := s.cluster.Nodes[pn]
+		partnerPath = fabric.Path{n.NIC, partner.NIC, partner.NVMe}
+	}
 	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i] < quarantined[j] })
 	var faultSeed int64
 	if inj := cc.injector; inj != nil {
@@ -354,6 +370,7 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		// every client on the node (see WithFaultInjector).
 		n.NVMe.SetInterceptor(linkInterceptor(inj, faultinject.SiteNVMe))
 		n.PFS.SetInterceptor(linkInterceptor(inj, faultinject.SitePFS))
+		n.NIC.SetInterceptor(linkInterceptor(inj, faultinject.SitePartner))
 		dev.SetAllocInterceptor(linkInterceptor(inj, faultinject.SiteHostAlloc))
 		if store != nil {
 			store.SetFaultHook(storeFaults{inj, faultinject.SiteStoreWrite, faultinject.SiteStoreRead})
@@ -361,6 +378,13 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		if pfsStore != nil {
 			pfsStore.SetFaultHook(storeFaults{inj, faultinject.SitePFSStoreWrite, faultinject.SitePFSStoreRead})
 		}
+		if partnerStore != nil {
+			partnerStore.SetFaultHook(storeFaults{inj, faultinject.SitePartnerStoreWrite, faultinject.SitePartnerStoreRead})
+		}
+	}
+	var commit core.CommitHook
+	if cc.tracker != nil {
+		commit = cc.tracker.inner
 	}
 	client, err := core.New(core.Params{
 		Clock:               s.clock(),
@@ -381,9 +405,27 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		GPUDirectStorage:    cc.gpuDirect,
 		ChunkSize:           cc.chunkSize,
 		FlushStreams:        cc.flushStreams,
+		PartnerStore:        partnerStore,
+		PartnerPath:         partnerPath,
+		Rank:                cc.rank,
+		Commit:              commit,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if inj := cc.injector; inj != nil {
+		if at, ok := inj.KillAt(node, gpu); ok {
+			// The kill timer is its own clock task: it fires at the
+			// scheduled virtual time and unwinds the client. Killing an
+			// already closed client is a no-op, so a timer outliving a
+			// normally-closed run is harmless.
+			s.clock().Go(func() {
+				if d := at - s.clock().Now(); d > 0 {
+					s.clock().Sleep(d)
+				}
+				client.Kill()
+			})
+		}
 	}
 	if s.sampler != nil {
 		client.RegisterProbes(s.sampler, fmt.Sprintf("node%d.gpu%d", node, gpu))
