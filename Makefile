@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet vet-deprecated race chaos chaos-rank bench bench-smoke fuzz-smoke clean
+.PHONY: verify build test vet vet-deprecated race chaos chaos-rank bench bench-smoke fuzz-smoke trace-smoke results clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -51,6 +51,24 @@ bench-smoke:
 	$(GO) test -run TestChunkedPipelineSmoke -v . -args -bench.out=BENCH_pipeline.json
 	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
 
+# trace-smoke exercises the observability layer end to end: the trace
+# determinism and flow-arrow golden tests, then the pipeline experiment
+# with Chrome-trace and score-critpath/v1 exports. -fail-on-unattributed
+# makes the run exit non-zero if any durable or restore attribution
+# record carries an unattributed latency gap (DESIGN.md §12); the
+# emitted trace-pipeline-*.json and critpath.json are the CI artifacts.
+trace-smoke:
+	$(GO) test -run 'TestTraceExportDeterministic|TestFlowArrowsMatchGolden' -v .
+	$(GO) run ./cmd/ckptbench -exp pipeline -scale small \
+		-trace-out trace.json -critpath-out critpath.json -fail-on-unattributed
+
+# results regenerates the committed full-scale evaluation transcript.
+# Rerun after any change that shifts the simulated numbers, and commit
+# the diff — a stale transcript fails honest review.
+results:
+	$(GO) run ./cmd/ckptbench -exp all -scale full > results_full.txt
+	@echo "regenerated results_full.txt"
+
 # fuzz-smoke gives each fuzz target a short budget on top of its checked-in
 # seed corpus; go test accepts one -fuzz pattern per invocation.
 FUZZTIME ?= 20s
@@ -60,4 +78,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_pipeline.json
+	rm -f BENCH_pipeline.json critpath.json trace-pipeline-*.json

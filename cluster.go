@@ -3,10 +3,12 @@ package score
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"score/internal/coord"
 	"score/internal/core"
 	"score/internal/faultinject"
+	"score/internal/trace"
 )
 
 // This file is the cluster failure model's public surface: coordinated
@@ -29,16 +31,42 @@ type CommitTracker struct {
 
 // NewCommitTracker builds a group-commit tracker for a job of the given
 // rank count and, when sampling is enabled, registers its commit-frontier
-// probes (coord.committed_version, coord.commit_lag, coord.rank_deaths).
+// probes (coord.committed_version, coord.commit_lag,
+// coord.mean_commit_wait_us, coord.rank_deaths). The tracker runs on the
+// simulation clock, so per-version group-commit waits (first rank
+// durable → globally committed) are measured; with tracing enabled each
+// global commit is also ledgered as a cluster-wide lifecycle event
+// (rank -1, kind group-commit).
 func (s *Sim) NewCommitTracker(ranks int) (*CommitTracker, error) {
 	t, err := coord.New(ranks)
 	if err != nil {
 		return nil, err
 	}
+	clk := s.Clock()
+	t.SetNow(clk.Now)
+	if s.tracer != nil {
+		tracer := s.tracer
+		t.SetCommitObserver(func(version int64, wait time.Duration) {
+			tracer.Lifecycle(-1, version, trace.LGroupCommit, "",
+				fmt.Sprintf("wait %v", wait))
+		})
+	}
 	if s.sampler != nil {
 		t.RegisterProbes(s.sampler, "")
 	}
 	return &CommitTracker{inner: t}, nil
+}
+
+// CommitWaits returns the per-version group-commit waits: for each
+// globally committed version, how long it sat durable on the fastest
+// rank before the last rank caught up.
+func (t *CommitTracker) CommitWaits() map[int64]time.Duration {
+	return t.inner.CommitWaits()
+}
+
+// MeanCommitWait averages the group-commit waits over committed versions.
+func (t *CommitTracker) MeanCommitWait() time.Duration {
+	return t.inner.MeanCommitWait()
 }
 
 // Ranks returns the job size the tracker was built for.

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -23,11 +24,13 @@ import (
 	"score/internal/experiments"
 	"score/internal/metrics"
 	"score/internal/report"
+	"score/internal/trace"
 )
 
 var experimentNames = []string{
 	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
 	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "rankfail",
+	"pipeline",
 }
 
 func main() {
@@ -38,6 +41,26 @@ func main() {
 	promListen := flag.String("prom-listen", "", "serve the metrics registry in Prometheus text format on this address (e.g. :9464); blocks after the experiments finish")
 	sample := flag.Duration("sample", 0, "sample tier/link gauges at this simulated interval during every shot (e.g. 100us); series land in -metrics-out")
 	chunk := flag.Int64("chunk", 0, "stream multi-hop transfers in chunks of this many bytes, overlapping consecutive hops (0 = monolithic transfers)")
+	traceOut := flag.String("trace-out", "", "write each shot's timeline in Chrome trace-event format; the shot label is appended to the name (trace.json -> trace-<label>.json), open in chrome://tracing or ui.perfetto.dev")
+	critpathOut := flag.String("critpath-out", "", "write every shot's critical-path attribution records (score-critpath/v1 JSON) to this file")
+	failUnattributed := flag.Bool("fail-on-unattributed", false, "exit non-zero if any attribution record carries an unattributed latency gap (instrumentation missed a blocking point)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: ckptbench -exp <name> [flags]
+
+Examples:
+  ckptbench -exp fig5a                                        # one figure at paper scale
+  ckptbench -exp all -scale small                             # everything, 1/16 scale
+  ckptbench -exp pipeline -scale small \
+      -trace-out trace.json -critpath-out critpath.json       # mono-vs-chunked transfer comparison with
+                                                              # per-component latency attribution; writes
+                                                              # trace-pipeline-mono.json, trace-pipeline-chunked.json,
+                                                              # and the score-critpath/v1 breakdown JSON
+  ckptbench -list                                             # enumerate experiments
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {
@@ -78,6 +101,21 @@ func main() {
 	if *chunk < 0 {
 		usageErr("-chunk must be non-negative (got %d)", *chunk)
 	}
+	// Output paths are validated before any experiment runs: discovering
+	// an unwritable directory after a long sweep would discard its data.
+	for _, out := range []struct{ flag, path string }{
+		{"-metrics-out", *metricsOut},
+		{"-trace-out", *traceOut},
+		{"-critpath-out", *critpathOut},
+	} {
+		if out.path == "" {
+			continue
+		}
+		dir := filepath.Dir(out.path)
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			usageErr("%s %q: directory %q does not exist", out.flag, out.path, dir)
+		}
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -90,16 +128,40 @@ func main() {
 	}
 
 	registry := metrics.NewRegistry()
-	if *metricsOut != "" || *promListen != "" {
+	var critRuns []report.CritPathRun
+	recordMetrics := *metricsOut != "" || *promListen != ""
+	collectCritPaths := *critpathOut != "" || *failUnattributed
+	if recordMetrics || collectCritPaths {
 		experiments.SetShotObserver(func(res experiments.ShotResult) {
-			registry.Record(res.Label(), res.MergedSummary())
-			if len(res.Series) > 0 {
-				registry.RecordSeries(res.Label(), res.Series)
+			merged := res.MergedSummary()
+			if recordMetrics {
+				registry.Record(res.Label(), merged)
+				if len(res.Series) > 0 {
+					registry.RecordSeries(res.Label(), res.Series)
+				}
+			}
+			if collectCritPaths {
+				critRuns = append(critRuns, report.CritPathRun{
+					Label: res.Label(), Records: merged.CritPaths,
+				})
 			}
 		})
 	}
 	experiments.SetDefaultSampleInterval(*sample)
 	experiments.SetDefaultChunkSize(*chunk)
+	if *traceOut != "" {
+		experiments.SetDefaultTraceSink(func(label string, tr *trace.Tracer) {
+			path := tracePath(*traceOut, label)
+			if err := writeTrace(path, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if ev, cnt := tr.Dropped(); ev > 0 || cnt > 0 {
+				fmt.Fprintf(os.Stderr, "ckptbench: warning: %s is incomplete (%d spans, %d counter samples dropped at the retention cap)\n", path, ev, cnt)
+			}
+			fmt.Printf("wrote trace %s\n", path)
+		})
+	}
 	if *promListen != "" {
 		go servePrometheus(*promListen, registry)
 	}
@@ -122,10 +184,65 @@ func main() {
 		}
 		fmt.Printf("wrote metrics for %d run(s) to %s\n", registry.Len(), *metricsOut)
 	}
+	if *critpathOut != "" {
+		if err := report.WriteCritPathFile(*critpathOut, critRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: writing %s: %v\n", *critpathOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote critical-path attribution for %d run(s) to %s\n", len(critRuns), *critpathOut)
+	}
+	if *failUnattributed {
+		// The per-rank metrics invariants already fail a shot whose
+		// attribution leaves a gap; this re-checks the aggregated export
+		// so the artifact itself is the proof.
+		var gap time.Duration
+		var records int
+		for _, run := range critRuns {
+			records += len(run.Records)
+			gap += metrics.Summary{CritPaths: run.Records}.CritPathUnattributed()
+		}
+		if gap > 0 {
+			fmt.Fprintf(os.Stderr, "ckptbench: unattributed latency gap %v across %d attribution records\n", gap, records)
+			os.Exit(1)
+		}
+		fmt.Printf("attribution complete: 0 unattributed across %d records\n", records)
+	}
 	if *promListen != "" {
 		fmt.Printf("serving Prometheus metrics on %s/metrics (interrupt to exit)\n", *promListen)
 		waitForInterrupt()
 	}
+}
+
+// tracePath derives the per-shot trace filename: base "trace.json" and
+// label "pipeline/mono" become "trace-pipeline-mono.json".
+func tracePath(base, label string) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+	for strings.Contains(slug, "--") {
+		slug = strings.ReplaceAll(slug, "--", "-")
+	}
+	slug = strings.Trim(slug, "-")
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + slug + ext
+}
+
+// writeTrace dumps one shot's Chrome trace to path.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the registry's JSON export to path.
@@ -234,6 +351,12 @@ func run(name string, scale experiments.Scale) error {
 		return abl.Render(os.Stdout)
 	case "rankfail":
 		return runRankFail()
+	case "pipeline":
+		res, err := experiments.Pipeline(scale)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

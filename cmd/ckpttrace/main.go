@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"score"
+	"score/internal/trace"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	size := flag.Int64("size", 64<<20, "checkpoint size in bytes")
 	interval := flag.Duration("interval", 10*time.Millisecond, "compute time between operations")
 	sample := flag.Duration("sample", 100*time.Microsecond, "cache/engine gauge sampling interval for counter tracks (0 disables)")
+	ledger := flag.Int64("ledger", -1, "print the lifecycle ledger (flight-recorder events) of this checkpoint version per GPU after the run (-1 disables)")
 	flag.Parse()
 
 	opts := []score.Option{
@@ -68,6 +70,51 @@ func main() {
 	fmt.Printf("wrote %s (%d GPUs × %d checkpoints, %v simulated)\n",
 		*out, *gpus, *versions, sim.Clock().Now().Round(time.Millisecond))
 	fmt.Println("open it in chrome://tracing or https://ui.perfetto.dev")
+
+	tracer := sim.Tracer()
+	if *ledger >= 0 {
+		printLedger(tracer.Flight(), *ledger)
+	}
+	if ev, cnt := tracer.Dropped(); ev > 0 || cnt > 0 {
+		fmt.Printf("warning: trace incomplete — %d spans and %d counter samples dropped at the retention cap\n", ev, cnt)
+	}
+	if fl := tracer.Flight(); fl.TotalDropped() > 0 {
+		fmt.Printf("warning: lifecycle ledger incomplete — %d events dropped (per rank:", fl.TotalDropped())
+		for _, r := range fl.Ranks() {
+			if d := fl.Dropped(r); d > 0 {
+				fmt.Printf(" rank%d=%d", r, d)
+			}
+		}
+		fmt.Println(")")
+	}
+}
+
+// printLedger dumps one checkpoint version's causal lifecycle chain per
+// rank: every recorded transition from created to restored/lost, with
+// the cluster-wide events (rank -1: group commits, degradations, kills)
+// first when present.
+func printLedger(fl *trace.FlightRecorder, version int64) {
+	for _, rank := range fl.Ranks() {
+		events := fl.VersionLedger(rank, version)
+		if len(events) == 0 {
+			continue
+		}
+		who := fmt.Sprintf("gpu %d", rank)
+		if rank < 0 {
+			who = "cluster"
+		}
+		fmt.Printf("\nlifecycle of version %d (%s):\n", version, who)
+		for _, ev := range events {
+			line := fmt.Sprintf("  %12v  %s", ev.At.Round(time.Microsecond), ev.Kind)
+			if ev.Tier != "" {
+				line += " [" + ev.Tier + "]"
+			}
+			if ev.Detail != "" {
+				line += " " + ev.Detail
+			}
+			fmt.Println(line)
+		}
+	}
 }
 
 // runShot is the Listing 1 pattern for one process.

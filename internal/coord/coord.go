@@ -20,6 +20,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"score/internal/metrics"
 )
@@ -35,6 +36,15 @@ type Tracker struct {
 	any    bool                       // a durable report has been seen
 	dead   map[int]struct{}
 	deaths int64
+
+	// Commit-wait attribution (optional; active once SetNow is called):
+	// per version, when the first rank reported it durable and when it
+	// became globally committed. The gap is the group-commit wait — the
+	// time the fastest rank's version spent waiting for the stragglers.
+	now         func() time.Duration
+	firstAt     map[int64]time.Duration
+	committedAt map[int64]time.Duration
+	onCommit    func(version int64, wait time.Duration)
 }
 
 // New creates a tracker for a job of the given rank count.
@@ -43,10 +53,31 @@ func New(ranks int) (*Tracker, error) {
 		return nil, errors.New("coord: need at least one rank")
 	}
 	return &Tracker{
-		ranks: ranks,
-		holds: map[int64]map[int]struct{}{},
-		dead:  map[int]struct{}{},
+		ranks:       ranks,
+		holds:       map[int64]map[int]struct{}{},
+		dead:        map[int]struct{}{},
+		firstAt:     map[int64]time.Duration{},
+		committedAt: map[int64]time.Duration{},
 	}, nil
+}
+
+// SetNow attaches a clock (typically simclock's Now) enabling
+// commit-wait attribution: per version, the time from the first rank's
+// durable report to global commit. Call before the run starts.
+func (t *Tracker) SetNow(now func() time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// SetCommitObserver registers a callback fired once per version, at the
+// moment it first becomes globally committed, with the commit wait it
+// accumulated (zero unless SetNow was called). The observability layer
+// hooks the lifecycle ledger here. Call before the run starts.
+func (t *Tracker) SetCommitObserver(fn func(version int64, wait time.Duration)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onCommit = fn
 }
 
 // Ranks returns the job's rank count.
@@ -60,8 +91,8 @@ func (t *Tracker) MarkDurable(rank int, version int64) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if rank < 0 || rank >= t.ranks {
+		t.mu.Unlock()
 		return
 	}
 	set := t.holds[version]
@@ -73,6 +104,30 @@ func (t *Tracker) MarkDurable(rank int, version int64) {
 	if !t.any || version > t.high {
 		t.high = version
 		t.any = true
+	}
+	if t.now != nil {
+		if _, seen := t.firstAt[version]; !seen {
+			t.firstAt[version] = t.now()
+		}
+	}
+	var notify func(int64, time.Duration)
+	var wait time.Duration
+	if len(set) == t.ranks {
+		if _, done := t.committedAt[version]; !done {
+			var at time.Duration
+			if t.now != nil {
+				at = t.now()
+			}
+			t.committedAt[version] = at
+			wait = at - t.firstAt[version]
+			notify = t.onCommit
+		}
+	}
+	t.mu.Unlock()
+	if notify != nil {
+		// Outside the lock: the observer may re-enter the tracker or
+		// take other locks (e.g. the trace ledger's).
+		notify(version, wait)
 	}
 }
 
@@ -192,10 +247,40 @@ func (t *Tracker) CommitLag() int64 {
 	return t.high - latest
 }
 
+// CommitWaits returns, per globally committed version, the group-commit
+// wait: the interval from the first rank's durable report of that
+// version to its global commit. Empty unless SetNow was provided.
+// Committed versions stay in the map even if a later rank death retracts
+// claims — the wait is a historical measurement, not current state.
+func (t *Tracker) CommitWaits() map[int64]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int64]time.Duration, len(t.committedAt))
+	for v, at := range t.committedAt {
+		out[v] = at - t.firstAt[v]
+	}
+	return out
+}
+
+// MeanCommitWait averages the group-commit waits over committed
+// versions; zero when nothing has committed (or SetNow was never set).
+func (t *Tracker) MeanCommitWait() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.committedAt) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for v, at := range t.committedAt {
+		sum += at - t.firstAt[v]
+	}
+	return sum / time.Duration(len(t.committedAt))
+}
+
 // RegisterProbes attaches the tracker's gauges to a sampler: the latest
 // consistent version (-1 before the first global commit), the commit
-// lag, and the rank-death count. Call before Sampler.Start; prefix
-// defaults to "coord".
+// lag, the mean group-commit wait, and the rank-death count. Call
+// before Sampler.Start; prefix defaults to "coord".
 func (t *Tracker) RegisterProbes(s *metrics.Sampler, prefix string) {
 	if prefix == "" {
 		prefix = "coord"
@@ -209,6 +294,9 @@ func (t *Tracker) RegisterProbes(s *metrics.Sampler, prefix string) {
 	})
 	s.Register(prefix+".commit_lag", func() float64 {
 		return float64(t.CommitLag())
+	})
+	s.Register(prefix+".mean_commit_wait_us", func() float64 {
+		return float64(t.MeanCommitWait()) / float64(time.Microsecond)
 	})
 	s.Register(prefix+".rank_deaths", func() float64 {
 		return float64(t.RankDeaths())

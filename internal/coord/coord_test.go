@@ -3,6 +3,7 @@ package coord
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCommitRequiresEveryRank(t *testing.T) {
@@ -138,5 +139,62 @@ func TestConcurrentReports(t *testing.T) {
 	}
 	if got := len(tr.CommittedVersions()); got != versions {
 		t.Fatalf("committed %d versions, want %d", got, versions)
+	}
+}
+
+func TestCommitWaitAttribution(t *testing.T) {
+	tr, _ := New(3)
+	var now time.Duration
+	tr.SetNow(func() time.Duration { return now })
+	var gotVersion int64 = -1
+	var gotWait time.Duration
+	fired := 0
+	tr.SetCommitObserver(func(version int64, wait time.Duration) {
+		fired++
+		gotVersion, gotWait = version, wait
+	})
+
+	now = 10 * time.Millisecond
+	tr.MarkDurable(0, 0) // first durable report stamps firstAt
+	now = 12 * time.Millisecond
+	tr.MarkDurable(1, 0)
+	tr.MarkDurable(1, 0) // duplicate report must not re-fire anything
+	if fired != 0 {
+		t.Fatalf("observer fired before global commit")
+	}
+	now = 17 * time.Millisecond
+	tr.MarkDurable(2, 0) // last rank: commit at 17ms, wait = 7ms
+	if fired != 1 || gotVersion != 0 || gotWait != 7*time.Millisecond {
+		t.Fatalf("observer: fired=%d version=%d wait=%v, want 1/0/7ms", fired, gotVersion, gotWait)
+	}
+	tr.MarkDurable(2, 0) // committed version: no second firing
+	if fired != 1 {
+		t.Fatalf("observer re-fired on duplicate report: %d", fired)
+	}
+
+	waits := tr.CommitWaits()
+	if len(waits) != 1 || waits[0] != 7*time.Millisecond {
+		t.Fatalf("CommitWaits = %v, want {0: 7ms}", waits)
+	}
+	if got := tr.MeanCommitWait(); got != 7*time.Millisecond {
+		t.Fatalf("MeanCommitWait = %v, want 7ms", got)
+	}
+
+	// A later rank death retracting claims must not erase the historical wait.
+	tr.RetractRank(1)
+	if waits := tr.CommitWaits(); len(waits) != 1 {
+		t.Fatalf("CommitWaits after retract = %v, want the historical entry kept", waits)
+	}
+}
+
+func TestCommitWaitWithoutClockIsZero(t *testing.T) {
+	tr, _ := New(2)
+	tr.MarkDurable(0, 3)
+	tr.MarkDurable(1, 3)
+	if waits := tr.CommitWaits(); len(waits) != 1 || waits[3] != 0 {
+		t.Fatalf("CommitWaits without SetNow = %v, want {3: 0}", waits)
+	}
+	if tr.MeanCommitWait() != 0 {
+		t.Fatalf("MeanCommitWait without SetNow = %v, want 0", tr.MeanCommitWait())
 	}
 }

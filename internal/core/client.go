@@ -389,15 +389,17 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 		pay:       pay,
 		replicas:  map[Tier]*replica{},
 		writtenAt: start,
+		att:       newAttrib(metrics.CritDurable, int64(id), start),
 	}
 	rep := &replica{tier: TierGPU, fsm: lifecycle.NewMachine(c.clk)}
 	ck.replicas[TierGPU] = rep
 	c.ckpts[id] = ck
 	c.mu.Unlock()
 	c.rec.CheckpointAccepted(ck.size)
+	c.lifecycle(id, trace.LCreated, "", "")
 
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
-		fmt.Sprintf("checkpoint %d", id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
+		fmt.Sprintf("checkpoint %d", id), c.flowID(id))()
 
 	// Reserve GPU cache space; Algorithm 1 picks and evicts the best
 	// window, blocking until it is evictable ("any delays due to
@@ -417,15 +419,19 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 		}
 		return fmt.Errorf("core: checkpoint %d: GPU cache reservation: %w", id, err)
 	}
+	c.mark(ck.att, metrics.CompGPUAdmit)
 
 	rep.fsm.MustTo(lifecycle.WriteInProgress)
 	if c.p.OnDemandAlloc {
 		// §4.1.4 ablation: a fresh device region is allocated for each
 		// checkpoint instead of reusing the pre-allocated buffer.
 		c.p.GPU.ChargeDeviceAlloc(ck.size)
+		c.mark(ck.att, metrics.CompAlloc)
 	}
 	c.p.GPU.CopyD2D(ck.size) // application buffer → GPU cache
+	c.mark(ck.att, metrics.CompCopyD2D)
 	rep.fsm.MustTo(lifecycle.WriteComplete)
+	c.lifecycle(id, trace.LCached, "gpu", "")
 
 	// Hand off to T_D2H and return control to the application.
 	c.mu.Lock()
@@ -434,6 +440,7 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	c.bumpLocked()
 	c.mu.Unlock()
 	c.notifyGPU()
+	c.lifecycle(id, trace.LFlushEnqueued, "", "d2h")
 
 	c.rec.Checkpoint(ck.size, c.clk.Now()-start)
 	return nil
@@ -446,12 +453,16 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 // GPU→SSD (or GPU→PFS under SSD degradation) synchronously.
 func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 	c.rec.SyncFlush()
+	// The failed GPU reservation above may have blocked on evictions
+	// before reporting too-large; absorb that into the admit component.
+	c.mark(ck.att, metrics.CompGPUAdmit)
 	c.mu.Lock()
 	delete(ck.replicas, TierGPU)
 	c.mu.Unlock()
 
 	if !c.p.GPUDirectStorage && !c.tierDegraded(TierHost) && ck.size <= c.p.HostCacheSize {
 		c.waitHostReady()
+		c.mark(ck.att, metrics.CompHostReady)
 		hostRep := &replica{tier: TierHost, fsm: lifecycle.NewMachine(c.clk)}
 		c.mu.Lock()
 		ck.replicas[TierHost] = hostRep
@@ -459,11 +470,13 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 		_, err := c.hstC.Reserve(c.hostKey(ck.id), ck.size)
 		switch err {
 		case nil:
+			c.mark(ck.att, metrics.CompHostAdmit)
 			hostRep.fsm.MustTo(lifecycle.WriteInProgress)
 			if c.p.OnDemandAlloc {
 				c.p.GPU.AllocPinnedHost(ck.size)
+				c.mark(ck.att, metrics.CompAlloc)
 			}
-			cpErr := c.copyD2HHost(ck)
+			cpErr := c.copyD2HHost(ck, ck.att)
 			if cpErr == nil {
 				c.healTier(TierHost)
 				hostRep.fsm.MustTo(lifecycle.WriteComplete)
@@ -497,7 +510,7 @@ func (c *Client) syncFlush(ck *checkpoint, start time.Duration) error {
 		}
 	}
 
-	if err := c.directToSSD(ck, true); err != nil {
+	if err := c.directToSSD(ck, true, ck.att); err != nil {
 		c.mu.Lock()
 		delete(c.ckpts, ck.id)
 		c.bumpLocked()
@@ -572,11 +585,12 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 	pfDist := c.prefetchDistanceLocked(id)
 	c.mu.Unlock()
 
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackApp, "restore",
-		fmt.Sprintf("restore %d", id))()
+	att := newAttrib(metrics.CritRestore, int64(id), start)
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "restore",
+		fmt.Sprintf("restore %d", id), c.flowID(id))()
 
 	for {
-		served, err := c.tryServeFromGPU(ck)
+		served, err := c.tryServeFromGPU(ck, att)
 		if err != nil {
 			return nil, err
 		}
@@ -586,7 +600,7 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 		// Not on the GPU: promote (or bypass the caches if they are
 		// saturated with pinned prefetches — deviating reads must not
 		// deadlock, they just pay a penalty, §4.1.1).
-		done, err := c.promoteOrBypass(ck)
+		done, err := c.promoteOrBypass(ck, att)
 		if err != nil {
 			return nil, err
 		}
@@ -609,7 +623,12 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 	c.notifyGPU()
 	c.hstC.Notify()
 
-	c.rec.Restore(iter, ck.size, c.clk.Now()-start, pfDist)
+	// Restore then CritPath: the record count must never lead the op
+	// count, so the running invariant holds at every instant.
+	end := c.clk.Now()
+	c.rec.Restore(iter, ck.size, end-start, pfDist)
+	c.rec.CritPath(att.finish(end))
+	c.lifecycle(id, trace.LRestored, "", "")
 	return ck.pay, nil
 }
 
@@ -617,7 +636,7 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 // the buffer lock so eviction cannot race), copies it to the application
 // buffer, and marks it CONSUMED. Returns served=false if the checkpoint
 // has no readable GPU replica.
-func (c *Client) tryServeFromGPU(ck *checkpoint) (served bool, err error) {
+func (c *Client) tryServeFromGPU(ck *checkpoint, att *attrib) (served bool, err error) {
 	c.mu.Lock()
 	rep := ck.replicas[TierGPU]
 	c.mu.Unlock()
@@ -634,6 +653,7 @@ func (c *Client) tryServeFromGPU(ck *checkpoint) (served bool, err error) {
 		// A promotion is in flight; wait for the data.
 		rep.fsm.WaitFor(lifecycle.ReadComplete, lifecycle.Consumed)
 	}
+	c.mark(att, metrics.CompGPUWait)
 
 	claim := func() {
 		// WRITE_COMPLETE/FLUSHED/CONSUMED → READ_COMPLETE pins the
@@ -653,6 +673,7 @@ func (c *Client) tryServeFromGPU(ck *checkpoint) (served bool, err error) {
 		return false, nil // evicted underneath us; promote instead
 	}
 	c.p.GPU.CopyD2D(ck.size) // GPU cache → application buffer
+	c.mark(att, metrics.CompCopyD2D)
 	rep.fsm.MustTo(lifecycle.Consumed)
 	return true, nil
 }

@@ -92,16 +92,19 @@ func (c *Client) runD2H(id ID) {
 		c.accountFate(ck, fateDiscarded)
 		return
 	}
+	att := ck.att
+	// The interval since the last mark is the wait for a T_D2H worker.
+	c.mark(att, metrics.CompQueueD2H)
 	start := c.clk.Now()
 	defer func() {
 		c.rec.ObserveDuration(metrics.HistFlushPrefix+TierGPU.String(), c.clk.Now()-start)
 	}()
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackD2H, "flush",
-		fmt.Sprintf("flush %d gpu→host", id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackD2H, "flush",
+		fmt.Sprintf("flush %d gpu→host", id), c.flowID(id))()
 	if c.p.GPUDirectStorage || c.tierDegraded(TierHost) {
 		// GPUDirect mode — or a dead host tier: flush GPU → SSD directly
 		// (PCIe + NVMe), bypassing the host cache.
-		if err := c.directToSSD(ck, true); err != nil {
+		if err := c.directToSSD(ck, true, att); err != nil {
 			c.abortFlush(ck, TierGPU, err)
 			return
 		}
@@ -111,6 +114,7 @@ func (c *Client) runD2H(id ID) {
 	// The host tier only becomes usable once pinned registration
 	// completes (§4.1.4).
 	c.waitHostReady()
+	c.mark(att, metrics.CompHostReady)
 
 	c.mu.Lock()
 	if ck.dataOn(TierHost) || ck.dataOn(TierSSD) {
@@ -135,7 +139,7 @@ func (c *Client) runD2H(id ID) {
 		case cachebuf.ErrTooLarge:
 			// Checkpoint larger than the host cache: flush GPU → SSD
 			// directly (still via PCIe + NVMe).
-			if err := c.directToSSD(ck, true); err != nil {
+			if err := c.directToSSD(ck, true, att); err != nil {
 				c.abortFlush(ck, TierGPU, err)
 				return
 			}
@@ -146,14 +150,16 @@ func (c *Client) runD2H(id ID) {
 			return
 		}
 	}
+	c.mark(att, metrics.CompHostAdmit)
 
 	hostRep.fsm.MustTo(lifecycle.WriteInProgress)
 	if c.p.OnDemandAlloc {
 		// §4.1.4 ablation: allocate+register pinned host memory for this
 		// checkpoint at ~4 GB/s instead of reusing the pre-pinned cache.
 		c.p.GPU.AllocPinnedHost(ck.size)
+		c.mark(att, metrics.CompAlloc)
 	}
-	if err := c.copyD2HHost(ck); err != nil {
+	if err := c.copyD2HHost(ck, att); err != nil {
 		c.dropReplica(ck, TierHost)
 		if isShutdownErr(err) {
 			// The rank died (or closed) mid-copy: the chain resolves as
@@ -165,7 +171,7 @@ func (c *Client) runD2H(id ID) {
 		// reservation, mark the host tier degraded, and try the direct
 		// route (which surfaces its own failure if PCIe itself is dead).
 		c.degradeTier(TierHost)
-		if err := c.directToSSD(ck, true); err != nil {
+		if err := c.directToSSD(ck, true, att); err != nil {
 			c.abortFlush(ck, TierGPU, err)
 			return
 		}
@@ -183,12 +189,16 @@ func (c *Client) runD2H(id ID) {
 
 func (c *Client) enqueueH2F(ck *checkpoint) {
 	c.mu.Lock()
-	if !ck.enqueuedH2F {
+	enq := !ck.enqueuedH2F
+	if enq {
 		ck.enqueuedH2F = true
 		c.h2fQ.push(ck.id)
 		c.bumpLocked()
 	}
 	c.mu.Unlock()
+	if enq {
+		c.lifecycle(ck.id, trace.LFlushEnqueued, "", "h2f")
+	}
 }
 
 func (c *Client) runH2F(id ID) {
@@ -202,8 +212,8 @@ func (c *Client) runH2F(id ID) {
 		c.accountFate(ck, fateDiscarded)
 		return
 	}
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackH2F, "flush",
-		fmt.Sprintf("flush %d host→ssd", id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "flush",
+		fmt.Sprintf("flush %d host→ssd", id), c.flowID(id))()
 	c.mu.Lock()
 	hostRep := ck.replicas[TierHost]
 	alreadyOnSSD := ck.dataOn(TierSSD)
@@ -222,11 +232,14 @@ func (c *Client) runH2F(id ID) {
 		c.accountFate(ck, fateDiscarded)
 		return
 	}
+	att := ck.att
+	// Time since the host copy landed is the wait for a T_H2F worker.
+	c.mark(att, metrics.CompQueueH2F)
 	start := c.clk.Now()
 	defer func() {
 		c.rec.ObserveDuration(metrics.HistFlushPrefix+TierHost.String(), c.clk.Now()-start)
 	}()
-	if err := c.directToSSD(ck, false); err != nil {
+	if err := c.directToSSD(ck, false, att); err != nil {
 		c.abortFlush(ck, TierHost, err)
 		return
 	}
@@ -238,9 +251,9 @@ func (c *Client) runH2F(id ID) {
 // On persistent SSD failure the tier is degraded and the flush reroutes
 // to the PFS; the returned error is non-nil only when no durable route
 // succeeded.
-func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
+func (c *Client) directToSSD(ck *checkpoint, fromGPU bool, att *attrib) error {
 	if c.tierDegraded(TierSSD) {
-		return c.routeToPFS(ck, fromGPU)
+		return c.routeToPFS(ck, fromGPU, att)
 	}
 	c.mu.Lock()
 	ssdRep := ck.replicas[TierSSD]
@@ -251,7 +264,8 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 	c.mu.Unlock()
 	if !ssdRep.hasData() {
 		ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
-		err := c.writeSSD(ck, fromGPU)
+		c.lifecycle(ck.id, trace.LHopStart, "ssd", "")
+		err := c.writeSSD(ck, fromGPU, att)
 		if err == nil {
 			// The write landed, but only a live process gets credit for a
 			// durable transition — a kill racing the flush must resolve
@@ -271,10 +285,11 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 			// half-written replica, mark the tier degraded so later
 			// flushes skip it, and reroute to the PFS.
 			c.degradeTier(TierSSD)
-			return c.routeToPFS(ck, fromGPU)
+			return c.routeToPFS(ck, fromGPU, att)
 		}
 		c.healTier(TierSSD)
 		ssdRep.fsm.MustTo(lifecycle.WriteComplete)
+		c.lifecycle(ck.id, trace.LHopEnd, "ssd", "")
 		c.accountFate(ck, fateDurable)
 	}
 
@@ -286,8 +301,9 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 	}
 	if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
 		// Best effort: the SSD already holds the data, so a PFS failure
-		// here loses persistence breadth, not the checkpoint.
-		_ = c.routeToPFS(ck, false)
+		// here loses persistence breadth, not the checkpoint. The durable
+		// attribution is already finished; pass no attrib.
+		_ = c.routeToPFS(ck, false, nil)
 	}
 	// The SSD tier is durable for this scenario (it holds a full
 	// node's checkpoints, §2): its replica is immediately FLUSHED.
@@ -300,13 +316,13 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool) error {
 // writeSSD charges the transfers and durable write of the SSD flush,
 // with per-hop retries (or a whole-stream retry when chunked). fromGPU
 // adds the PCIe hop.
-func (c *Client) writeSSD(ck *checkpoint, fromGPU bool) error {
-	if err := c.transferDown(ck, fromGPU, c.p.NVMe, "ssd", "NVMe write"); err != nil {
+func (c *Client) writeSSD(ck *checkpoint, fromGPU bool, att *attrib) error {
+	if err := c.transferDown(ck, fromGPU, c.p.NVMe, "ssd", "NVMe write", att); err != nil {
 		return err
 	}
 	if c.p.Store != nil {
 		if data := ck.pay.Bytes(); data != nil {
-			if err := c.retryIO("ssd", "store put", func() error {
+			if err := c.retryIOAttr(ck, att, metrics.CompStorePut, "ssd", "store put", func() error {
 				if err := c.p.Store.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
 					return err
 				}
@@ -321,7 +337,7 @@ func (c *Client) writeSSD(ck *checkpoint, fromGPU bool) error {
 
 // routeToPFS flushes ck straight to the PFS tier, bypassing a degraded
 // (or bypassed) SSD. fromGPU additionally charges the PCIe hop.
-func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
+func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool, att *attrib) error {
 	if c.p.PFS == nil {
 		return fmt.Errorf("%w: ssd tier unavailable and no PFS configured", ErrTierIO)
 	}
@@ -337,13 +353,14 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 		return nil
 	}
 	pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
+	c.lifecycle(ck.id, trace.LHopStart, "pfs", "")
 	err := func() error {
-		if err := c.transferDown(ck, fromGPU, c.p.PFS, "pfs", "PFS write"); err != nil {
+		if err := c.transferDown(ck, fromGPU, c.p.PFS, "pfs", "PFS write", att); err != nil {
 			return err
 		}
 		if c.p.PFSStore != nil {
 			if data := ck.pay.Bytes(); data != nil {
-				if err := c.retryIO("pfs", "store put", func() error {
+				if err := c.retryIOAttr(ck, att, metrics.CompStorePut, "pfs", "store put", func() error {
 					if err := c.p.PFSStore.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
 						return err
 					}
@@ -370,6 +387,7 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool) error {
 	}
 	pfsRep.fsm.MustTo(lifecycle.WriteComplete)
 	pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
+	c.lifecycle(ck.id, trace.LHopEnd, "pfs", "")
 	c.accountFate(ck, fateDurable)
 	c.notifyGPU()
 	c.hstC.Notify()
@@ -398,17 +416,17 @@ func (c *Client) routeToPartner(ck *checkpoint) {
 	if hasData {
 		return
 	}
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackH2F, "partner-copy",
-		fmt.Sprintf("replicate %d → partner ssd", ck.id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "partner-copy",
+		fmt.Sprintf("replicate %d → partner ssd", ck.id), c.flowID(ck.id))()
 	rep.fsm.MustTo(lifecycle.WriteInProgress)
 	err := func() error {
-		if err := c.retryIO("partner", "partner copy", func() error {
+		if err := c.retryIOAttr(ck, nil, "", "partner", "partner copy", func() error {
 			return c.partnerHop(ck.size, true)
 		}); err != nil {
 			return err
 		}
 		if data := ck.pay.Bytes(); data != nil {
-			return c.retryIO("partner", "store put", func() error {
+			return c.retryIOAttr(ck, nil, "", "partner", "store put", func() error {
 				if err := c.p.PartnerStore.Put(int64(ck.id), data); err != nil && err != ckptstore.ErrExists {
 					return err
 				}
@@ -436,6 +454,7 @@ func (c *Client) routeToPartner(ck *checkpoint) {
 	rep.fsm.MustTo(lifecycle.Flushed) // durable the moment the put lands
 	c.healTier(TierPartner)
 	c.rec.PartnerCopy(ck.size)
+	c.lifecycle(ck.id, trace.LPartnerCopy, "partner", "")
 	c.notifyGPU()
 	c.hstC.Notify()
 }

@@ -1,5 +1,7 @@
 package core
 
+import "score/internal/trace"
+
 // Rank-kill support: the fault-injection model for a process (or node)
 // dying abruptly at a virtual time. A kill differs from Close in three
 // ways: it can fire mid-flush (in-flight chains resolve as lost instead
@@ -53,6 +55,7 @@ func (c *Client) markKilled() bool {
 	c.mu.Unlock()
 	c.notifyGPU()
 	c.hstC.Notify()
+	c.lifecycle(-1, trace.LKilled, "", "rank killed")
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"score/internal/metrics"
+	"score/internal/trace"
 )
 
 // This file is the client's observability surface: byte-conservation
@@ -45,11 +46,19 @@ func (c *Client) accountFate(ck *checkpoint, fate ckptFate) {
 	c.mu.Unlock()
 	switch fate {
 	case fateDurable:
+		// ConserveDurable before CritPath: the running invariant bounds
+		// attribution records by durable checkpoints at every instant.
 		c.rec.ConserveDurable(ck.size)
+		if ck.att != nil {
+			c.rec.CritPath(ck.att.finish(c.clk.Now()))
+		}
+		c.lifecycle(ck.id, trace.LDurable, "", "")
 	case fateDiscarded:
 		c.rec.ConserveDiscarded(ck.size)
+		c.lifecycle(ck.id, trace.LDiscarded, "", "")
 	case fateLost:
 		c.rec.ConserveLost(ck.size)
+		c.lifecycle(ck.id, trace.LLost, "", "")
 	}
 	// Group commit (§cluster failure model): report durable/lost
 	// transitions so the job-wide tracker can compute the globally

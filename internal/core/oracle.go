@@ -5,6 +5,7 @@ import (
 
 	"score/internal/cachebuf"
 	"score/internal/lifecycle"
+	"score/internal/trace"
 )
 
 // tierOracle adapts the client's replica state to the cachebuf eviction
@@ -121,5 +122,6 @@ func (o *tierOracle) Evicted(id cachebuf.ID) {
 		if o.tier == TierHost {
 			o.c.releaseStagedLocked(ck)
 		}
+		o.c.lifecycle(ck.id, trace.LEvicted, o.tier.String(), "")
 	}
 }

@@ -59,7 +59,9 @@ func (c *Client) prefetcher() {
 		seen := c.events
 		c.mu.Unlock()
 
-		promoted, err := c.promoteToGPU(ck, false)
+		// The prefetcher's own time is hidden from the application by
+		// design — no attribution target.
+		promoted, err := c.promoteToGPU(ck, false, nil)
 
 		c.mu.Lock()
 		ck.promoting = false
@@ -101,7 +103,7 @@ func (c *Client) prefetcher() {
 // the caches are saturated with pinned fragments it serves the read by
 // streaming straight to the application buffer (the deviation penalty
 // path). Returns done=true when the read was fully served by the bypass.
-func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
+func (c *Client) promoteOrBypass(ck *checkpoint, att *attrib) (done bool, err error) {
 	c.mu.Lock()
 	for ck.promoting || ck.stagingHost {
 		// An in-flight promotion or SSD→host stage of this checkpoint
@@ -114,6 +116,9 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 		}
 		c.cond.Wait()
 	}
+	c.mu.Unlock()
+	c.mark(att, metrics.CompPromoteWait)
+	c.mu.Lock()
 	if ck.dataOn(TierGPU) {
 		c.mu.Unlock()
 		return false, nil // promoted meanwhile; serve from GPU
@@ -127,7 +132,7 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 		c.mu.Unlock()
 	}()
 
-	promoted, err := c.promoteToGPU(ck, true)
+	promoted, err := c.promoteToGPU(ck, true, att)
 	if err != nil {
 		return false, err
 	}
@@ -143,13 +148,13 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 	c.mu.Unlock()
 	switch {
 	case onHost:
-		if err := c.copyH2D(ck); err != nil {
+		if err := c.copyH2D(ck, att); err != nil {
 			return false, err
 		}
 	case onDeep:
 		// Two hops (deep read + PCIe): fused into one chunked stream
 		// when ChunkSize is set.
-		if err := c.readDeepToGPU(ck); err != nil {
+		if err := c.readDeepToGPU(ck, att); err != nil {
 			return false, err
 		}
 	default:
@@ -162,16 +167,16 @@ func (c *Client) promoteOrBypass(ck *checkpoint) (done bool, err error) {
 // copyH2D charges the PCIe hop toward the GPU with retries. With
 // ChunkSize set the copy holds a copy engine (timing of the single hop
 // is unchanged — only engine contention is added).
-func (c *Client) copyH2D(ck *checkpoint) error {
+func (c *Client) copyH2D(ck *checkpoint, att *attrib) error {
 	if cs := c.p.ChunkSize; cs > 0 {
-		return c.retryIO("pcie", "H2D copy", func() error {
+		return c.retryIOAttr(ck, att, metrics.CompXferPCIe, "pcie", "H2D copy", func() error {
 			st, err := c.p.GPU.TryStreamH2D(nil, ck.size, cs)
 			c.observePipeline(trace.TrackPF, "prefetch",
-				fmt.Sprintf("promote %d host→gpu", ck.id), st, err)
+				fmt.Sprintf("promote %d host→gpu", ck.id), c.flowID(ck.id), st, err)
 			return err
 		})
 	}
-	return c.retryIO("pcie", "H2D copy", func() error {
+	return c.retryIOAttr(ck, att, metrics.CompXferPCIe, "pcie", "H2D copy", func() error {
 		_, err := c.p.GPU.TryCopyH2D(ck.size)
 		return err
 	})
@@ -192,7 +197,7 @@ func (c *Client) lostDetail(ck *checkpoint) string {
 // immediately evictable windows (TryReserve); when block is true it still
 // uses TryReserve (blocking here could deadlock a deviating read behind
 // pinned prefetches) but reports wouldBlock via promoted=false.
-func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err error) {
+func (c *Client) promoteToGPU(ck *checkpoint, block bool, att *attrib) (promoted bool, err error) {
 	_ = block // both paths use TryReserve; see doc comment
 	start := c.clk.Now()
 	defer func() {
@@ -202,10 +207,11 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 			if d := c.clk.Now() - start; d > 0 {
 				c.rec.ObserveDuration(metrics.HistPrefetch, d)
 			}
+			c.lifecycle(ck.id, trace.LPrefetched, "gpu", "")
 		}
 	}()
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackPF, "prefetch",
-		fmt.Sprintf("promote %d →gpu", ck.id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackPF, "prefetch",
+		fmt.Sprintf("promote %d →gpu", ck.id), c.flowID(ck.id))()
 	// Stage 1: ensure the data is on the host tier.
 	c.mu.Lock()
 	onHost := ck.dataOn(TierHost)
@@ -215,7 +221,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 	if !onHost && c.p.GPUDirectStorage && onLower {
 		// Future-work mode: promote SSD → GPU directly. The NVMe read
 		// and the PCIe hop are both charged; no host copy appears.
-		return c.promoteDirect(ck)
+		return c.promoteDirect(ck, att)
 	}
 	if !onHost {
 		if !onLower {
@@ -235,7 +241,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 			return false, fmt.Errorf("%w: checkpoint %d: no replica holds data%s",
 				ErrLost, ck.id, c.lostDetail(ck))
 		}
-		ok, err := c.promoteSSDToHost(ck)
+		ok, err := c.promoteSSDToHost(ck, att)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -243,6 +249,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 
 	// Stage 2: host → GPU.
 	c.waitHostReady()
+	c.mark(att, metrics.CompHostReady)
 	c.mu.Lock()
 	gpuRep := ck.replicas[TierGPU]
 	if gpuRep != nil && gpuRep.hasData() {
@@ -279,7 +286,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 	hostRep := c.claimSource(ck, TierHost)
 
 	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
-	cpErr := c.copyH2D(ck)
+	cpErr := c.copyH2D(ck, att)
 	if cpErr != nil {
 		// The upward copy kept failing: release the GPU reservation.
 		// The pinned host source keeps the data (Consumed is readable
@@ -307,7 +314,7 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool) (promoted bool, err er
 // promoteDirect is the GPUDirect promotion path: SSD → GPU without a
 // host replica. ok=false means the GPU cache had no immediately
 // evictable window.
-func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
+func (c *Client) promoteDirect(ck *checkpoint, att *attrib) (promoted bool, err error) {
 	c.mu.Lock()
 	gpuRep := ck.replicas[TierGPU]
 	if gpuRep != nil && gpuRep.hasData() {
@@ -339,7 +346,7 @@ func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
 	gpuRep.fsm.MustTo(lifecycle.ReadInProgress)
 	// Deep read + PCIe hop of the direct path; one chunked stream when
 	// ChunkSize is set.
-	err = c.readDeepToGPU(ck)
+	err = c.readDeepToGPU(ck, att)
 	if err != nil {
 		c.dropReplica(ck, TierGPU)
 		c.mu.Lock()
@@ -358,8 +365,9 @@ func (c *Client) promoteDirect(ck *checkpoint) (promoted bool, err error) {
 // promoteSSDToHost stages a checkpoint from the SSD/PFS into the host
 // cache. ok=false means the host cache had no immediately evictable
 // window.
-func (c *Client) promoteSSDToHost(ck *checkpoint) (ok bool, err error) {
+func (c *Client) promoteSSDToHost(ck *checkpoint, att *attrib) (ok bool, err error) {
 	c.waitHostReady()
+	c.mark(att, metrics.CompHostReady)
 	c.mu.Lock()
 	hostRep := ck.replicas[TierHost]
 	if hostRep != nil && hostRep.hasData() {
@@ -389,7 +397,7 @@ func (c *Client) promoteSSDToHost(ck *checkpoint) (ok bool, err error) {
 		}
 	}
 	hostRep.fsm.MustTo(lifecycle.ReadInProgress) // legal from Init and Consumed
-	if err := c.readDeep(ck); err != nil {       // SSD → host staging read (PFS fallback)
+	if err := c.readDeep(ck, att); err != nil {  // SSD → host staging read (PFS fallback)
 		c.mu.Lock()
 		if ck.replicas[TierHost] == hostRep {
 			delete(ck.replicas, TierHost)

@@ -7,6 +7,7 @@ import (
 
 	"score/internal/fabric"
 	"score/internal/metrics"
+	"score/internal/trace"
 )
 
 // RetryPolicy bounds the jittered exponential backoff applied to
@@ -62,15 +63,28 @@ var (
 // exponential backoff on the simulated clock, and tries again, up to
 // MaxAttempts. The final error wraps both ErrTierIO and op's error.
 func (c *Client) retryIO(label, what string, op func() error) error {
+	return c.retryIOAttr(nil, nil, "", label, what, op)
+}
+
+// retryIOAttr is retryIO with critical-path attribution and lifecycle
+// ledgering: backoff sleeps are charged to CompRetryBackoff and each
+// attempt's elapsed time (including failed attempts — faulted transfers
+// consume real time before erroring) to comp when att is non-nil, and
+// each retry is ledgered against ck's version when ck is non-nil.
+func (c *Client) retryIOAttr(ck *checkpoint, att *attrib, comp string, label, what string, op func() error) error {
 	policy := c.p.Retry
 	backoff := policy.BaseBackoff
 	var err error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.rec.Retry(label)
+			if ck != nil {
+				c.lifecycle(ck.id, trace.LRetried, label, what)
+			}
 			sleep := c.jitter(backoff)
 			c.rec.ObserveDuration(metrics.HistRetryBackoff, sleep)
 			c.clk.Sleep(sleep)
+			c.mark(att, metrics.CompRetryBackoff)
 			backoff *= 2
 			if backoff > policy.MaxBackoff {
 				backoff = policy.MaxBackoff
@@ -82,7 +96,11 @@ func (c *Client) retryIO(label, what string, op func() error) error {
 			}
 			return lerr
 		}
-		if err = op(); err == nil {
+		err = op()
+		if comp != "" {
+			c.mark(att, comp)
+		}
+		if err == nil {
 			if attempt > 0 {
 				c.rec.RetryBout(true)
 			}
@@ -146,6 +164,7 @@ func (c *Client) degradeTier(t Tier) {
 		return
 	}
 	c.rec.Degradation(t.String())
+	c.lifecycle(-1, trace.LDegraded, t.String(), "")
 	c.notifyGPU()
 	c.hstC.Notify()
 }
@@ -204,7 +223,7 @@ func (c *Client) DegradedTiers() []Tier {
 // partner SSD, PFS — when a tier keeps failing (degrading it as it
 // goes). A checkpoint with no readable deep replica is definitively
 // lost.
-func (c *Client) readDeep(ck *checkpoint) error {
+func (c *Client) readDeep(ck *checkpoint, att *attrib) error {
 	c.mu.Lock()
 	onSSD := ck.dataOn(TierSSD)
 	onPartner := ck.dataOn(TierPartner)
@@ -212,7 +231,7 @@ func (c *Client) readDeep(ck *checkpoint) error {
 	c.mu.Unlock()
 
 	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
-		err := c.retryIO("ssd", "NVMe read", func() error {
+		err := c.retryIOAttr(ck, att, metrics.CompXferSSD, "ssd", "NVMe read", func() error {
 			return c.deepHop(c.p.NVMe, ck.size)
 		})
 		if err == nil {
@@ -228,7 +247,7 @@ func (c *Client) readDeep(ck *checkpoint) error {
 		if onSSD {
 			c.rec.FallbackRead()
 		}
-		err := c.retryIO("partner", "partner SSD read", func() error {
+		err := c.retryIOAttr(ck, att, metrics.CompXferPartner, "partner", "partner SSD read", func() error {
 			return c.partnerHop(ck.size, false)
 		})
 		if err == nil {
@@ -244,7 +263,7 @@ func (c *Client) readDeep(ck *checkpoint) error {
 		if onSSD || onPartner {
 			c.rec.FallbackRead()
 		}
-		return c.retryIO("pfs", "PFS read", func() error {
+		return c.retryIOAttr(ck, att, metrics.CompXferPFS, "pfs", "PFS read", func() error {
 			return c.deepHop(c.p.PFS, ck.size)
 		})
 	}

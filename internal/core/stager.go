@@ -157,8 +157,8 @@ func (c *Client) maxHostResidentDistanceLocked() int {
 // stageToHost copies ck from the SSD into the host cache (non-blocking
 // reservation). staged=false means no immediately evictable host window.
 func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
-	defer c.p.Tracer.Span(c.p.GPU.ID(), trace.TrackStage, "prefetch",
-		fmt.Sprintf("stage %d ssd→host", ck.id))()
+	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackStage, "prefetch",
+		fmt.Sprintf("stage %d ssd→host", ck.id), c.flowID(ck.id))()
 	c.waitHostReady()
 	c.mu.Lock()
 	if ck.dataOn(TierHost) || ck.replicas[TierHost] != nil {
@@ -185,7 +185,8 @@ func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
 		}
 	}
 	hostRep.fsm.MustTo(lifecycle.ReadInProgress)
-	if err := c.readDeep(ck); err != nil {
+	// Background staging is hidden from the application — no attribution.
+	if err := c.readDeep(ck, nil); err != nil {
 		// Tier I/O trouble: undo the reservation; the on-demand path
 		// (with its own fallback) owns this checkpoint from here.
 		c.mu.Lock()
@@ -199,5 +200,6 @@ func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
 	}
 	hostRep.fsm.MustTo(lifecycle.ReadComplete)
 	c.hstC.Notify()
+	c.lifecycle(ck.id, trace.LStaged, "host", "ssd→host")
 	return true, nil
 }

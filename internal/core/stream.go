@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"score/internal/fabric"
+	"score/internal/metrics"
 	"score/internal/trace"
 )
 
@@ -22,20 +23,21 @@ import (
 
 // observePipeline records a completed chunked stream in the metrics and,
 // when tracing, as a post-hoc span (the chunk count and hidden time are
-// only known at completion). Monolithic transfers (Chunks <= 1) record
-// nothing — their spans and counters are unchanged from the seed. Streams
-// that finished without error feed the per-hop byte-conservation
-// invariant; aborted streams carry partial hops and are excluded.
-func (c *Client) observePipeline(track trace.Track, category, name string, st fabric.PipelineStats, streamErr error) {
+// only known at completion) linked into the checkpoint's causal flow.
+// Monolithic transfers (Chunks <= 1) record nothing — their spans and
+// counters are unchanged from the seed. Streams that finished without
+// error feed the per-hop byte-conservation invariant; aborted streams
+// carry partial hops and are excluded.
+func (c *Client) observePipeline(track trace.Track, category, name string, flow int64, st fabric.PipelineStats, streamErr error) {
 	if st.Chunks <= 1 {
 		return
 	}
 	c.rec.Pipelined(st.Bytes, st.Duration, st.HopBusySum(), st.HopBytes, streamErr == nil)
 	if c.p.Tracer != nil {
 		end := c.clk.Now()
-		c.p.Tracer.Record(c.p.GPU.ID(), track, category,
+		c.p.Tracer.RecordFlow(c.p.GPU.ID(), track, category,
 			fmt.Sprintf("%s [%d chunks, %v overlapped]", name, st.Chunks, st.Overlap()),
-			end-st.Duration, st.Duration)
+			end-st.Duration, st.Duration, flow)
 	}
 }
 
@@ -43,19 +45,26 @@ func (c *Client) observePipeline(track trace.Track, category, name string, st fa
 // set it runs as an engine-held stream, so concurrent flush workers
 // contend for the modeled copy engines; a single hop has no pipeline
 // overlap, so the timing matches the monolithic copy.
-func (c *Client) copyD2HHost(ck *checkpoint) error {
+func (c *Client) copyD2HHost(ck *checkpoint, att *attrib) error {
+	c.lifecycle(ck.id, trace.LD2HStart, "host", "")
+	var err error
 	if cs := c.p.ChunkSize; cs > 0 {
-		return c.retryIO("pcie", "D2H copy", func() error {
-			st, err := c.p.GPU.TryStreamD2H(nil, ck.size, cs)
+		err = c.retryIOAttr(ck, att, metrics.CompXferPCIe, "pcie", "D2H copy", func() error {
+			st, serr := c.p.GPU.TryStreamD2H(nil, ck.size, cs)
 			c.observePipeline(trace.TrackD2H, "flush",
-				fmt.Sprintf("flush %d gpu→host", ck.id), st, err)
-			return err
+				fmt.Sprintf("flush %d gpu→host", ck.id), c.flowID(ck.id), st, serr)
+			return serr
+		})
+	} else {
+		err = c.retryIOAttr(ck, att, metrics.CompXferPCIe, "pcie", "D2H copy", func() error {
+			_, cerr := c.p.GPU.TryCopyD2H(ck.size)
+			return cerr
 		})
 	}
-	return c.retryIO("pcie", "D2H copy", func() error {
-		_, err := c.p.GPU.TryCopyD2H(ck.size)
-		return err
-	})
+	if err == nil {
+		c.lifecycle(ck.id, trace.LD2HEnd, "host", "")
+	}
+	return err
 }
 
 // transferDown charges the movement of ck's bytes onto the durable link
@@ -64,25 +73,27 @@ func (c *Client) copyD2HHost(ck *checkpoint) error {
 // — the NVMe/PFS write of chunk i overlaps the PCIe copy of chunk i+1 —
 // retried whole under the combined label. Otherwise the hops run
 // store-and-forward with the seed's independent per-hop retries.
-func (c *Client) transferDown(ck *checkpoint, fromGPU bool, dest *fabric.Link, destLabel, destWhat string) error {
+// Attribution: a combined stream is charged whole to the destination's
+// transfer component; store-and-forward charges each hop separately.
+func (c *Client) transferDown(ck *checkpoint, fromGPU bool, dest *fabric.Link, destLabel, destWhat string, att *attrib) error {
 	cs := c.p.ChunkSize
 	if fromGPU && cs > 0 {
-		return c.retryIO("pcie+"+destLabel, "chunked "+destWhat, func() error {
+		return c.retryIOAttr(ck, att, hopComp(destLabel), "pcie+"+destLabel, "chunked "+destWhat, func() error {
 			st, err := c.p.GPU.TryStreamD2H(fabric.Path{dest}, ck.size, cs)
 			c.observePipeline(trace.TrackD2H, "flush",
-				fmt.Sprintf("flush %d gpu→%s", ck.id, destLabel), st, err)
+				fmt.Sprintf("flush %d gpu→%s", ck.id, destLabel), c.flowID(ck.id), st, err)
 			return err
 		})
 	}
 	if fromGPU {
-		if err := c.retryIO("pcie", "D2H copy", func() error {
+		if err := c.retryIOAttr(ck, att, metrics.CompXferPCIe, "pcie", "D2H copy", func() error {
 			_, err := c.p.GPU.TryCopyD2H(ck.size)
 			return err
 		}); err != nil {
 			return err
 		}
 	}
-	return c.retryIO(destLabel, destWhat, func() error {
+	return c.retryIOAttr(ck, att, hopComp(destLabel), destLabel, destWhat, func() error {
 		if cs > 0 {
 			// Single hop: the pipelined form degenerates to the same
 			// monolithic timing; routed through it for uniformity.
@@ -99,13 +110,13 @@ func (c *Client) transferDown(ck *checkpoint, fromGPU bool, dest *fabric.Link, d
 // With ChunkSize set the two hops run as one chunked engine-held stream,
 // overlapping the NVMe/PFS read of chunk i+1 with the H2D copy of chunk
 // i; otherwise it is the seed's sequential readDeep + copyH2D.
-func (c *Client) readDeepToGPU(ck *checkpoint) error {
+func (c *Client) readDeepToGPU(ck *checkpoint, att *attrib) error {
 	cs := c.p.ChunkSize
 	if cs <= 0 {
-		if err := c.readDeep(ck); err != nil {
+		if err := c.readDeep(ck, att); err != nil {
 			return err
 		}
-		return c.copyH2D(ck)
+		return c.copyH2D(ck, att)
 	}
 
 	c.mu.Lock()
@@ -114,16 +125,16 @@ func (c *Client) readDeepToGPU(ck *checkpoint) error {
 	onPFS := ck.dataOn(TierPFS)
 	c.mu.Unlock()
 
-	stream := func(label, srcName string, inward fabric.Path) error {
-		return c.retryIO(label, "chunked deep read + H2D", func() error {
+	stream := func(label, srcName, comp string, inward fabric.Path) error {
+		return c.retryIOAttr(ck, att, comp, label, "chunked deep read + H2D", func() error {
 			st, err := c.p.GPU.TryStreamH2D(inward, ck.size, cs)
 			c.observePipeline(trace.TrackPF, "prefetch",
-				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), st, err)
+				fmt.Sprintf("promote %d %s→gpu", ck.id, srcName), c.flowID(ck.id), st, err)
 			return err
 		})
 	}
 	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
-		err := stream("ssd+pcie", "ssd", fabric.Path{c.p.NVMe})
+		err := stream("ssd+pcie", "ssd", metrics.CompXferSSD, fabric.Path{c.p.NVMe})
 		if err == nil {
 			c.healTier(TierSSD)
 			return nil
@@ -143,7 +154,7 @@ func (c *Client) readDeepToGPU(ck *checkpoint) error {
 		for i, l := range c.p.PartnerPath {
 			rev[len(rev)-1-i] = l
 		}
-		err := stream("partner+pcie", "partner", rev)
+		err := stream("partner+pcie", "partner", metrics.CompXferPartner, rev)
 		if err == nil {
 			c.healTier(TierPartner)
 			return nil
@@ -157,7 +168,7 @@ func (c *Client) readDeepToGPU(ck *checkpoint) error {
 		if onSSD || onPartner {
 			c.rec.FallbackRead()
 		}
-		return stream("pfs+pcie", "pfs", fabric.Path{c.p.PFS})
+		return stream("pfs+pcie", "pfs", metrics.CompXferPFS, fabric.Path{c.p.PFS})
 	}
 	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
 }

@@ -288,6 +288,11 @@ type checkpoint struct {
 	enqueuedH2F bool
 	writtenAt time.Duration
 
+	// att attributes the version's time-to-durable to critical-path
+	// components; nil for checkpoints recovered from a store. Finished
+	// exactly once, in accountFate, when the fate is durable.
+	att *attrib
+
 	// flushAborted: every durable route failed; the cache replica was
 	// released from pinning (fail-open) and the checkpoint may be lost
 	// if it is evicted before being restored. Restore then reports

@@ -156,6 +156,11 @@ type ShotConfig struct {
 
 	// Combo selects the runtime and hint budget.
 	Combo Combo
+	// Label, when set, overrides the auto-generated result label
+	// (combo + phase-coupling mode) in metric and attribution exports —
+	// used by drivers that run the same combo in several variants (the
+	// pipeline experiment's mono vs chunked cases).
+	Label string
 	// Seed controls trace generation and irregular orders.
 	Seed int64
 	// BWScale scales every link bandwidth (for reduced-scale runs whose
@@ -169,8 +174,10 @@ type ShotConfig struct {
 	SharedHostPerNode bool
 	GPUDirect         bool
 	// ChunkSize enables chunked multi-hop transfer pipelining (§4.3);
-	// 0 keeps monolithic transfers. FlushStreams sizes the flusher
-	// worker pools (0 = automatic). Score only.
+	// 0 keeps monolithic transfers (or the SetDefaultChunkSize default
+	// when one is installed; pass a negative value to force monolithic
+	// transfers regardless). FlushStreams sizes the flusher worker
+	// pools (0 = automatic). Score only.
 	ChunkSize    int64
 	FlushStreams int
 
@@ -217,6 +224,22 @@ var defaultChunkSize int64
 // monolithic transfers). Not safe to change while shots are running.
 func SetDefaultChunkSize(n int64) { defaultChunkSize = n }
 
+// defaultTraceSink mirrors defaultSampleInterval for the tracing knob.
+// A tracer timestamps from one clock, and every shot runs on a fresh
+// virtual clock, so a single process-wide tracer cannot span shots;
+// instead the runner builds one tracer per shot on that shot's clock
+// and hands it to the sink when the shot completes.
+var defaultTraceSink func(label string, t *trace.Tracer)
+
+// SetDefaultTraceSink enables per-shot tracing: every subsequent shot
+// whose config leaves Tracer nil records spans, lifecycle-ledger
+// events, and sampled counters into a fresh bounded tracer, delivered
+// to fn (with the shot's label) after the shot completes — the hook
+// ckptbench's -trace-out flag uses to export Chrome traces without
+// threading a tracer through each figure driver. nil disables. Not
+// safe to change while shots are running.
+func SetDefaultTraceSink(fn func(label string, t *trace.Tracer)) { defaultTraceSink = fn }
+
 // withDefaults fills the paper's defaults.
 func (c ShotConfig) withDefaults() ShotConfig {
 	if c.Nodes == 0 {
@@ -260,6 +283,9 @@ func (c ShotConfig) withDefaults() ShotConfig {
 	if c.ChunkSize == 0 {
 		c.ChunkSize = defaultChunkSize
 	}
+	if c.ChunkSize < 0 {
+		c.ChunkSize = 0 // explicit "force monolithic" marker
+	}
 	if c.BWScale > 0 && c.BWScale != 1 {
 		c.Node.D2DBandwidth *= c.BWScale
 		c.Node.PCIeBandwidth *= c.BWScale
@@ -291,6 +317,9 @@ type ShotResult struct {
 // Label names the run for metric exports: the Table 1 combo plus the
 // phase-coupling mode.
 func (r ShotResult) Label() string {
+	if r.Config.Label != "" {
+		return r.Config.Label
+	}
 	mode := "immediate-restore"
 	if r.Config.WaitForFlush {
 		mode = "drained-restore"
@@ -375,6 +404,11 @@ func RunShot(cfg ShotConfig) (ShotResult, error) {
 }
 
 func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
+	var sinkTracer *trace.Tracer
+	if cfg.Tracer == nil && defaultTraceSink != nil {
+		sinkTracer = trace.New(clk.Now)
+		cfg.Tracer = sinkTracer
+	}
 	cluster, err := fabric.NewCluster(clk, cfg.Nodes, cfg.Node)
 	if err != nil {
 		return ShotResult{}, err
@@ -458,6 +492,23 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 			sampler.SetCounterSink(func(name string, at time.Duration, v float64) {
 				tracer.Counter(0, name, at, v)
 			})
+			// Surface the tracer's bounded-buffer drop counters in the
+			// sampled series: a non-zero value means the rings wrapped
+			// and the exported timeline (or flight-recorder ledger) is
+			// incomplete — raise the capacity rather than trust it.
+			sampler.Register("trace.events_dropped", func() float64 {
+				ev, _ := tracer.Dropped()
+				return float64(ev)
+			})
+			sampler.Register("trace.counters_dropped", func() float64 {
+				_, cnt := tracer.Dropped()
+				return float64(cnt)
+			})
+			if fl := tracer.Flight(); fl != nil {
+				sampler.Register("trace.ledger_dropped", func() float64 {
+					return float64(fl.TotalDropped())
+				})
+			}
 		}
 		sampler.Start()
 		defer sampler.Stop()
@@ -514,6 +565,9 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 	}
 	if shotObserver != nil {
 		shotObserver(res)
+	}
+	if sinkTracer != nil {
+		defaultTraceSink(res.Label(), sinkTracer)
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // CheckInvariants verifies the conservation laws the observability layer
@@ -95,6 +96,44 @@ func CheckInvariants(s Summary) error {
 		fail("restore series has %d points for %d restore ops", len(s.RestoreSeries), s.RestoreOps)
 	}
 
+	// Critical-path attribution: each record's components must telescope
+	// to exactly its measured end-to-end latency with no unattributed
+	// residue, and records never outnumber the operations they decompose.
+	var durableRecs, restoreRecs int64
+	for _, rec := range s.CritPaths {
+		switch rec.Op {
+		case CritDurable:
+			durableRecs++
+		case CritRestore:
+			restoreRecs++
+		default:
+			fail("critpath: unknown op %q (version %d)", rec.Op, rec.Version)
+		}
+		if rec.Total < 0 {
+			fail("critpath: %s v%d has negative total %v", rec.Op, rec.Version, rec.Total)
+		}
+		var sum time.Duration
+		for comp, d := range rec.Components {
+			if d < 0 {
+				fail("critpath: %s v%d component %s negative (%v)", rec.Op, rec.Version, comp, d)
+			}
+			sum += d
+		}
+		if sum+rec.Unattributed != rec.Total {
+			fail("critpath: %s v%d components (%v) + unattributed (%v) != total (%v)",
+				rec.Op, rec.Version, sum, rec.Unattributed, rec.Total)
+		}
+		if rec.Unattributed != 0 {
+			fail("critpath: %s v%d has unattributed latency gap %v", rec.Op, rec.Version, rec.Unattributed)
+		}
+	}
+	if durableRecs > s.DurableOps {
+		fail("critpath: %d durable records but only %d durable checkpoints", durableRecs, s.DurableOps)
+	}
+	if restoreRecs > s.RestoreOps {
+		fail("critpath: %d restore records but only %d restore ops", restoreRecs, s.RestoreOps)
+	}
+
 	return errors.Join(errs...)
 }
 
@@ -117,6 +156,28 @@ func CheckInvariantsQuiescent(s Summary) error {
 			errs = append(errs, fmt.Errorf(
 				"conservation: accepted bytes %d != checkpointed bytes %d",
 				s.AcceptedBytes, s.CheckpointBytes))
+		}
+		// At quiescence the runtime has emitted every attribution record:
+		// exactly one per durable version and one per restore, so every
+		// durable checkpoint has a complete, fully attributed ledger.
+		var durableRecs, restoreRecs int64
+		for _, rec := range s.CritPaths {
+			switch rec.Op {
+			case CritDurable:
+				durableRecs++
+			case CritRestore:
+				restoreRecs++
+			}
+		}
+		if durableRecs != s.DurableOps {
+			errs = append(errs, fmt.Errorf(
+				"critpath: %d durable records at quiescence for %d durable checkpoints",
+				durableRecs, s.DurableOps))
+		}
+		if restoreRecs != s.RestoreOps {
+			errs = append(errs, fmt.Errorf(
+				"critpath: %d restore records at quiescence for %d restore ops",
+				restoreRecs, s.RestoreOps))
 		}
 	}
 	return errors.Join(errs...)

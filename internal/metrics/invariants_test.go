@@ -16,6 +16,14 @@ func healthySummary() Summary {
 	r.ConserveDiscarded(400)
 	r.Retry("ssd")
 	r.RetryBout(true)
+	r.CritPath(CritPathRecord{
+		Op: CritDurable, Version: 1, Total: 3 * time.Millisecond,
+		Components: map[string]time.Duration{
+			CompCopyD2D:  time.Millisecond,
+			CompXferPCIe: time.Millisecond,
+			CompXferSSD:  time.Millisecond,
+		},
+	})
 	return r.Snapshot()
 }
 
@@ -79,6 +87,24 @@ func TestCheckInvariantsViolations(t *testing.T) {
 			func(s *Summary) { s.RestoreOps = 4 },
 			"restore series",
 		},
+		{
+			"critpath unattributed gap",
+			func(s *Summary) {
+				s.CritPaths[0].Unattributed = time.Millisecond
+				s.CritPaths[0].Total += time.Millisecond
+			},
+			"unattributed latency gap",
+		},
+		{
+			"critpath components diverge from total",
+			func(s *Summary) { s.CritPaths[0].Total += time.Millisecond },
+			"!= total",
+		},
+		{
+			"critpath records outnumber durable checkpoints",
+			func(s *Summary) { s.DurableOps = 0 },
+			"durable records",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,6 +118,21 @@ func TestCheckInvariantsViolations(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.wantSub)
 			}
 		})
+	}
+}
+
+func TestCheckInvariantsQuiescentCatchesMissingCritPath(t *testing.T) {
+	s := healthySummary()
+	s.CritPaths = nil // a durable version with no attribution ledger
+	if err := CheckInvariants(s); err != nil {
+		t.Errorf("missing records must be legal while running: %v", err)
+	}
+	err := CheckInvariantsQuiescent(s)
+	if err == nil {
+		t.Fatal("quiescent check passed with a durable version missing its critpath record")
+	}
+	if !strings.Contains(err.Error(), "durable records") {
+		t.Errorf("error %q does not mention durable records", err)
 	}
 }
 

@@ -71,6 +71,13 @@ type Recorder struct {
 	retryBoutsRecovered int64
 	retryBoutsExhausted int64
 
+	// Critical-path attribution: one record per durable checkpoint and
+	// per restore, decomposing its end-to-end latency (see critpath.go).
+	// durableOps counts ConserveDurable calls so CheckInvariants can tie
+	// the durable record count to the fate accounting.
+	critPaths  []CritPathRecord
+	durableOps int64
+
 	// Fixed-boundary latency histograms, keyed by the Hist* constants.
 	hists map[string]*Histogram
 }
@@ -142,10 +149,13 @@ func (r *Recorder) CheckpointRejected(bytes int64) {
 }
 
 // ConserveDurable records bytes whose flush chain reached a durable tier.
+// Called exactly once per durable checkpoint version, which is what lets
+// CheckInvariants demand one critical-path record per durable version.
 func (r *Recorder) ConserveDurable(bytes int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.durableBytes += bytes
+	r.durableOps++
 }
 
 // ConserveDiscarded records bytes whose flush was skipped because the
@@ -361,6 +371,11 @@ type Summary struct {
 	RetryBoutsRecovered int64
 	RetryBoutsExhausted int64
 
+	// Critical-path attribution records and the durable-fate op count
+	// they are balanced against (see critpath.go, CheckInvariants).
+	CritPaths  []CritPathRecord `json:",omitempty"`
+	DurableOps int64
+
 	// Fixed-boundary latency histograms keyed by the Hist* constants.
 	Histograms map[string]HistogramSnapshot `json:",omitempty"`
 }
@@ -450,10 +465,10 @@ func (r *Recorder) Snapshot() Summary {
 		PartnerCopyBytes:    r.partnerCopyBytes,
 		PartnerCopyFailures: r.partnerCopyFailures,
 		RankDeaths:          r.rankDeaths,
-		PipelinedStreams:  r.pipelinedStreams,
-		PipelinedBytes:    r.pipelinedBytes,
-		PipelinedElapsed:  r.pipelinedElapsed,
-		PipelinedHopBusy:  r.pipelinedHopBusy,
+		PipelinedStreams:    r.pipelinedStreams,
+		PipelinedBytes:      r.pipelinedBytes,
+		PipelinedElapsed:    r.pipelinedElapsed,
+		PipelinedHopBusy:    r.pipelinedHopBusy,
 
 		PipelinedHopBytes:     r.pipelinedHopBytes,
 		PipelinedHopBytesWant: r.pipelinedHopBytesWant,
@@ -465,6 +480,9 @@ func (r *Recorder) Snapshot() Summary {
 
 		RetryBoutsRecovered: r.retryBoutsRecovered,
 		RetryBoutsExhausted: r.retryBoutsExhausted,
+
+		CritPaths:  copyCritPaths(r.critPaths),
+		DurableOps: r.durableOps,
 
 		Histograms: hists,
 	}
@@ -548,6 +566,8 @@ func Merge(parts ...Summary) Summary {
 		out.LostBytes += p.LostBytes
 		out.RetryBoutsRecovered += p.RetryBoutsRecovered
 		out.RetryBoutsExhausted += p.RetryBoutsExhausted
+		out.CritPaths = append(out.CritPaths, copyCritPaths(p.CritPaths)...)
+		out.DurableOps += p.DurableOps
 		for name, h := range p.Histograms {
 			if out.Histograms == nil {
 				out.Histograms = map[string]HistogramSnapshot{}
@@ -579,6 +599,7 @@ func Merge(parts ...Summary) Summary {
 	sort.SliceStable(out.RestoreSeries, func(i, j int) bool {
 		return out.RestoreSeries[i].Iteration < out.RestoreSeries[j].Iteration
 	})
+	sortCritPaths(out.CritPaths)
 	return out
 }
 

@@ -155,8 +155,8 @@ func TestMergeRobustnessCounters(t *testing.T) {
 		FallbackReads: 1, Repopulations: 1, FlushAborts: 1, SyncFlushes: 2,
 	}
 	b := Summary{
-		Retries:      map[string]int64{"ssd": 1, "pfs": 4},
-		Degradations: map[string]int64{"host": 1},
+		Retries:       map[string]int64{"ssd": 1, "pfs": 4},
+		Degradations:  map[string]int64{"host": 1},
 		FallbackReads: 2,
 	}
 	m := Merge(a, b)

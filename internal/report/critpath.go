@@ -1,0 +1,161 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"score/internal/metrics"
+)
+
+// This file defines the critical-path attribution artifact: the
+// versioned JSON envelope ckptbench writes (-critpath-out) holding,
+// per run, every CritPathRecord the instrumentation emitted, plus the
+// human-readable breakdown table rendered from it. The analyzer's
+// contract — components + unattributed telescope to each record's
+// total — is what makes the aggregated table trustworthy: a non-zero
+// "unattributed" row means the instrumentation missed a blocking
+// point, not that the table rounded something away.
+
+// CritPathSchema tags the critical-path attribution file format.
+const CritPathSchema = "score-critpath/v1"
+
+// CritPathRun is one run's worth of attribution records.
+type CritPathRun struct {
+	// Label names the run (same labels as the metrics export).
+	Label string `json:"label"`
+	// Records are the per-operation latency decompositions.
+	Records []metrics.CritPathRecord `json:"records"`
+}
+
+// critPathFile is the on-disk envelope.
+type critPathFile struct {
+	Schema string        `json:"schema"`
+	Runs   []CritPathRun `json:"runs"`
+}
+
+// WriteCritPaths writes runs as an indented JSON file. Runs are sorted
+// by label and records by (op, version, start, total) for stable diffs.
+func WriteCritPaths(w io.Writer, runs []CritPathRun) error {
+	sorted := make([]CritPathRun, len(runs))
+	copy(sorted, runs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	for i := range sorted {
+		recs := make([]metrics.CritPathRecord, len(sorted[i].Records))
+		copy(recs, sorted[i].Records)
+		sort.SliceStable(recs, func(a, b int) bool {
+			x, y := recs[a], recs[b]
+			if x.Op != y.Op {
+				return x.Op < y.Op
+			}
+			if x.Version != y.Version {
+				return x.Version < y.Version
+			}
+			if x.Start != y.Start {
+				return x.Start < y.Start
+			}
+			return x.Total < y.Total
+		})
+		sorted[i].Records = recs
+	}
+	data, err := json.MarshalIndent(critPathFile{Schema: CritPathSchema, Runs: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCritPathFile writes runs to path via WriteCritPaths.
+func WriteCritPathFile(path string, runs []CritPathRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCritPaths(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCritPaths parses a critical-path attribution file, validating its
+// schema tag.
+func LoadCritPaths(r io.Reader) ([]CritPathRun, error) {
+	var f critPathFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: parsing critpath records: %w", err)
+	}
+	if f.Schema != CritPathSchema {
+		return nil, fmt.Errorf("report: critpath schema %q, want %q", f.Schema, CritPathSchema)
+	}
+	return f.Runs, nil
+}
+
+// LoadCritPathFile reads a critical-path attribution file from disk.
+func LoadCritPathFile(path string) ([]CritPathRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCritPaths(f)
+}
+
+// CritPathTable renders the per-component breakdown of the runs' two
+// operation kinds: for each (run, op), one row per component with its
+// summed time and share of the op's total latency. The residual the
+// analyzer could not explain appears as the "unattributed" component;
+// on a healthy run it is absent (the conservation invariant asserts it
+// is zero per record).
+func CritPathTable(runs []CritPathRun) *Table {
+	tab := NewTable("Critical-path attribution — per-component breakdown",
+		"run", "op", "ops", "mean latency", "component", "time", "share")
+	for _, run := range runs {
+		s := metrics.Summary{CritPaths: run.Records}
+		for _, op := range []string{metrics.CritDurable, metrics.CritRestore} {
+			count, total, comps := s.CritPathBreakdown(op)
+			if count == 0 {
+				continue
+			}
+			names := make([]string, 0, len(comps))
+			for c := range comps {
+				names = append(names, c)
+			}
+			// Largest component first; ties break alphabetically so the
+			// table is deterministic.
+			sort.Slice(names, func(i, j int) bool {
+				if comps[names[i]] != comps[names[j]] {
+					return comps[names[i]] > comps[names[j]]
+				}
+				return names[i] < names[j]
+			})
+			mean := time.Duration(0)
+			if count > 0 {
+				mean = total / time.Duration(count)
+			}
+			first := true
+			for _, c := range names {
+				runCol, opCol, opsCol, meanCol := "", "", "", ""
+				if first {
+					runCol, opCol = run.Label, op
+					opsCol = fmt.Sprintf("%d", count)
+					meanCol = mean.Round(time.Microsecond).String()
+					first = false
+				}
+				share := 0.0
+				if total > 0 {
+					share = float64(comps[c]) / float64(total) * 100
+				}
+				tab.AddRow(runCol, opCol, opsCol, meanCol, c,
+					comps[c].Round(time.Microsecond).String(),
+					fmt.Sprintf("%5.1f%%", share))
+			}
+		}
+	}
+	return tab
+}

@@ -17,6 +17,19 @@ func sampleRegistry() *metrics.Registry {
 	rec.Restore(0, 8192, time.Millisecond, 2)
 	rec.Retry("nvme")
 	rec.RetryBout(true)
+	rec.CritPath(metrics.CritPathRecord{
+		Op: metrics.CritDurable, Version: 0, Total: 3 * time.Millisecond,
+		Components: map[string]time.Duration{
+			metrics.CompCopyD2D: time.Millisecond,
+			metrics.CompXferSSD: 2 * time.Millisecond,
+		},
+	})
+	rec.CritPath(metrics.CritPathRecord{
+		Op: metrics.CritRestore, Version: 0, Total: time.Millisecond,
+		Components: map[string]time.Duration{
+			metrics.CompXferPCIe: time.Millisecond,
+		},
+	})
 	reg := metrics.NewRegistry()
 	reg.Record("fig6a (drained-restore)", rec.Snapshot())
 	reg.RecordSeries("fig6a (drained-restore)", map[string][]metrics.Sample{

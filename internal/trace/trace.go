@@ -49,7 +49,13 @@ func (t Track) String() string {
 	return fmt.Sprintf("Track(%d)", int(t))
 }
 
-// Event is one complete span on the timeline.
+// Event is one complete span on the timeline. Flow, when non-zero,
+// links the span into a causal chain: every span sharing a Flow value
+// is connected by flow arrows in the Chrome export, so Perfetto draws
+// one checkpoint version's journey across tracks and GPUs. Callers
+// must derive Flow deterministically (the core runtime uses a pure
+// function of (rank, version)) — never from a shared counter, or
+// exports stop being byte-reproducible.
 type Event struct {
 	Name     string
 	Category string
@@ -57,6 +63,7 @@ type Event struct {
 	Track    Track
 	Start    time.Duration
 	Duration time.Duration
+	Flow     int64
 }
 
 // CounterEvent is one sampled counter value (rendered as a stacked area
@@ -68,29 +75,102 @@ type CounterEvent struct {
 	Value float64
 }
 
+// Default retention bounds. A long chaos soak emits events forever;
+// past the cap the tracer keeps the most recent window (flight-recorder
+// style) and counts what it dropped instead of growing without limit.
+const (
+	DefaultEventCap   = 1 << 20 // spans retained per tracer
+	DefaultCounterCap = 1 << 20 // counter samples retained per tracer
+)
+
 // Tracer collects events; safe for concurrent use. A nil *Tracer is a
 // valid no-op sink, so instrumented code needs no nil checks beyond the
-// method receivers.
+// method receivers. Retention is bounded: once a cap is reached the
+// oldest entries are overwritten and Dropped reports how many were lost.
 type Tracer struct {
 	now func() time.Duration
 
-	mu       sync.Mutex
-	events   []Event
-	counters []CounterEvent
+	mu         sync.Mutex
+	eventCap   int
+	counterCap int
+	events     []Event // ring once len == eventCap; evNext is the oldest slot
+	evNext     int
+	counters   []CounterEvent
+	ctrNext    int
+	evDropped  int64
+	ctrDropped int64
+	flight     *FlightRecorder
 }
 
 // New creates a tracer reading timestamps from now (typically the
-// simulation clock's Now).
+// simulation clock's Now), bounded at the default caps.
 func New(now func() time.Duration) *Tracer {
 	if now == nil {
 		panic("trace: nil clock function")
 	}
-	return &Tracer{now: now}
+	return &Tracer{now: now, eventCap: DefaultEventCap, counterCap: DefaultCounterCap}
+}
+
+// SetCapacity rebounds retention: at most events spans and counters
+// samples are kept (oldest overwritten first). Values < 1 panic — a
+// tracer is always bounded. Shrinking below the current backlog drops
+// the oldest entries immediately.
+func (t *Tracer) SetCapacity(events, counters int) {
+	if t == nil {
+		return
+	}
+	if events < 1 || counters < 1 {
+		panic("trace: capacities must be >= 1")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events, t.evNext, t.evDropped = rebound(t.events, t.evNext, t.evDropped, events)
+	t.eventCap = events
+	t.counters, t.ctrNext, t.ctrDropped = rebound(t.counters, t.ctrNext, t.ctrDropped, counters)
+	t.counterCap = counters
+}
+
+// rebound unrolls a ring into append order and trims the oldest entries
+// down to cap, charging them to the drop counter.
+func rebound[T any](ring []T, next int, dropped int64, cap int) ([]T, int, int64) {
+	ordered := append(append([]T(nil), ring[next:]...), ring[:next]...)
+	if excess := len(ordered) - cap; excess > 0 {
+		dropped += int64(excess)
+		ordered = append([]T(nil), ordered[excess:]...)
+	}
+	return ordered, 0, dropped
+}
+
+// Dropped reports how many spans and counter samples were evicted to
+// stay within the retention caps. Nil-safe.
+func (t *Tracer) Dropped() (events, counters int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evDropped, t.ctrDropped
+}
+
+func (t *Tracer) appendLocked(e Event) {
+	if len(t.events) < t.eventCap {
+		t.events = append(t.events, e)
+		return
+	}
+	t.events[t.evNext] = e
+	t.evNext = (t.evNext + 1) % t.eventCap
+	t.evDropped++
 }
 
 // Span opens a span and returns its closer; call the closer when the
 // operation completes. Nil-safe.
 func (t *Tracer) Span(gpu int, track Track, category, name string) func() {
+	return t.SpanFlow(gpu, track, category, name, 0)
+}
+
+// SpanFlow is Span with a causal flow ID: the finished span joins the
+// flow chain identified by flow (0 means unlinked). Nil-safe.
+func (t *Tracer) SpanFlow(gpu int, track Track, category, name string, flow int64) func() {
 	if t == nil {
 		return func() {}
 	}
@@ -98,9 +178,9 @@ func (t *Tracer) Span(gpu int, track Track, category, name string) func() {
 	return func() {
 		end := t.now()
 		t.mu.Lock()
-		t.events = append(t.events, Event{
+		t.appendLocked(Event{
 			Name: name, Category: category, GPU: gpu, Track: track,
-			Start: start, Duration: end - start,
+			Start: start, Duration: end - start, Flow: flow,
 		})
 		t.mu.Unlock()
 	}
@@ -110,13 +190,18 @@ func (t *Tracer) Span(gpu int, track Track, category, name string) func() {
 // use it because a stream's display name (chunk count, hidden time) is
 // only known at completion. Nil-safe.
 func (t *Tracer) Record(gpu int, track Track, category, name string, start, duration time.Duration) {
+	t.RecordFlow(gpu, track, category, name, start, duration, 0)
+}
+
+// RecordFlow is Record with a causal flow ID (see SpanFlow). Nil-safe.
+func (t *Tracer) RecordFlow(gpu int, track Track, category, name string, start, duration time.Duration, flow int64) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
+	t.appendLocked(Event{
 		Name: name, Category: category, GPU: gpu, Track: track,
-		Start: start, Duration: duration,
+		Start: start, Duration: duration, Flow: flow,
 	})
 	t.mu.Unlock()
 }
@@ -128,7 +213,13 @@ func (t *Tracer) Counter(gpu int, name string, at time.Duration, value float64) 
 		return
 	}
 	t.mu.Lock()
-	t.counters = append(t.counters, CounterEvent{Name: name, GPU: gpu, At: at, Value: value})
+	if len(t.counters) < t.counterCap {
+		t.counters = append(t.counters, CounterEvent{Name: name, GPU: gpu, At: at, Value: value})
+	} else {
+		t.counters[t.ctrNext] = CounterEvent{Name: name, GPU: gpu, At: at, Value: value}
+		t.ctrNext = (t.ctrNext + 1) % t.counterCap
+		t.ctrDropped++
+	}
 	t.mu.Unlock()
 }
 
@@ -199,13 +290,16 @@ func (t *Tracer) Events() []Event {
 		if a.Category != b.Category {
 			return a.Category < b.Category
 		}
-		return a.Duration < b.Duration
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return a.Flow < b.Flow
 	})
 	return out
 }
 
 // chromeEvent is the trace-event JSON schema ("X" complete events, "C"
-// counter samples, plus "M" metadata rows for names).
+// counter samples, "s"/"t"/"f" flow arrows, plus "M" metadata rows).
 type chromeEvent struct {
 	Name string                 `json:"name"`
 	Cat  string                 `json:"cat,omitempty"`
@@ -214,6 +308,8 @@ type chromeEvent struct {
 	Dur  float64                `json:"dur,omitempty"` // microseconds
 	Pid  int                    `json:"pid"`
 	Tid  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"` // flow chain ID
+	BP   string                 `json:"bp,omitempty"` // flow binding point
 	Args map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -241,21 +337,76 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		)
 	}
 	for _, e := range events {
+		var args map[string]interface{}
+		if e.Flow != 0 {
+			args = map[string]interface{}{"flow": e.Flow}
+		}
 		out = append(out, chromeEvent{
 			Name: e.Name, Cat: e.Category, Ph: "X",
 			Ts:  float64(e.Start) / float64(time.Microsecond),
 			Dur: float64(e.Duration) / float64(time.Microsecond),
-			Pid: e.GPU, Tid: int(e.Track),
+			Pid: e.GPU, Tid: int(e.Track), Args: args,
 		})
 	}
+	out = append(out, flowEvents(events)...)
 	for _, c := range counters {
 		out = append(out, chromeEvent{
 			Name: c.Name, Ph: "C",
-			Ts:  float64(c.At) / float64(time.Microsecond),
-			Pid: c.GPU,
+			Ts:   float64(c.At) / float64(time.Microsecond),
+			Pid:  c.GPU,
 			Args: map[string]interface{}{"value": c.Value},
 		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]interface{}{"traceEvents": out})
+}
+
+// flowEvents turns each flow-linked span chain into Chrome flow-arrow
+// events: "s" opens the chain at the first span, "t" steps through the
+// middle, "f" (binding point "e", the enclosing slice) terminates it.
+// Perfetto renders these as arrows joining one checkpoint version's
+// spans across tracks and GPUs. Events arrive pre-sorted by Events(),
+// and flow IDs are iterated in ascending order, so the emission is as
+// byte-deterministic as the span list itself.
+func flowEvents(events []Event) []chromeEvent {
+	chains := map[int64][]Event{}
+	var ids []int64
+	for _, e := range events {
+		if e.Flow == 0 {
+			continue
+		}
+		if _, ok := chains[e.Flow]; !ok {
+			ids = append(ids, e.Flow)
+		}
+		chains[e.Flow] = append(chains[e.Flow], e)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var out []chromeEvent
+	for _, id := range ids {
+		chain := chains[id]
+		if len(chain) < 2 {
+			continue // an arrow needs two endpoints
+		}
+		// All events in one chain must share name, cat, and id for the
+		// viewer to join them; the chain borrows its first span's name.
+		name, idStr := chain[0].Name, fmt.Sprintf("%d", id)
+		for i, e := range chain {
+			ev := chromeEvent{
+				Name: name, Cat: "flow", Ts: float64(e.Start) / float64(time.Microsecond),
+				Pid: e.GPU, Tid: int(e.Track), ID: idStr,
+			}
+			switch {
+			case i == 0:
+				ev.Ph = "s"
+			case i == len(chain)-1:
+				ev.Ph = "f"
+				ev.BP = "e"
+			default:
+				ev.Ph = "t"
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
 }

@@ -181,6 +181,11 @@ func (s *Sim) WriteTrace(w io.Writer) error {
 	return s.tracer.WriteJSON(w)
 }
 
+// Tracer returns the runtime tracer (nil unless WithTracing was given):
+// the handle for the lifecycle flight recorder (Tracer().Flight()) and
+// the bounded-retention drop counters.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
+
 // Run executes fn as the root simulated task and returns when it (and the
 // simulated work it spawned and waited for) completes. All Sim and Client
 // calls must happen inside Run.

@@ -1,0 +1,148 @@
+package score_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"score"
+)
+
+// traceWorkload runs a small fixed two-GPU adjoint shot under tracing
+// and returns the Chrome trace export. Everything runs on the virtual
+// clock, so two invocations must produce byte-identical output.
+func traceWorkload(t *testing.T) []byte {
+	t.Helper()
+	sim, err := score.NewSim(score.WithTracing(), score.WithGPUsPerNode(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const versions = 6
+	sim.Run(func() {
+		wg := sim.NewWaitGroup()
+		for g := 0; g < 2; g++ {
+			g := g
+			wg.Add(1)
+			sim.Clock().Go(func() {
+				defer wg.Done()
+				c, err := sim.NewClient(0, g,
+					score.WithGPUCache(16<<20), score.WithHostCache(64<<20))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer c.Close()
+				for v := int64(versions - 1); v >= 0; v-- {
+					c.PrefetchEnqueue(v)
+				}
+				for v := int64(0); v < versions; v++ {
+					if err := c.CheckpointVirtual(v, 4<<20); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Compute(time.Millisecond)
+				}
+				if err := c.WaitFlush(); err != nil {
+					t.Error(err)
+					return
+				}
+				c.PrefetchStart()
+				for v := int64(versions - 1); v >= 0; v-- {
+					if _, err := c.Restart(v); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Compute(time.Millisecond)
+				}
+			})
+		}
+		wg.Wait()
+	})
+	var buf bytes.Buffer
+	if err := sim.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceExportDeterministic asserts the observability tentpole's
+// reproducibility contract: the same workload on the virtual clock
+// exports a byte-identical trace — span order, flow-arrow chains, and
+// lifecycle timestamps included — so traces can be diffed across runs
+// and golden-file tested.
+func TestTraceExportDeterministic(t *testing.T) {
+	first := traceWorkload(t)
+	second := traceWorkload(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("trace export not byte-reproducible: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+// flowEvent is the subset of a Chrome trace flow record the golden file
+// pins down.
+type flowEvent struct {
+	Ph   string  `json:"ph"`
+	ID   string  `json:"id"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Pid  float64 `json:"pid"`
+	Ts   float64 `json:"ts"`
+}
+
+// TestFlowArrowsMatchGolden extracts the causal flow chain of one
+// checkpoint version from the trace export and compares it against the
+// checked-in golden file. Regenerate with UPDATE_GOLDEN=1 go test
+// -run TestFlowArrowsMatchGolden . after an intentional change.
+func TestFlowArrowsMatchGolden(t *testing.T) {
+	raw := traceWorkload(t)
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Version 1 on GPU 0: flow ID (gpu+1)<<32 | (version+1).
+	wantID := "4294967298"
+	var chain []flowEvent
+	for _, rawEv := range doc.TraceEvents {
+		var ev flowEvent
+		if err := json.Unmarshal(rawEv, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if (ev.Ph == "s" || ev.Ph == "t" || ev.Ph == "f") && ev.ID == wantID {
+			chain = append(chain, ev)
+		}
+	}
+	if len(chain) < 3 {
+		t.Fatalf("flow chain for version 1 has %d events, want at least start+step+finish", len(chain))
+	}
+	if chain[0].Ph != "s" || chain[len(chain)-1].Ph != "f" {
+		t.Fatalf("flow chain must open with ph=s and close with ph=f: %+v", chain)
+	}
+
+	got, err := json.MarshalIndent(chain, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	const golden = "testdata/flow_arrows.golden.json"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d flow events)", golden, len(chain))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("flow-arrow chain drifted from golden file %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
