@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet vet-deprecated race chaos chaos-rank bench bench-smoke fuzz-smoke trace-smoke results clean
+.PHONY: verify build test vet vet-deprecated race chaos chaos-rank chaos-preempt bench bench-smoke fuzz-smoke trace-smoke results clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -41,6 +41,13 @@ chaos:
 chaos-rank:
 	$(GO) test -race -count 5 -run 'TestRankFailure|TestKillMidFlush|TestDegradedTierHeals' . ./internal/experiments
 
+# chaos-preempt soaks the scheduling-events layer under -race: seeded
+# preemption notices with fault rules aimed at the drain window, plus
+# live migrations through migrate-site fault schedules (DESIGN.md §13).
+# Every run must end in a complete drain manifest or a definitive error.
+chaos-preempt:
+	$(GO) test -race -run 'TestPreemptChaosSoak|TestMigrateChaosSoak' . -args -preempt.schedules=100
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
@@ -49,6 +56,7 @@ bench:
 # (DESIGN.md §9), and emits the measurements as BENCH_pipeline.json.
 bench-smoke:
 	$(GO) test -run TestChunkedPipelineSmoke -v . -args -bench.out=BENCH_pipeline.json
+	$(GO) test -run TestPreemptDrainSmoke -v . -args -preempt.out=BENCH_preempt.json
 	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
 
 # trace-smoke exercises the observability layer end to end: the trace
@@ -78,4 +86,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_pipeline.json critpath.json trace-pipeline-*.json
+	rm -f BENCH_pipeline.json BENCH_preempt.json critpath.json trace-pipeline-*.json

@@ -2,6 +2,7 @@ package score
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"score/internal/core"
@@ -161,6 +162,12 @@ type Client struct {
 	clk         simclock.Clock
 	predictor   *predict.Predictor // nil unless WithAutoHints
 	quarantined []int64            // versions scrubbed at open (WithScrubOnOpen)
+	node        int                // node index, for migration path construction
+	inj         *faultinject.Injector
+
+	drainMu       sync.Mutex
+	drainManifest DrainManifest // last drain's manifest (timer- or call-driven)
+	drainDone     bool
 }
 
 // Checkpoint writes version with real data. It blocks only until the data
@@ -285,6 +292,18 @@ type Stats struct {
 	PartnerCopies, PartnerCopyBytes, PartnerCopyFailures int64
 	// RankDeaths is 1 once this rank was killed by fault injection.
 	RankDeaths int64
+	// Drains counts preemption drains begun; DrainDeadlineHits how many
+	// finished inside their grace window.
+	Drains, DrainDeadlineHits int64
+	// DrainedVersions/DrainedBytes count state the drain triage made
+	// durable; DrainAbandonedVersions/DrainAbandonedBytes count state it
+	// failed open to ErrLost because the deadline budget ran out.
+	DrainedVersions, DrainedBytes               int64
+	DrainAbandonedVersions, DrainAbandonedBytes int64
+	// Migrations counts live tier migrations begun; MigratedVersions and
+	// MigratedBytes what they copied to the successor;
+	// MigrationFailures per-version copies that failed through retries.
+	Migrations, MigratedVersions, MigratedBytes, MigrationFailures int64
 }
 
 // PredictedHints reports how many hints the auto-hint predictor has
@@ -311,27 +330,37 @@ func (c *Client) RecoveredVersions() []int64 {
 func (c *Client) Stats() Stats {
 	s := c.inner.Metrics().Snapshot()
 	return Stats{
-		CheckpointBytes:      s.CheckpointBytes,
-		RestoreBytes:         s.RestoreBytes,
-		CheckpointOps:        s.CheckpointOps,
-		RestoreOps:           s.RestoreOps,
-		CheckpointThroughput: s.CheckpointThroughput(),
-		RestoreThroughput:    s.RestoreThroughput(),
-		MeanPrefetchDistance: s.MeanPrefetchDistance(),
-		DeviationReads:       s.DeviationReads,
-		Retries:              s.TotalRetries(),
-		Degradations:         s.TotalDegradations(),
-		FallbackReads:        s.FallbackReads,
-		Repopulations:        s.Repopulations,
-		FlushAborts:          s.FlushAborts,
-		SyncFlushes:          s.SyncFlushes,
-		PipelinedStreams:     s.PipelinedStreams,
-		PipelineOverlap:      s.PipelineOverlap(),
-		TierRecoveries:       s.TotalTierRecoveries(),
-		PartnerCopies:        s.PartnerCopies,
-		PartnerCopyBytes:     s.PartnerCopyBytes,
-		PartnerCopyFailures:  s.PartnerCopyFailures,
-		RankDeaths:           s.RankDeaths,
+		CheckpointBytes:        s.CheckpointBytes,
+		RestoreBytes:           s.RestoreBytes,
+		CheckpointOps:          s.CheckpointOps,
+		RestoreOps:             s.RestoreOps,
+		CheckpointThroughput:   s.CheckpointThroughput(),
+		RestoreThroughput:      s.RestoreThroughput(),
+		MeanPrefetchDistance:   s.MeanPrefetchDistance(),
+		DeviationReads:         s.DeviationReads,
+		Retries:                s.TotalRetries(),
+		Degradations:           s.TotalDegradations(),
+		FallbackReads:          s.FallbackReads,
+		Repopulations:          s.Repopulations,
+		FlushAborts:            s.FlushAborts,
+		SyncFlushes:            s.SyncFlushes,
+		PipelinedStreams:       s.PipelinedStreams,
+		PipelineOverlap:        s.PipelineOverlap(),
+		TierRecoveries:         s.TotalTierRecoveries(),
+		PartnerCopies:          s.PartnerCopies,
+		PartnerCopyBytes:       s.PartnerCopyBytes,
+		PartnerCopyFailures:    s.PartnerCopyFailures,
+		RankDeaths:             s.RankDeaths,
+		Drains:                 s.Drains,
+		DrainDeadlineHits:      s.DrainDeadlineHits,
+		DrainedVersions:        s.DrainedVersions,
+		DrainedBytes:           s.DrainedBytes,
+		DrainAbandonedVersions: s.DrainAbandonedVersions,
+		DrainAbandonedBytes:    s.DrainAbandonedBytes,
+		Migrations:             s.Migrations,
+		MigratedVersions:       s.MigratedVersions,
+		MigratedBytes:          s.MigratedBytes,
+		MigrationFailures:      s.MigrationFailures,
 	}
 }
 

@@ -168,6 +168,61 @@ const (
 	FaultPartnerStoreRead = faultinject.SitePartnerStoreRead
 )
 
+// Epoch returns the tracker's membership epoch (0 for a job's first
+// incarnation; an elastic restart's tracker carries the reshard epoch).
+func (t *CommitTracker) Epoch() int { return t.inner.Epoch() }
+
+// Reshard accumulates shard-durability reports during an elastic
+// restart: the old job's checkpoint state, sharded per old rank, is
+// re-mapped onto a new rank count and the group-commit frontier is
+// recomputed from what the surviving stores actually hold. See
+// internal/coord for the full semantics.
+type Reshard = coord.Reshard
+
+// NewReshard starts an elastic-restart recipe re-sharding a job from
+// `from` old ranks onto `to` new ranks at the given new membership epoch
+// (>= 1; the old incarnation is epoch 0 unless it was itself resharded).
+func NewReshard(from, to, epoch int) (*Reshard, error) {
+	return coord.NewReshard(from, to, epoch)
+}
+
+// NewCommitTrackerFrom builds the new membership's group-commit tracker
+// from a completed reshard recipe — seeded so the adopted shards count
+// as durable and LatestConsistent equals the reshard's frontier — and
+// wires it to this simulation's clock, sampler, and trace ledger like
+// NewCommitTracker does.
+func (s *Sim) NewCommitTrackerFrom(r *Reshard) (*CommitTracker, error) {
+	t, err := r.Tracker()
+	if err != nil {
+		return nil, err
+	}
+	clk := s.Clock()
+	t.SetNow(clk.Now)
+	if s.tracer != nil {
+		tracer := s.tracer
+		t.SetCommitObserver(func(version int64, wait time.Duration) {
+			tracer.Lifecycle(-1, version, trace.LGroupCommit, "",
+				fmt.Sprintf("wait %v", wait))
+		})
+	}
+	if s.sampler != nil {
+		t.RegisterProbes(s.sampler, "")
+	}
+	return &CommitTracker{inner: t}, nil
+}
+
+// StoreVersions lists the checkpoint versions a durable store directory
+// holds, ascending, without opening a client on it — the scan an elastic
+// restart recipe runs per old shard to feed Reshard.MarkShardDurable
+// from ground truth.
+func StoreVersions(dir string) ([]int64, error) {
+	st, _, err := openStore(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	return st.IDs(), nil
+}
+
 // partnerNode returns the partner for node under the ring scheme.
 func partnerNode(node, nodes int) (int, error) {
 	if nodes < 2 {

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"score"
 	"score/internal/experiments"
 	"score/internal/metrics"
 	"score/internal/report"
@@ -30,7 +31,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
 	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "rankfail",
-	"pipeline",
+	"pipeline", "preempt", "migrate", "elastic",
 }
 
 func main() {
@@ -89,7 +90,7 @@ Flags:
 			}
 		}
 		if !known {
-			usageErr("unknown experiment %q", *exp)
+			usageErr("unknown experiment %q (registered: %s, all)", *exp, strings.Join(experimentNames, ", "))
 		}
 	}
 	if *sample < 0 {
@@ -357,9 +358,127 @@ func run(name string, scale experiments.Scale) error {
 			return err
 		}
 		return res.Render(os.Stdout)
+	case "preempt":
+		return runPreempt(scale)
+	case "migrate":
+		return runMigrate()
+	case "elastic":
+		return runElastic()
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return fmt.Errorf("unknown experiment %q (registered: %s)", name, strings.Join(experimentNames, ", "))
 	}
+}
+
+// runPreempt sweeps the preemption grace window and answers the paper's
+// operational question — can the ladder drain the backlog (48 GB at full
+// scale) before the reclaim lands? — with the deadline-hit rate and
+// drain throughput per window, plus one complete drain manifest.
+func runPreempt(scale experiments.Scale) error {
+	cfg := experiments.PreemptConfig{}
+	if scale.Bandwidth != 1 {
+		// 1/16-scale backlog with windows shrunk to match, preserving the
+		// full sweep's miss-to-hit gradient.
+		cfg.Size = 256 << 20
+		cfg.Windows = []time.Duration{
+			125 * time.Millisecond, 312 * time.Millisecond, 1 * time.Second, 2 * time.Second,
+		}
+	}
+	res, err := experiments.Preemption(cfg)
+	if err != nil {
+		return err
+	}
+	backlog := float64(int64(res.Config.Checkpoints)*res.Config.Size) / 1e9
+	tab := report.NewTable(
+		fmt.Sprintf("Preemption drain — %.0f GB backlog, oldest-durability-first triage", backlog),
+		"grace window", "runs", "deadline hits", "hit rate", "durable", "abandoned", "discarded", "GB/s of grace")
+	for _, cell := range res.Cells {
+		tab.AddRow(
+			cell.Window, cell.Runs,
+			fmt.Sprintf("%d/%d", cell.DeadlineHits, cell.Runs),
+			fmt.Sprintf("%.0f%%", 100*cell.HitRate()),
+			sizeMB(cell.DurableBytes),
+			sizeMB(cell.AbandonedBytes),
+			sizeMB(cell.DiscardedBytes),
+			fmt.Sprintf("%.2f", cell.DrainThroughput()),
+		)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	m := res.SampleManifest
+	fmt.Printf("sample drain manifest (window %v): %s\n", m.Grace, m)
+	for _, e := range m.Entries {
+		detail := e.Tier
+		if e.Outcome == score.DrainAbandoned {
+			detail = e.Reason
+		}
+		fmt.Printf("  v%-3d %-10s %-16s %-24s t=%v\n", e.Version, sizeMB(e.Size), e.Outcome, detail, e.At)
+	}
+	return nil
+}
+
+// runMigrate runs the live-migration scenario twice — clean and with an
+// injected copy fault — and prints the cutover outcomes side by side.
+func runMigrate() error {
+	tab := report.NewTable("Live migration — SSD tier to successor node, racing foreground traffic",
+		"copy fault", "versions", "live rounds", "final validated", "migrated", "faults fired", "restored", "bit-exact")
+	for _, inject := range []bool{false, true} {
+		root, err := os.MkdirTemp("", "ckptbench-migrate-*")
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Migration(experiments.MigrateConfig{
+			StoreRoot:   root,
+			InjectFault: inject,
+		})
+		os.RemoveAll(root)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(
+			map[bool]string{false: "off", true: "injected"}[inject],
+			res.Versions,
+			res.Live.Rounds,
+			map[bool]string{false: "NO", true: "yes"}[res.Final.Validated],
+			sizeMB(res.MigratedBytes),
+			res.InjectedFaults,
+			fmt.Sprintf("%d/%d", res.RestoredVersions, res.Versions),
+			map[bool]string{false: "NO", true: "yes"}[res.Recoverable],
+		)
+	}
+	return tab.Render(os.Stdout)
+}
+
+// runElastic re-shards checkpoint state across membership changes in both
+// directions and prints the recomputed frontier and restore outcomes.
+func runElastic() error {
+	tab := report.NewTable("Elastic restart — re-shard N ranks onto M at a new membership epoch",
+		"transition", "epoch", "committed", "frontier", "tracker consistent", "shards restored", "recoverable")
+	for _, tr := range []struct{ from, to int }{{4, 2}, {2, 3}} {
+		root, err := os.MkdirTemp("", "ckptbench-elastic-*")
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Elastic(experiments.ElasticConfig{
+			StoreRoot: root,
+			FromRanks: tr.from,
+			ToRanks:   tr.to,
+		})
+		os.RemoveAll(root)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d -> %d ranks", res.FromRanks, res.ToRanks),
+			res.Epoch,
+			res.Committed,
+			fmt.Sprintf("v%d", res.Frontier),
+			map[bool]string{false: "NO", true: "yes"}[res.TrackerConsistent],
+			fmt.Sprintf("%d/%d", res.RestoredShards, res.FromRanks),
+			map[bool]string{false: "NO", true: "yes"}[res.Recoverable],
+		)
+	}
+	return tab.Render(os.Stdout)
 }
 
 func renderFig(fig experiments.FigureResult, err error) error {

@@ -31,6 +31,7 @@ import (
 type Tracker struct {
 	mu     sync.Mutex
 	ranks  int
+	epoch  int                        // membership epoch (bumped by elastic restart)
 	holds  map[int64]map[int]struct{} // version -> ranks holding a durable copy
 	high   int64                      // highest version any rank reported durable
 	any    bool                       // a durable report has been seen
@@ -47,19 +48,35 @@ type Tracker struct {
 	onCommit    func(version int64, wait time.Duration)
 }
 
-// New creates a tracker for a job of the given rank count.
+// New creates a tracker for a job of the given rank count, at membership
+// epoch 0 (the job's first incarnation).
 func New(ranks int) (*Tracker, error) {
+	return NewAtEpoch(ranks, 0)
+}
+
+// NewAtEpoch creates a tracker for a job of the given rank count at an
+// explicit membership epoch. Elastic restart uses this: each re-shard of
+// the job onto a new rank count bumps the epoch, so reports from a stale
+// incarnation are distinguishable from the live one's.
+func NewAtEpoch(ranks, epoch int) (*Tracker, error) {
 	if ranks < 1 {
 		return nil, errors.New("coord: need at least one rank")
 	}
+	if epoch < 0 {
+		return nil, errors.New("coord: membership epoch must be non-negative")
+	}
 	return &Tracker{
 		ranks:       ranks,
+		epoch:       epoch,
 		holds:       map[int64]map[int]struct{}{},
 		dead:        map[int]struct{}{},
 		firstAt:     map[int64]time.Duration{},
 		committedAt: map[int64]time.Duration{},
 	}, nil
 }
+
+// Epoch returns the tracker's membership epoch.
+func (t *Tracker) Epoch() int { return t.epoch }
 
 // SetNow attaches a clock (typically simclock's Now) enabling
 // commit-wait attribution: per version, the time from the first rank's

@@ -1,0 +1,240 @@
+package coord
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Elastic restart: re-sharding checkpoint state from N ranks to M. The
+// old job's state exists as N shards — one per old rank, each a slice of
+// every checkpoint version that rank wrote. A version is restorable by
+// the new membership only if all N of its shards survived; the restart
+// recipe scans the surviving stores (ground truth, not the old
+// tracker's in-memory view), reports what each shard actually holds, and
+// Reshard recomputes the group-commit frontier for the new membership.
+//
+// The recipe is interruptible by design: a node can die mid-scan
+// (RetractShard drops everything it claimed) and a partner-copy recovery
+// can re-establish a retracted shard's claims from the replica. The
+// frontier only ever reflects versions every shard demonstrably holds —
+// it never includes a version a surviving shard lacks.
+
+// Reshard accumulates shard-durability reports during an elastic restart
+// and maps the old membership's N shards onto the new membership's M
+// ranks. All methods are safe for concurrent use.
+type Reshard struct {
+	mu        sync.Mutex
+	from, to  int
+	epoch     int
+	holds     map[int64]map[int]struct{} // version -> old shards holding it
+	retracted map[int]struct{}           // shards whose storage was lost mid-recipe
+}
+
+// NewReshard starts an elastic-restart recipe re-sharding a job from
+// `from` old ranks onto `to` new ranks, at the new membership epoch
+// (which must be past the old incarnation's).
+func NewReshard(from, to, epoch int) (*Reshard, error) {
+	if from < 1 || to < 1 {
+		return nil, errors.New("coord: reshard needs at least one rank on each side")
+	}
+	if epoch < 1 {
+		return nil, errors.New("coord: a reshard starts a new membership epoch (>= 1)")
+	}
+	return &Reshard{
+		from:      from,
+		to:        to,
+		epoch:     epoch,
+		holds:     map[int64]map[int]struct{}{},
+		retracted: map[int]struct{}{},
+	}, nil
+}
+
+// From returns the old membership's rank count; To the new one's.
+func (r *Reshard) From() int { return r.from }
+
+// To returns the new membership's rank count.
+func (r *Reshard) To() int { return r.to }
+
+// Epoch returns the new membership epoch the reshard establishes.
+func (r *Reshard) Epoch() int { return r.epoch }
+
+// MarkShardDurable records that old shard `shard` holds `version` in a
+// surviving durable store. Out-of-range shards and negative versions are
+// ignored (reports come from per-store scan loops). Re-marking a
+// retracted shard is allowed — that is exactly what a partner-copy
+// recovery does — and clears its retraction.
+func (r *Reshard) MarkShardDurable(shard int, version int64) {
+	if version < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= r.from {
+		return
+	}
+	delete(r.retracted, shard)
+	set := r.holds[version]
+	if set == nil {
+		set = map[int]struct{}{}
+		r.holds[version] = set
+	}
+	set[shard] = struct{}{}
+}
+
+// RetractShard drops every claim old shard `shard` has made — its
+// storage died mid-recipe (node loss during the restart window). The
+// frontier recomputes without it; versions only it completed fall out of
+// the committed set until a partner-copy recovery re-marks them.
+func (r *Reshard) RetractShard(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard < 0 || shard >= r.from {
+		return
+	}
+	r.retracted[shard] = struct{}{}
+	for v, set := range r.holds {
+		delete(set, shard)
+		if len(set) == 0 {
+			delete(r.holds, v)
+		}
+	}
+}
+
+// RetractedShards lists the shards currently retracted (lost and not yet
+// recovered), ascending.
+func (r *Reshard) RetractedShards() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.retracted))
+	for s := range r.retracted {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Committed lists the versions every old shard holds — the versions the
+// new membership can restore completely — in ascending order. A version
+// missing any shard (including a retracted one) is not restorable: each
+// shard is a distinct slice of the job's state, so there is no quorum
+// shortcut.
+func (r *Reshard) Committed() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int64
+	for v, set := range r.holds {
+		if len(set) == r.from {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Frontier returns the newest completely-held version — what the new
+// membership restores from. ok is false when no version is complete.
+func (r *Reshard) Frontier() (version int64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	found := false
+	var best int64
+	for v, set := range r.holds {
+		if len(set) != r.from {
+			continue
+		}
+		if !found || v > best {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Owner maps an old shard to the new rank that adopts it: round-robin
+// shard % to, so N→M re-sharding balances within one shard everywhere.
+// Out-of-range shards return -1.
+func (r *Reshard) Owner(shard int) int {
+	if shard < 0 || shard >= r.from {
+		return -1
+	}
+	return shard % r.to
+}
+
+// ShardsOf lists the old shards new rank `rank` adopts, ascending. Empty
+// when rank is out of range or (M > N) the rank drew no shard.
+func (r *Reshard) ShardsOf(rank int) []int {
+	if rank < 0 || rank >= r.to {
+		return nil
+	}
+	var out []int
+	for s := rank; s < r.from; s += r.to {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Tracker builds the new membership's group-commit tracker at the
+// reshard's epoch, seeded so the adopted state counts as already
+// durable: new rank m holds version v iff every shard it adopted holds v
+// (a rank that drew no shard — the M > N case — is seeded with the
+// completely-held versions, since it carries no slice whose absence
+// could block a restore). By construction the seeded tracker's
+// LatestConsistent equals Frontier.
+func (r *Reshard) Tracker() (*Tracker, error) {
+	t, err := NewAtEpoch(r.to, r.epoch)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	versions := make([]int64, 0, len(r.holds))
+	for v := range r.holds {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	type hold struct {
+		rank    int
+		version int64
+	}
+	var seeds []hold
+	for _, v := range versions {
+		set := r.holds[v]
+		complete := len(set) == r.from
+		for m := 0; m < r.to; m++ {
+			owned := r.shardsOfLocked(m)
+			if len(owned) == 0 {
+				if complete {
+					seeds = append(seeds, hold{m, v})
+				}
+				continue
+			}
+			all := true
+			for _, s := range owned {
+				if _, ok := set[s]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				seeds = append(seeds, hold{m, v})
+			}
+		}
+	}
+	r.mu.Unlock()
+	// Seed outside r.mu: MarkDurable may fire the tracker's commit
+	// observer, which can re-enter arbitrary code.
+	for _, s := range seeds {
+		t.MarkDurable(s.rank, s.version)
+	}
+	return t, nil
+}
+
+// shardsOfLocked is ShardsOf without locking (callers hold r.mu; the
+// shard map is immutable after construction anyway).
+func (r *Reshard) shardsOfLocked(rank int) []int {
+	var out []int
+	for s := rank; s < r.from; s += r.to {
+		out = append(out, s)
+	}
+	return out
+}

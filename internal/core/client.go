@@ -41,9 +41,15 @@ type Client struct {
 	killed  bool  // the rank died (fault injection); implies closed soon
 	err     error // first asynchronous failure
 
-	d2hQ, h2fQ idFIFO // flush queues
-	d2hBusy    int    // D2H workers with a job in flight
-	h2fBusy    int    // H2F workers with a job in flight
+	d2hQ, h2fQ idFIFO      // flush queues
+	d2hBusy    int         // D2H workers with a job in flight
+	h2fBusy    int         // H2F workers with a job in flight
+	inFlight   map[ID]bool // versions currently owned by a flush worker
+
+	writersBusy int  // Checkpoint calls past the admission gate
+	draining    bool // a preemption drain began; no new checkpoints (sticky)
+	drainActive bool // the drain triage is still running (WaitFlush waits)
+	drainFrozen bool // flush workers pop no new jobs (sticky once draining)
 
 	flushStreams int // workers per flusher stage pool
 
@@ -70,10 +76,11 @@ func New(p Params) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		p:     p,
-		clk:   p.Clock,
-		rec:   metrics.NewRecorder(),
-		ckpts: make(map[ID]*checkpoint),
+		p:        p,
+		clk:      p.Clock,
+		rec:      metrics.NewRecorder(),
+		ckpts:    make(map[ID]*checkpoint),
+		inFlight: make(map[ID]bool),
 	}
 	c.cond = c.clk.NewCond(&c.mu)
 	c.daemons = simclock.NewWaitGroup(c.clk)
@@ -379,10 +386,23 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
+	if c.draining {
+		// A preemption drain began: the rank is being reclaimed and
+		// accepts no new state (the notice is never revoked).
+		c.mu.Unlock()
+		return ErrDraining
+	}
 	if _, dup := c.ckpts[id]; dup {
 		c.mu.Unlock()
 		return ErrDuplicateCheckpoint
 	}
+	c.writersBusy++
+	defer func() {
+		c.mu.Lock()
+		c.writersBusy--
+		c.bumpLocked()
+		c.mu.Unlock()
+	}()
 	ck := &checkpoint{
 		id:        id,
 		size:      pay.Size(),
@@ -705,7 +725,7 @@ func (c *Client) prefetchDistanceLocked(current ID) int {
 func (c *Client) WaitFlush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.d2hQ.len() > 0 || c.h2fQ.len() > 0 || c.d2hBusy > 0 || c.h2fBusy > 0 {
+	for c.d2hQ.len() > 0 || c.h2fQ.len() > 0 || c.d2hBusy > 0 || c.h2fBusy > 0 || c.drainActive {
 		if c.killed {
 			return ErrKilled
 		}

@@ -23,7 +23,7 @@ func (c *Client) flusherD2H() {
 			return // closed
 		}
 		c.runD2H(id)
-		c.finishFlushJob(&c.d2hBusy)
+		c.finishFlushJob(id, &c.d2hBusy)
 	}
 }
 
@@ -36,7 +36,7 @@ func (c *Client) flusherH2F() {
 			return
 		}
 		c.runH2F(id)
-		c.finishFlushJob(&c.h2fBusy)
+		c.finishFlushJob(id, &c.h2fBusy)
 	}
 }
 
@@ -46,7 +46,9 @@ func (c *Client) flusherH2F() {
 func (c *Client) popFlushJob(q *idFIFO, busy *int) (ID, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for q.len() == 0 {
+	for q.len() == 0 || c.drainFrozen {
+		// A preemption drain freezes the queues: the triage owns the
+		// backlog, so workers park here (and exit at close/kill).
 		if c.closed || c.killed {
 			return 0, false
 		}
@@ -59,12 +61,14 @@ func (c *Client) popFlushJob(q *idFIFO, busy *int) (ID, bool) {
 	}
 	id, _ := q.pop()
 	*busy++
+	c.inFlight[id] = true
 	return id, true
 }
 
-func (c *Client) finishFlushJob(busy *int) {
+func (c *Client) finishFlushJob(id ID, busy *int) {
 	c.mu.Lock()
 	*busy--
+	delete(c.inFlight, id)
 	c.bumpLocked()
 	c.mu.Unlock()
 	// Flush completions change evictability estimates on both tiers.
@@ -112,8 +116,23 @@ func (c *Client) runD2H(id ID) {
 		return
 	}
 	// The host tier only becomes usable once pinned registration
-	// completes (§4.1.4).
+	// completes (§4.1.4). Publish the park: a preemption triage with a
+	// deadline shorter than the registration claims the job instead of
+	// waiting it out.
+	c.mu.Lock()
+	ck.hostWait = true
+	c.bumpLocked()
+	c.mu.Unlock()
 	c.waitHostReady()
+	c.mu.Lock()
+	ck.hostWait = false
+	claimed := ck.drainClaimed
+	c.mu.Unlock()
+	if claimed {
+		// The drain triage flushed or failed this version open while the
+		// worker slept; the decision is made.
+		return
+	}
 	c.mark(att, metrics.CompHostReady)
 
 	c.mu.Lock()
@@ -189,7 +208,9 @@ func (c *Client) runD2H(id ID) {
 
 func (c *Client) enqueueH2F(ck *checkpoint) {
 	c.mu.Lock()
-	enq := !ck.enqueuedH2F
+	// A frozen queue belongs to the drain triage; a late D2H landing must
+	// not park work the sweep has already passed over.
+	enq := !ck.enqueuedH2F && !c.drainFrozen
 	if enq {
 		ck.enqueuedH2F = true
 		c.h2fQ.push(ck.id)
@@ -293,17 +314,22 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool, att *attrib) error {
 		c.accountFate(ck, fateDurable)
 	}
 
-	if c.p.PartnerStore != nil && !ck.dataOn(TierPartner) {
-		// Partner-copy replication (SCR/VELOC): stage a replica on the
-		// partner node's SSD so a whole-node loss keeps the version
-		// restorable. Best effort — the local SSD already holds the data.
-		c.routeToPartner(ck)
-	}
-	if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
-		// Best effort: the SSD already holds the data, so a PFS failure
-		// here loses persistence breadth, not the checkpoint. The durable
-		// attribution is already finished; pass no attrib.
-		_ = c.routeToPFS(ck, false, nil)
+	if draining := c.Draining(); !draining {
+		// Best-effort breadth legs run only outside a drain: a preemption
+		// deadline buys one durable copy per version, not replication (the
+		// demotion half of the drain's cancel-or-demote contract).
+		if c.p.PartnerStore != nil && !ck.dataOn(TierPartner) {
+			// Partner-copy replication (SCR/VELOC): stage a replica on the
+			// partner node's SSD so a whole-node loss keeps the version
+			// restorable. Best effort — the local SSD already holds the data.
+			c.routeToPartner(ck)
+		}
+		if c.p.PersistToPFS && !ck.dataOn(TierPFS) {
+			// Best effort: the SSD already holds the data, so a PFS failure
+			// here loses persistence breadth, not the checkpoint. The durable
+			// attribution is already finished; pass no attrib.
+			_ = c.routeToPFS(ck, false, nil)
+		}
 	}
 	// The SSD tier is durable for this scenario (it holds a full
 	// node's checkpoints, §2): its replica is immediately FLUSHED.

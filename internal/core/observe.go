@@ -129,6 +129,23 @@ func (c *Client) RegisterProbes(s *metrics.Sampler, prefix string) {
 		defer c.mu.Unlock()
 		return float64(c.h2fQ.len() + c.h2fBusy)
 	})
+	// Tier health: how many tiers are currently out of rotation, and how
+	// many degradations a probe has healed — sampled so dashboards see
+	// the recovery itself, not only the terminal counters.
+	s.Register(name("tiers.degraded"), func() float64 {
+		return float64(len(c.DegradedTiers()))
+	})
+	s.Register(name("tiers.recoveries"), func() float64 {
+		return float64(c.rec.TierRecoveryCount())
+	})
+	s.Register(name("drain.active"), func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.drainActive {
+			return 1
+		}
+		return 0
+	})
 }
 
 // CheckInvariants verifies the recorder's structural invariants (byte

@@ -200,6 +200,9 @@ func (c *Client) healTier(t Tier) {
 		return
 	}
 	c.rec.TierRecovery(t.String())
+	// Mirror degradeTier's ledger entry so the heal is visible in Chrome
+	// traces and version ledgers, not just the TierRecoveries counter.
+	c.lifecycle(-1, trace.LHealed, t.String(), "probe succeeded")
 	c.notifyGPU()
 	c.hstC.Notify()
 }

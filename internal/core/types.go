@@ -293,6 +293,14 @@ type checkpoint struct {
 	// exactly once, in accountFate, when the fate is durable.
 	att *attrib
 
+	// hostWait: a T_D2H worker owns this version but is parked waiting
+	// for pinned host registration to complete. A preemption triage may
+	// claim the job out from under the parked worker (drainClaimed) and
+	// decide the version itself — the worker checks the flag on wake and
+	// walks away. Both guarded by Client.mu.
+	hostWait     bool
+	drainClaimed bool
+
 	// flushAborted: every durable route failed; the cache replica was
 	// released from pinning (fail-open) and the checkpoint may be lost
 	// if it is evicted before being restored. Restore then reports
@@ -304,6 +312,22 @@ type checkpoint struct {
 	// one conservation fate (durable, discarded, or lost) in the metrics
 	// recorder. Guarded by Client.mu.
 	fateAccounted bool
+}
+
+// writeInProgress reports whether the writer is still landing the
+// initial GPU copy: the replica record exists but holds no data yet —
+// Init while blocked on cache admission, WriteInProgress during the D2D
+// copy.
+func (ck *checkpoint) writeInProgress() bool {
+	r := ck.replicas[TierGPU]
+	if r == nil {
+		return false
+	}
+	switch r.fsm.State() {
+	case lifecycle.Init, lifecycle.WriteInProgress:
+		return true
+	}
+	return false
 }
 
 // dataOn reports whether the checkpoint has a readable replica on tier.

@@ -1,0 +1,230 @@
+// Live-migration scenario: move a running rank's durable SSD tier to a
+// successor node over the NIC fabric, concurrently with foreground
+// traffic, and prove the cutover. Phase one runs the migration twice —
+// once live (racing the writer's second half and a stream of foreground
+// restores, exercising the catch-up rounds) and once as the incremental
+// final sync after the writer quiesces (the same call: a catch-up round
+// copies only what the live pass missed). Phase two opens the successor
+// store on the destination node and restores every version bit-exactly
+// against the regenerated reference — the migrated rank either comes
+// back byte-identical or the scenario reports a definitive error.
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"score"
+)
+
+// MigrateConfig parameterizes one live-migration scenario.
+type MigrateConfig struct {
+	// Checkpoints is the number of versions the rank writes before the
+	// migration starts (default 6); Extra the versions it keeps writing
+	// while the live migration runs (default 2).
+	Checkpoints, Extra int
+	// Size is the per-version payload size in bytes (default 1 MiB).
+	Size int64
+	// Interval is the compute time between checkpoints (default 10 ms).
+	Interval time.Duration
+	// InjectFault fails an early per-version migration copy through the
+	// migrate fault site, exercising the retry path.
+	InjectFault bool
+	// StoreRoot backs the source and successor stores:
+	// <root>/node0/local/rank0 and <root>/node1/migrated/rank0.
+	StoreRoot string
+	// Seed drives the deterministic payload generator.
+	Seed int64
+}
+
+func (c MigrateConfig) withDefaults() MigrateConfig {
+	if c.Checkpoints == 0 {
+		c.Checkpoints = 6
+	}
+	if c.Extra == 0 {
+		c.Extra = 2
+	}
+	if c.Size == 0 {
+		c.Size = 1 << 20
+	}
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	return c
+}
+
+// MigrateResult reports one scenario run.
+type MigrateResult struct {
+	// Versions is the total the rank wrote (Checkpoints + Extra).
+	Versions int
+	// Live is the report of the migration racing foreground traffic;
+	// Final the incremental sync after the writer quiesced. Final must be
+	// validated; Live may or may not be, depending on how the race fell.
+	Live, Final score.MigrationReport
+	// MigratedBytes totals what the two passes copied; InjectedFaults
+	// counts copies the fault site failed (0 without InjectFault).
+	MigratedBytes  int64
+	InjectedFaults int64
+	// RestoredVersions counts versions the successor restored bit-exactly
+	// in phase two; Recoverable reports all of them making it.
+	RestoredVersions int
+	Recoverable      bool
+}
+
+func (c MigrateConfig) srcDir() string {
+	return filepath.Join(c.StoreRoot, "node0", "local", "rank0")
+}
+
+func (c MigrateConfig) dstDir() string {
+	return filepath.Join(c.StoreRoot, "node1", "migrated", "rank0")
+}
+
+// Migration runs the scenario. Deterministic: the same config (and
+// StoreRoot contents) produces the identical result.
+func Migration(cfg MigrateConfig) (MigrateResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StoreRoot == "" {
+		return MigrateResult{}, errors.New("experiments: MigrateConfig.StoreRoot required")
+	}
+	total := cfg.Checkpoints + cfg.Extra
+	res := MigrateResult{Versions: total}
+
+	// Phase one: write the base set, then race the live migration against
+	// the writer's tail and a foreground restore stream.
+	sim, err := score.NewSim(score.WithNodes(2), score.WithGPUsPerNode(1))
+	if err != nil {
+		return res, err
+	}
+	var rules []score.FaultRule
+	if cfg.InjectFault {
+		rules = append(rules, score.FailNth(score.FaultMigrate, 2))
+	}
+	inj := sim.NewFaultInjector(cfg.Seed, rules...)
+
+	var runErr error
+	sim.Run(func() {
+		cl, err := sim.NewClient(0, 0,
+			score.WithGPUCache(16*cfg.Size),
+			score.WithHostCache(16*cfg.Size),
+			score.WithAsyncHostInit(),
+			score.WithStore(cfg.srcDir()),
+			score.WithFaultInjector(inj))
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer cl.Close()
+		write := func(v int64) error {
+			if err := cl.Checkpoint(v, rankPayload(cfg.Seed, 0, v, cfg.Size)); err != nil {
+				return fmt.Errorf("experiments: checkpoint %d: %w", v, err)
+			}
+			cl.Compute(cfg.Interval)
+			return nil
+		}
+		for v := int64(0); v < int64(cfg.Checkpoints); v++ {
+			if runErr = write(v); runErr != nil {
+				return
+			}
+		}
+		// Live pass: the migration, the writer's tail, and a restore
+		// stream all contend on the same fabric.
+		wg := sim.NewWaitGroup()
+		var liveErr error
+		wg.Add(1)
+		sim.Clock().Go(func() {
+			defer wg.Done()
+			res.Live, liveErr = sim.MigrateRank(cl, 1, cfg.dstDir())
+		})
+		wg.Add(1)
+		sim.Clock().Go(func() {
+			defer wg.Done()
+			for v := int64(0); v < int64(cfg.Checkpoints); v++ {
+				if _, err := cl.Restart(v); err != nil {
+					runErr = fmt.Errorf("experiments: foreground restart %d: %w", v, err)
+					return
+				}
+				cl.Compute(cfg.Interval / 2)
+			}
+		})
+		for v := int64(cfg.Checkpoints); v < int64(total); v++ {
+			if runErr = write(v); runErr != nil {
+				return
+			}
+		}
+		if err := cl.WaitFlush(); err != nil {
+			runErr = err
+			return
+		}
+		wg.Wait()
+		if liveErr != nil {
+			// A live pass losing its convergence race to the writer is a
+			// definitive, reported outcome — not silent divergence. The
+			// final sync below must then finish the job.
+			if !errors.Is(liveErr, score.ErrMigrationIncomplete) {
+				runErr = liveErr
+				return
+			}
+		}
+		// Final sync on the quiesced store: incremental (only versions the
+		// live pass missed move) and must validate.
+		res.Final, err = sim.MigrateRank(cl, 1, cfg.dstDir())
+		if err != nil {
+			runErr = err
+			return
+		}
+		res.MigratedBytes = res.Live.Bytes + res.Final.Bytes
+		st := cl.Stats()
+		res.InjectedFaults = inj.InjectedAt(score.FaultMigrate)
+		if st.Migrations != 2 {
+			runErr = fmt.Errorf("experiments: expected 2 migration passes in stats, got %d", st.Migrations)
+		}
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+	if !res.Final.Validated {
+		return res, fmt.Errorf("%w: final sync not validated", score.ErrMigrationIncomplete)
+	}
+
+	// Phase two: the successor node opens the migrated store and restores
+	// every version against the regenerated reference.
+	sim2, err := score.NewSim(score.WithNodes(2), score.WithGPUsPerNode(1))
+	if err != nil {
+		return res, err
+	}
+	sim2.Run(func() {
+		cl, err := sim2.NewClient(1, 0,
+			score.WithGPUCache(16*cfg.Size),
+			score.WithHostCache(16*cfg.Size),
+			score.WithStore(cfg.dstDir()))
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer cl.Close()
+		if got := len(cl.RecoveredVersions()); got != total {
+			runErr = fmt.Errorf("experiments: successor recovered %d versions, want %d", got, total)
+			return
+		}
+		for v := int64(0); v < int64(total); v++ {
+			got, err := cl.Restart(v)
+			if err != nil {
+				runErr = fmt.Errorf("experiments: successor restart %d: %w", v, err)
+				return
+			}
+			if !bytes.Equal(got, rankPayload(cfg.Seed, 0, v, cfg.Size)) {
+				runErr = fmt.Errorf("experiments: successor restored v%d with wrong bytes", v)
+				return
+			}
+			res.RestoredVersions++
+		}
+		res.Recoverable = res.RestoredVersions == total
+	})
+	return res, runErr
+}

@@ -60,6 +60,9 @@ const (
 	SitePartnerStoreWrite
 	// SitePartnerStoreRead is a durable read from the partner-copy store.
 	SitePartnerStoreRead
+	// SiteMigrate is the per-version copy of a live tier migration (the
+	// inter-node leg moving a rank's durable tier to its successor).
+	SiteMigrate
 
 	numSites
 )
@@ -89,6 +92,8 @@ func (s Site) String() string {
 		return "partnerstore-write"
 	case SitePartnerStoreRead:
 		return "partnerstore-read"
+	case SiteMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("Site(%d)", int(s))
 }
@@ -235,6 +240,34 @@ func KillNode(node int, at time.Duration) KillSpec {
 	return KillSpec{Node: node, GPU: -1, At: at}
 }
 
+// PreemptSpec schedules a preemption notice for one rank — or a whole
+// node — at a virtual time: the scheduler announces the reclaim and
+// grants a grace window. The runtime layer arms two timers off it — a
+// deadline-bounded drain at At, and the actual kill at At+Grace — so a
+// drain that misses its deadline is followed by the reclaim anyway,
+// exactly the contract the drain's fail-open design exists for.
+type PreemptSpec struct {
+	// Node is the node index the notice targets.
+	Node int
+	// GPU selects one rank on the node; -1 preempts every rank on it.
+	GPU int
+	// At is the virtual time the notice arrives.
+	At time.Duration
+	// Grace is the window between the notice and the reclaim.
+	Grace time.Duration
+}
+
+// PreemptRank schedules a preemption notice for rank (node, gpu) at
+// virtual time at with the given grace window.
+func PreemptRank(node, gpu int, at, grace time.Duration) PreemptSpec {
+	return PreemptSpec{Node: node, GPU: gpu, At: at, Grace: grace}
+}
+
+// PreemptNode schedules a preemption notice for every rank on node.
+func PreemptNode(node int, at, grace time.Duration) PreemptSpec {
+	return PreemptSpec{Node: node, GPU: -1, At: at, Grace: grace}
+}
+
 // Decision is the injector's verdict for one operation. The zero value
 // means "proceed untouched".
 type Decision struct {
@@ -262,12 +295,13 @@ type Injector struct {
 	clk  simclock.Clock
 	seed int64
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	rules []*rule
-	kills []KillSpec
-	ops   [numSites]int64 // operations observed per site
-	hits  [numSites]int64 // faults injected per site
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*rule
+	kills    []KillSpec
+	preempts []PreemptSpec
+	ops      [numSites]int64 // operations observed per site
+	hits     [numSites]int64 // faults injected per site
 }
 
 // New creates an injector on clk whose probabilistic draws derive from
@@ -327,6 +361,40 @@ func (in *Injector) KillAt(node, gpu int) (at time.Duration, ok bool) {
 		}
 	}
 	return at, ok
+}
+
+// AddPreempts installs preemption-notice schedules. The runtime layer
+// reads them with PreemptAt when a client attaches the injector and arms
+// the drain and reclaim timers on the virtual clock.
+func (in *Injector) AddPreempts(preempts ...PreemptSpec) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.preempts = append(in.preempts, preempts...)
+}
+
+// Preempts returns a copy of the installed preemption schedules.
+func (in *Injector) Preempts() []PreemptSpec {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]PreemptSpec, len(in.preempts))
+	copy(out, in.preempts)
+	return out
+}
+
+// PreemptAt reports the earliest scheduled preemption notice for rank
+// (node, gpu), considering both rank and whole-node notices.
+func (in *Injector) PreemptAt(node, gpu int) (at, grace time.Duration, ok bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, p := range in.preempts {
+		if p.Node != node || (p.GPU != gpu && p.GPU != -1) {
+			continue
+		}
+		if !ok || p.At < at {
+			at, grace, ok = p.At, p.Grace, true
+		}
+	}
+	return at, grace, ok
 }
 
 // NodeKilled reports whether a whole-node kill is scheduled for node.

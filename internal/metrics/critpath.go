@@ -34,6 +34,7 @@ const (
 	CompXferPFS      = "xfer-pfs"      // transfer to/from the parallel file system
 	CompXferPartner  = "xfer-partner"  // transfer from the partner node's SSD
 	CompRetryBackoff = "retry-backoff" // sleeping between retried I/O attempts
+	CompDrainWait    = "drain-wait"    // parked in the frozen flush queue until the drain triage ran it
 	CompStorePut     = "store-put"     // committing bytes into a checkpoint store
 	CompGPUWait      = "gpu-wait"      // restore waiting on an in-GPU write/promotion to land
 	CompPromoteWait  = "promote-wait"  // restore waiting on an in-flight promotion

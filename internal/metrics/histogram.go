@@ -14,6 +14,9 @@ const (
 	HistPrefetch     = "prefetch"
 	HistEvictionWait = "eviction_wait"
 	HistRetryBackoff = "retry_backoff"
+	HistDrainFlush   = "drain_flush"  // per-version triage flush latency during a drain
+	HistDrainSlack   = "drain_slack"  // grace window left when a drain finished (deadline-hit margin)
+	HistMigrateCopy  = "migrate_copy" // per-version copy latency during a live migration
 )
 
 // defaultBounds are the fixed histogram boundaries shared by every latency

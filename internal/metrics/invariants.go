@@ -65,6 +65,33 @@ func CheckInvariants(s Summary) error {
 		fail("partner: negative replicated bytes (%d)", s.PartnerCopyBytes)
 	}
 
+	// Drain accounting folds into the fate ledger: every version a drain
+	// flushed was credited durable, every abandoned one was credited lost
+	// through the flush-abort path, and each drain decides its deadline
+	// outcome at most once.
+	if s.DrainedBytes > s.DurableBytes {
+		fail("drain: %d drained bytes exceed %d durable bytes", s.DrainedBytes, s.DurableBytes)
+	}
+	if s.DrainAbandonedBytes > s.LostBytes {
+		fail("drain: %d abandoned bytes exceed %d lost bytes", s.DrainAbandonedBytes, s.LostBytes)
+	}
+	if s.DrainAbandonedVersions > s.FlushAborts {
+		fail("drain: %d abandoned versions but only %d flush aborts", s.DrainAbandonedVersions, s.FlushAborts)
+	}
+	if s.DrainDeadlineHits > s.Drains {
+		fail("drain: %d deadline hits for %d drains", s.DrainDeadlineHits, s.Drains)
+	}
+	if s.Drains == 0 && (s.DrainedVersions != 0 || s.DrainAbandonedVersions != 0) {
+		fail("drain: triage outcomes recorded (%d drained, %d abandoned) with no drain started",
+			s.DrainedVersions, s.DrainAbandonedVersions)
+	}
+	if s.MigratedBytes < 0 {
+		fail("migrate: negative migrated bytes (%d)", s.MigratedBytes)
+	}
+	if s.Migrations == 0 && s.MigratedVersions != 0 {
+		fail("migrate: %d versions copied with no migration started", s.MigratedVersions)
+	}
+
 	// Pipelined per-hop byte conservation.
 	if s.PipelinedHopBytes != s.PipelinedHopBytesWant {
 		fail("pipeline: per-hop bytes %d != expected payload×hops %d (diff %d)",

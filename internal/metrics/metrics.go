@@ -45,6 +45,18 @@ type Recorder struct {
 	partnerCopyFailures int64 // replication attempts that failed
 	rankDeaths          int64 // injected kills of this rank (0 or 1)
 
+	// Scheduling events: deadline-bounded drain and live migration.
+	drains                 int64 // preemption drains initiated (0 or 1 per client)
+	drainDeadlineHits      int64 // drains whose last triage flush landed inside the grace window
+	drainedVersions        int64 // versions a drain made durable
+	drainedBytes           int64
+	drainAbandonedVersions int64 // versions a drain failed open to ErrLost
+	drainAbandonedBytes    int64
+	migrations             int64 // live migrations attempted
+	migratedVersions       int64 // store versions copied to the successor node
+	migratedBytes          int64
+	migrationFailures      int64 // per-version migration copies that failed
+
 	// Chunked transfer pipelining (§4.3): per-stream overlap accounting.
 	pipelinedStreams int64
 	pipelinedBytes   int64
@@ -249,6 +261,18 @@ func (r *Recorder) TierRecovery(tier string) {
 	r.tierRecoveries[tier]++
 }
 
+// TierRecoveryCount returns the total healed degradations across tiers —
+// a cheap accessor for sampler probes (Snapshot copies every series).
+func (r *Recorder) TierRecoveryCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t int64
+	for _, n := range r.tierRecoveries {
+		t += n
+	}
+	return t
+}
+
 // PartnerCopy records one replica staged on the partner node's SSD.
 func (r *Recorder) PartnerCopy(bytes int64) {
 	r.mu.Lock()
@@ -269,6 +293,63 @@ func (r *Recorder) RankDeath() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rankDeaths++
+}
+
+// DrainStart records a preemption notice initiating a deadline-bounded
+// drain.
+func (r *Recorder) DrainStart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drains++
+}
+
+// DrainDeadline records whether the drain's triage finished inside its
+// grace window. Called exactly once per drain.
+func (r *Recorder) DrainDeadline(met bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if met {
+		r.drainDeadlineHits++
+	}
+}
+
+// DrainFlushed records one version the drain triage made durable.
+func (r *Recorder) DrainFlushed(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drainedVersions++
+	r.drainedBytes += bytes
+}
+
+// DrainAbandoned records one version the drain failed open to ErrLost
+// because it could not land inside the deadline budget.
+func (r *Recorder) DrainAbandoned(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drainAbandonedVersions++
+	r.drainAbandonedBytes += bytes
+}
+
+// MigrationStart records a live migration attempt to a successor node.
+func (r *Recorder) MigrationStart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.migrations++
+}
+
+// MigrationCopy records one store version copied to the successor.
+func (r *Recorder) MigrationCopy(bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.migratedVersions++
+	r.migratedBytes += bytes
+}
+
+// MigrationFailure records a per-version migration copy that failed.
+func (r *Recorder) MigrationFailure() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.migrationFailures++
 }
 
 // FallbackRead records a read served from a deeper tier after a faster
@@ -350,6 +431,18 @@ type Summary struct {
 	PartnerCopyBytes    int64
 	PartnerCopyFailures int64
 	RankDeaths          int64
+
+	// Scheduling events: deadline-bounded drain and live migration.
+	Drains                 int64
+	DrainDeadlineHits      int64
+	DrainedVersions        int64
+	DrainedBytes           int64
+	DrainAbandonedVersions int64
+	DrainAbandonedBytes    int64
+	Migrations             int64
+	MigratedVersions       int64
+	MigratedBytes          int64
+	MigrationFailures      int64
 
 	// Chunked transfer pipelining (§4.3).
 	PipelinedStreams int64
@@ -465,10 +558,22 @@ func (r *Recorder) Snapshot() Summary {
 		PartnerCopyBytes:    r.partnerCopyBytes,
 		PartnerCopyFailures: r.partnerCopyFailures,
 		RankDeaths:          r.rankDeaths,
-		PipelinedStreams:    r.pipelinedStreams,
-		PipelinedBytes:      r.pipelinedBytes,
-		PipelinedElapsed:    r.pipelinedElapsed,
-		PipelinedHopBusy:    r.pipelinedHopBusy,
+
+		Drains:                 r.drains,
+		DrainDeadlineHits:      r.drainDeadlineHits,
+		DrainedVersions:        r.drainedVersions,
+		DrainedBytes:           r.drainedBytes,
+		DrainAbandonedVersions: r.drainAbandonedVersions,
+		DrainAbandonedBytes:    r.drainAbandonedBytes,
+		Migrations:             r.migrations,
+		MigratedVersions:       r.migratedVersions,
+		MigratedBytes:          r.migratedBytes,
+		MigrationFailures:      r.migrationFailures,
+
+		PipelinedStreams: r.pipelinedStreams,
+		PipelinedBytes:   r.pipelinedBytes,
+		PipelinedElapsed: r.pipelinedElapsed,
+		PipelinedHopBusy: r.pipelinedHopBusy,
 
 		PipelinedHopBytes:     r.pipelinedHopBytes,
 		PipelinedHopBytesWant: r.pipelinedHopBytesWant,
@@ -554,6 +659,16 @@ func Merge(parts ...Summary) Summary {
 		out.PartnerCopyBytes += p.PartnerCopyBytes
 		out.PartnerCopyFailures += p.PartnerCopyFailures
 		out.RankDeaths += p.RankDeaths
+		out.Drains += p.Drains
+		out.DrainDeadlineHits += p.DrainDeadlineHits
+		out.DrainedVersions += p.DrainedVersions
+		out.DrainedBytes += p.DrainedBytes
+		out.DrainAbandonedVersions += p.DrainAbandonedVersions
+		out.DrainAbandonedBytes += p.DrainAbandonedBytes
+		out.Migrations += p.Migrations
+		out.MigratedVersions += p.MigratedVersions
+		out.MigratedBytes += p.MigratedBytes
+		out.MigrationFailures += p.MigrationFailures
 		out.PipelinedStreams += p.PipelinedStreams
 		out.PipelinedBytes += p.PipelinedBytes
 		out.PipelinedElapsed += p.PipelinedElapsed

@@ -12,25 +12,32 @@ import (
 type LifecycleKind int
 
 const (
-	LCreated       LifecycleKind = iota // accepted into the GPU cache
-	LCached                             // write complete in the GPU cache
-	LFlushEnqueued                      // queued for the async flush chain
-	LD2HStart                           // GPU→host copy began
-	LD2HEnd                             // GPU→host copy landed
-	LHopStart                           // host→deep-tier hop began (Tier names the destination)
-	LHopEnd                             // host→deep-tier hop landed
-	LPartnerCopy                        // replica mirrored to the partner node's SSD
-	LDurable                            // fate decided: durable on a non-volatile tier
-	LGroupCommit                        // every rank holds the version durable
-	LDegraded                           // a tier was taken out of rotation for this attempt
-	LRetried                            // an I/O attempt failed and was retried
-	LEvicted                            // a cached replica was evicted to make room
-	LStaged                             // staged SSD→host for a future promote
-	LPrefetched                         // promoted into the GPU cache ahead of use
-	LRestored                           // served back to the application
-	LDiscarded                          // fate decided: superseded, never needed durably
-	LLost                               // fate decided: lost to faults or death
-	LKilled                             // the owning rank died
+	LCreated        LifecycleKind = iota // accepted into the GPU cache
+	LCached                              // write complete in the GPU cache
+	LFlushEnqueued                       // queued for the async flush chain
+	LD2HStart                            // GPU→host copy began
+	LD2HEnd                              // GPU→host copy landed
+	LHopStart                            // host→deep-tier hop began (Tier names the destination)
+	LHopEnd                              // host→deep-tier hop landed
+	LPartnerCopy                         // replica mirrored to the partner node's SSD
+	LDurable                             // fate decided: durable on a non-volatile tier
+	LGroupCommit                         // every rank holds the version durable
+	LDegraded                            // a tier was taken out of rotation for this attempt
+	LRetried                             // an I/O attempt failed and was retried
+	LEvicted                             // a cached replica was evicted to make room
+	LStaged                              // staged SSD→host for a future promote
+	LPrefetched                          // promoted into the GPU cache ahead of use
+	LRestored                            // served back to the application
+	LDiscarded                           // fate decided: superseded, never needed durably
+	LLost                                // fate decided: lost to faults or death
+	LKilled                              // the owning rank died
+	LHealed                              // a degraded tier passed its probe and rejoined rotation
+	LDrainStart                          // preemption notice: deadline-bounded drain began
+	LDrainEnd                            // drain finished (Detail carries the manifest tally)
+	LDrainAbandoned                      // drain gave up on this version (fail-open to ErrLost)
+	LMigrateStart                        // live migration to a successor node began
+	LMigrateEnd                          // migration cutover validated (or failed definitively)
+	LMigrated                            // this version's durable replica landed on the successor
 )
 
 // String names the kind as rendered in ledger dumps.
@@ -74,6 +81,20 @@ func (k LifecycleKind) String() string {
 		return "lost"
 	case LKilled:
 		return "killed"
+	case LHealed:
+		return "healed"
+	case LDrainStart:
+		return "drain-start"
+	case LDrainEnd:
+		return "drain-end"
+	case LDrainAbandoned:
+		return "drain-abandoned"
+	case LMigrateStart:
+		return "migrate-start"
+	case LMigrateEnd:
+		return "migrate-end"
+	case LMigrated:
+		return "migrated"
 	}
 	return fmt.Sprintf("LifecycleKind(%d)", int(k))
 }

@@ -435,7 +435,33 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 	if s.sampler != nil {
 		client.RegisterProbes(s.sampler, fmt.Sprintf("node%d.gpu%d", node, gpu))
 	}
-	out := &Client{inner: client, dev: dev, clk: s.clock(), quarantined: quarantined}
+	out := &Client{inner: client, dev: dev, clk: s.clock(), quarantined: quarantined,
+		node: node, inj: cc.injector}
+	if inj := cc.injector; inj != nil {
+		if at, grace, ok := inj.PreemptAt(node, gpu); ok {
+			// The preemption timer models the scheduler's reclaim protocol:
+			// the notice arrives at the scheduled virtual time and starts
+			// the deadline-bounded drain; the reclaim itself fires at
+			// notice+grace regardless of how the drain fared — that is the
+			// contract the drain's fail-open design exists for. Killing an
+			// already closed client is a no-op.
+			s.clock().Go(func() {
+				if d := at - s.clock().Now(); d > 0 {
+					s.clock().Sleep(d)
+				}
+				// Keep the manifest even when the reclaim overran the
+				// drain (it still reports every version's outcome); only a
+				// gate rejection returns an empty one.
+				if m, err := client.Drain(grace); err == nil || len(m.Entries) > 0 {
+					out.setDrainManifest(m)
+				}
+				if d := at + grace - s.clock().Now(); d > 0 {
+					s.clock().Sleep(d)
+				}
+				client.Kill()
+			})
+		}
+	}
 	if cc.autoHints {
 		p, err := predict.New(
 			predict.HinterFunc(func(v int64) { client.PrefetchEnqueue(core.ID(v)) }),
