@@ -54,10 +54,16 @@ bench:
 # bench-smoke runs the chunked-vs-monolithic transfer-pipelining ablation
 # once, fails if chunked regresses below the monolithic baseline
 # (DESIGN.md §9), and emits the measurements as BENCH_pipeline.json.
+# It also gates the simulator engine itself (DESIGN.md §14): the 10k-rank
+# sweep must stay within 20% of the committed events/sec baseline
+# (testdata/simspeed_baseline.json) with no allocs/op increase, emitting
+# BENCH_simspeed.json.
 bench-smoke:
 	$(GO) test -run TestChunkedPipelineSmoke -v . -args -bench.out=BENCH_pipeline.json
 	$(GO) test -run TestPreemptDrainSmoke -v . -args -preempt.out=BENCH_preempt.json
+	$(GO) test -run TestSimSpeedSmoke -v . -args -simspeed.out=BENCH_simspeed.json
 	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
+	$(GO) test -bench BenchmarkSimSpeed -benchmem -benchtime 1x -run '^$$' .
 
 # trace-smoke exercises the observability layer end to end: the trace
 # determinism and flow-arrow golden tests, then the pipeline experiment
@@ -86,4 +92,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_pipeline.json BENCH_preempt.json critpath.json trace-pipeline-*.json
+	rm -f BENCH_pipeline.json BENCH_preempt.json BENCH_simspeed.json critpath.json trace-pipeline-*.json

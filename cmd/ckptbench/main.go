@@ -17,6 +17,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +47,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write each shot's timeline in Chrome trace-event format; the shot label is appended to the name (trace.json -> trace-<label>.json), open in chrome://tracing or ui.perfetto.dev")
 	critpathOut := flag.String("critpath-out", "", "write every shot's critical-path attribution records (score-critpath/v1 JSON) to this file")
 	failUnattributed := flag.Bool("fail-on-unattributed", false, "exit non-zero if any attribution record carries an unattributed latency gap (instrumentation missed a blocking point)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment run(s) to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after a final GC) to this file when the run(s) finish")
+	benchTime := flag.Duration("benchtime", 0, "repeat the selected experiment(s) until this much wall time has elapsed — stabilizes -cpuprofile samples on fast configs (0 = run once)")
+	parallelSim := flag.Bool("parallel-sim", false, "wake same-instant rank cohorts in parallel on the real scheduler for wall-clock speed; results may differ slightly from the (byte-deterministic) serial default")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: ckptbench -exp <name> [flags]
 
@@ -104,10 +110,15 @@ Flags:
 	}
 	// Output paths are validated before any experiment runs: discovering
 	// an unwritable directory after a long sweep would discard its data.
+	if *benchTime < 0 {
+		usageErr("-benchtime must be non-negative (got %v)", *benchTime)
+	}
 	for _, out := range []struct{ flag, path string }{
 		{"-metrics-out", *metricsOut},
 		{"-trace-out", *traceOut},
 		{"-critpath-out", *critpathOut},
+		{"-cpuprofile", *cpuProfile},
+		{"-memprofile", *memProfile},
 	} {
 		if out.path == "" {
 			continue
@@ -150,6 +161,7 @@ Flags:
 	}
 	experiments.SetDefaultSampleInterval(*sample)
 	experiments.SetDefaultChunkSize(*chunk)
+	experiments.SetDefaultParallelSim(*parallelSim)
 	if *traceOut != "" {
 		experiments.SetDefaultTraceSink(func(label string, tr *trace.Tracer) {
 			path := tracePath(*traceOut, label)
@@ -171,11 +183,47 @@ Flags:
 	if *exp == "all" {
 		names = experimentNames
 	}
-	for _, name := range names {
-		if err := run(name, scale); err != nil {
-			fmt.Fprintf(os.Stderr, "ckptbench: %s: %v\n", name, err)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: %v\n", err)
 			os.Exit(1)
 		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile %s\n", *cpuProfile)
+		}()
+	}
+	start := time.Now()
+	for {
+		for _, name := range names {
+			if err := run(name, scale); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		if *benchTime <= 0 || time.Since(start) >= *benchTime {
+			break
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote allocation profile %s\n", *memProfile)
 	}
 
 	if *metricsOut != "" {

@@ -418,8 +418,10 @@ func (c *Client) Checkpoint(id ID, pay payload.Payload) error {
 	c.rec.CheckpointAccepted(ck.size)
 	c.lifecycle(id, trace.LCreated, "", "")
 
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
-		fmt.Sprintf("checkpoint %d", id), c.flowID(id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "checkpoint",
+			fmt.Sprintf("checkpoint %d", id), c.flowID(id))()
+	}
 
 	// Reserve GPU cache space; Algorithm 1 picks and evicts the best
 	// window, blocking until it is evictable ("any delays due to
@@ -606,8 +608,10 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 	c.mu.Unlock()
 
 	att := newAttrib(metrics.CritRestore, int64(id), start)
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "restore",
-		fmt.Sprintf("restore %d", id), c.flowID(id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackApp, "restore",
+			fmt.Sprintf("restore %d", id), c.flowID(id))()
+	}
 
 	for {
 		served, err := c.tryServeFromGPU(ck, att)

@@ -103,8 +103,10 @@ func (c *Client) runD2H(id ID) {
 	defer func() {
 		c.rec.ObserveDuration(metrics.HistFlushPrefix+TierGPU.String(), c.clk.Now()-start)
 	}()
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackD2H, "flush",
-		fmt.Sprintf("flush %d gpu→host", id), c.flowID(id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackD2H, "flush",
+			fmt.Sprintf("flush %d gpu→host", id), c.flowID(id))()
+	}
 	if c.p.GPUDirectStorage || c.tierDegraded(TierHost) {
 		// GPUDirect mode — or a dead host tier: flush GPU → SSD directly
 		// (PCIe + NVMe), bypassing the host cache.
@@ -233,8 +235,10 @@ func (c *Client) runH2F(id ID) {
 		c.accountFate(ck, fateDiscarded)
 		return
 	}
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "flush",
-		fmt.Sprintf("flush %d host→ssd", id), c.flowID(id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "flush",
+			fmt.Sprintf("flush %d host→ssd", id), c.flowID(id))()
+	}
 	c.mu.Lock()
 	hostRep := ck.replicas[TierHost]
 	alreadyOnSSD := ck.dataOn(TierSSD)
@@ -442,8 +446,10 @@ func (c *Client) routeToPartner(ck *checkpoint) {
 	if hasData {
 		return
 	}
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "partner-copy",
-		fmt.Sprintf("replicate %d → partner ssd", ck.id), c.flowID(ck.id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackH2F, "partner-copy",
+			fmt.Sprintf("replicate %d → partner ssd", ck.id), c.flowID(ck.id))()
+	}
 	rep.fsm.MustTo(lifecycle.WriteInProgress)
 	err := func() error {
 		if err := c.retryIOAttr(ck, nil, "", "partner", "partner copy", func() error {

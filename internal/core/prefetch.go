@@ -210,8 +210,10 @@ func (c *Client) promoteToGPU(ck *checkpoint, block bool, att *attrib) (promoted
 			c.lifecycle(ck.id, trace.LPrefetched, "gpu", "")
 		}
 	}()
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackPF, "prefetch",
-		fmt.Sprintf("promote %d →gpu", ck.id), c.flowID(ck.id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackPF, "prefetch",
+			fmt.Sprintf("promote %d →gpu", ck.id), c.flowID(ck.id))()
+	}
 	// Stage 1: ensure the data is on the host tier.
 	c.mu.Lock()
 	onHost := ck.dataOn(TierHost)

@@ -157,8 +157,10 @@ func (c *Client) maxHostResidentDistanceLocked() int {
 // stageToHost copies ck from the SSD into the host cache (non-blocking
 // reservation). staged=false means no immediately evictable host window.
 func (c *Client) stageToHost(ck *checkpoint) (staged bool, err error) {
-	defer c.p.Tracer.SpanFlow(c.p.GPU.ID(), trace.TrackStage, "prefetch",
-		fmt.Sprintf("stage %d ssd→host", ck.id), c.flowID(ck.id))()
+	if tr := c.p.Tracer; tr != nil {
+		defer tr.SpanFlow(c.p.GPU.ID(), trace.TrackStage, "prefetch",
+			fmt.Sprintf("stage %d ssd→host", ck.id), c.flowID(ck.id))()
+	}
 	c.waitHostReady()
 	c.mu.Lock()
 	if ck.dataOn(TierHost) || ck.replicas[TierHost] != nil {

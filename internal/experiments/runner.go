@@ -202,6 +202,20 @@ type ShotConfig struct {
 	// Tracer, when set, receives span events from Score ranks and — with
 	// sampling enabled — every sample as a Chrome-trace counter event.
 	Tracer *trace.Tracer
+
+	// ParallelSim runs independent ranks' same-instant wakeups (compute
+	// phases ending on the same virtual instant) concurrently on the real
+	// scheduler instead of one at a time. Off by default: the serial
+	// one-at-a-time ordering is the byte-determinism contract the goldens
+	// pin. Engine-level observables are provably order-independent
+	// (commutative atomic accounting, deterministically re-sorted
+	// ledgers — see TestSimDeterminismSerialVsParallel), but the full
+	// runtime makes order-dependent decisions at same-instant races
+	// (eviction picks, admission order), so shot results may differ
+	// slightly from the serial run. Use it for wall-clock speed on big
+	// sweeps, never for golden comparisons. See simclock.WithParallelWake
+	// for the mechanism.
+	ParallelSim bool
 }
 
 // defaultSampleInterval is applied to every ShotConfig that does not
@@ -239,6 +253,16 @@ var defaultTraceSink func(label string, t *trace.Tracer)
 // threading a tracer through each figure driver. nil disables. Not
 // safe to change while shots are running.
 func SetDefaultTraceSink(fn func(label string, t *trace.Tracer)) { defaultTraceSink = fn }
+
+// defaultParallelSim mirrors defaultSampleInterval for the parallel
+// simulation knob: ckptbench's -parallel-sim flag sets it once instead
+// of threading it through each figure driver.
+var defaultParallelSim bool
+
+// SetDefaultParallelSim makes every subsequent shot whose config leaves
+// ParallelSim false wake same-instant cohorts in parallel (see
+// ShotConfig.ParallelSim). Not safe to change while shots are running.
+func SetDefaultParallelSim(on bool) { defaultParallelSim = on }
 
 // withDefaults fills the paper's defaults.
 func (c ShotConfig) withDefaults() ShotConfig {
@@ -282,6 +306,9 @@ func (c ShotConfig) withDefaults() ShotConfig {
 	}
 	if c.ChunkSize == 0 {
 		c.ChunkSize = defaultChunkSize
+	}
+	if !c.ParallelSim {
+		c.ParallelSim = defaultParallelSim
 	}
 	if c.ChunkSize < 0 {
 		c.ChunkSize = 0 // explicit "force monolithic" marker
@@ -396,7 +423,11 @@ func (r ShotResult) TotalIOWait() time.Duration {
 // RunShot executes one full shot benchmark on a fresh virtual clock.
 func RunShot(cfg ShotConfig) (ShotResult, error) {
 	cfg = cfg.withDefaults()
-	clk := simclock.NewVirtual()
+	var opts []simclock.VirtualOption
+	if cfg.ParallelSim {
+		opts = append(opts, simclock.WithParallelWake())
+	}
+	clk := simclock.NewVirtual(opts...)
 	var res ShotResult
 	var err error
 	clk.Run(func() { res, err = runShot(clk, cfg) })

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"score/internal/simclock"
@@ -49,27 +50,54 @@ type TransferInterceptor func(link string, size int64) FaultDecision
 // A Link is a shared communication resource with a fixed total bandwidth
 // (bytes per simulated second) and a fixed per-transfer latency. Bandwidth
 // is divided evenly among concurrent transfers (max-min fair share).
+//
+// Progress accounting is incremental: shares change only when membership
+// changes, so the link settles (credits elapsed time to every active
+// transfer) exactly at joins, completions, and pacer timer fires — the
+// same instants the original rescan-on-every-wake implementation
+// effectively settled at, which keeps simulated timings bit-identical —
+// but wakes only the single transfer whose completion is next (the
+// "pacer") instead of broadcasting to every waiter on every change.
 type Link struct {
 	clk     simclock.Clock
 	name    string
 	bw      float64 // bytes per simulated second
 	latency time.Duration
 
-	mu          sync.Mutex
-	cond        simclock.Cond
-	active      map[*transfer]struct{}
-	lastSettle  time.Duration
-	interceptor TransferInterceptor
+	mu sync.Mutex
+	// active is a binary min-heap on (remaining, seq): the top is the next
+	// completion. Settles subtract the same credit from every member, which
+	// preserves pairwise order — except among transfers clamped to zero,
+	// which are all due and reaped together, so their ties never matter.
+	active     []*transfer
+	pacer      *transfer // heap top at last election: holds the only timer
+	lastSettle time.Duration
+	seq        uint64    // join tie-break for pacer election
+	free       *transfer // pooled transfer records with their conds
 
-	// Statistics, guarded by mu.
-	totalBytes     int64
-	totalTransfers int64
-	peakConcurrent int
-	busy           time.Duration // simulated time with >=1 active transfer
+	interceptor atomic.Pointer[TransferInterceptor]
+
+	// Statistics. Written under mu, read lock-free (StatsSnapshot): the
+	// busy/lastSettle pair is torn-read-proof behind statsSeq (a seqlock),
+	// the independent counters are plain atomics.
+	statsSeq       atomic.Uint64
+	totalBytes     atomic.Int64
+	totalTransfers atomic.Int64
+	peakConcurrent atomic.Int64
+	inFlight       atomic.Int64
+	busyNS         atomic.Int64 // simulated ns with >=1 active transfer
+	lastSettleNS   atomic.Int64
 }
 
+// transfer is one in-flight payload. Records are pooled per link; cond is
+// the transfer's private wakeup so membership changes signal exactly the
+// transfers that must react (the pacer, the completed) instead of all.
 type transfer struct {
 	remaining float64 // bytes left to move
+	seq       uint64
+	cond      simclock.Cond
+	done      bool
+	next      *transfer // freelist
 }
 
 // NewLink creates a link named name with the given bandwidth in bytes per
@@ -78,15 +106,12 @@ func NewLink(clk simclock.Clock, name string, bandwidth float64, latency time.Du
 	if bandwidth <= 0 {
 		panic(fmt.Sprintf("fabric: link %q: bandwidth must be positive, got %v", name, bandwidth))
 	}
-	l := &Link{
+	return &Link{
 		clk:     clk,
 		name:    name,
 		bw:      bandwidth,
 		latency: latency,
-		active:  make(map[*transfer]struct{}),
 	}
-	l.cond = clk.NewCond(&l.mu)
-	return l
 }
 
 // Name returns the link's name.
@@ -99,9 +124,7 @@ func (l *Link) Bandwidth() float64 { return l.bw }
 // SetInterceptor installs (or, with nil, removes) the fault-injection
 // interceptor consulted by every subsequent transfer.
 func (l *Link) SetInterceptor(f TransferInterceptor) {
-	l.mu.Lock()
-	l.interceptor = f
-	l.mu.Unlock()
+	l.interceptor.Store(&f)
 }
 
 // Transfer moves size bytes across the link, blocking the calling task for
@@ -129,12 +152,9 @@ func (l *Link) TryTransfer(size int64) (time.Duration, error) {
 	}
 	start := l.clk.Now()
 
-	l.mu.Lock()
-	icpt := l.interceptor
-	l.mu.Unlock()
 	var fd FaultDecision
-	if icpt != nil {
-		fd = icpt(l.name, size)
+	if p := l.interceptor.Load(); p != nil && *p != nil {
+		fd = (*p)(l.name, size)
 	}
 
 	if l.latency > 0 {
@@ -153,87 +173,242 @@ func (l *Link) TryTransfer(size int64) (time.Duration, error) {
 		// would.
 		effective /= fd.BandwidthScale
 	}
-	t := &transfer{remaining: effective}
 
 	l.mu.Lock()
 	l.settleLocked()
-	l.active[t] = struct{}{}
-	if n := len(l.active); n > l.peakConcurrent {
-		l.peakConcurrent = n
+	t := l.getTransferLocked(effective)
+	l.heapPush(t)
+	l.inFlight.Store(int64(len(l.active)))
+	if n := int64(len(l.active)); n > l.peakConcurrent.Load() {
+		l.peakConcurrent.Store(n)
 	}
-	l.totalBytes += size
-	l.totalTransfers++
-	// Membership changed: everyone's share changed.
-	l.cond.Broadcast()
+	l.totalBytes.Add(size)
+	l.totalTransfers.Add(1)
+	// The settle above may have finished transfers due exactly now; they
+	// leave (and the share they stop consuming is released) before the
+	// new fair share is computed, as the broadcast chain used to arrange.
+	l.reapLocked(t)
+	l.electLocked(t)
 
-	for t.remaining > 0.5 { // sub-byte residue counts as done
-		share := l.bw / float64(len(l.active))
-		dur := durationFor(t.remaining, share)
-		// Either our own completion timer fires, or membership
-		// changes and we re-evaluate with the new share.
-		l.cond.WaitTimeout(dur)
-		l.settleLocked()
+	for !t.done {
+		if l.pacer == t {
+			// We complete next: hold the link's only timer. Anyone who
+			// changes membership settles and re-elects, signalling us to
+			// recompute; if the timer fires, our completion is the event.
+			share := l.bw / float64(len(l.active))
+			if t.cond.WaitTimeout(durationFor(t.remaining, share)) {
+				l.settleLocked()
+				l.reapLocked(t)
+				l.electLocked(t)
+			}
+		} else {
+			t.cond.Wait()
+		}
 	}
-	delete(l.active, t)
-	l.cond.Broadcast()
+	l.putTransferLocked(t)
 	l.mu.Unlock()
 
 	return l.clk.Now() - start, nil
 }
 
+func (l *Link) getTransferLocked(effective float64) *transfer {
+	t := l.free
+	if t != nil {
+		l.free = t.next
+		t.next = nil
+	} else {
+		t = &transfer{cond: l.clk.NewCond(&l.mu)}
+	}
+	t.remaining = effective
+	t.seq = l.seq
+	l.seq++
+	t.done = false
+	return t
+}
+
+func (l *Link) putTransferLocked(t *transfer) {
+	t.next = l.free
+	l.free = t
+}
+
+// transferLess orders the completion heap: least remaining first, ties to
+// the earliest joiner.
+func transferLess(a, b *transfer) bool {
+	return a.remaining < b.remaining || (a.remaining == b.remaining && a.seq < b.seq)
+}
+
+func (l *Link) heapPush(t *transfer) {
+	l.active = append(l.active, t)
+	i := len(l.active) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !transferLess(l.active[i], l.active[p]) {
+			break
+		}
+		l.active[i], l.active[p] = l.active[p], l.active[i]
+		i = p
+	}
+}
+
+// heapPopTop removes the minimum element.
+func (l *Link) heapPopTop() {
+	n := len(l.active) - 1
+	l.active[0] = l.active[n]
+	l.active[n] = nil
+	l.active = l.active[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && transferLess(l.active[c+1], l.active[c]) {
+			c++
+		}
+		if !transferLess(l.active[c], l.active[i]) {
+			break
+		}
+		l.active[i], l.active[c] = l.active[c], l.active[i]
+		i = c
+	}
+}
+
+// reapLocked removes every transfer whose payload is spent — necessarily a
+// prefix of the completion heap — and signals each goroutine to return.
+// self (the caller, if it is a member) needs no signal: it is already
+// running and rechecks done on its next loop.
+func (l *Link) reapLocked(self *transfer) {
+	reaped := false
+	for len(l.active) > 0 && l.active[0].remaining <= 0.5 { // sub-byte residue counts as done
+		t := l.active[0]
+		l.heapPopTop()
+		t.done = true
+		if t != self {
+			t.cond.Signal()
+		}
+		reaped = true
+	}
+	if reaped {
+		l.inFlight.Store(int64(len(l.active)))
+	}
+}
+
+// electLocked re-reads the pacer — the completion-heap top — after a
+// membership change. A demoted pacer must be signalled so its stale timer
+// never fires a settle at a wrong instant; the elected pacer must be
+// signalled so it re-arms at the new share. The caller itself
+// re-evaluates on its own loop and is never signalled.
+func (l *Link) electLocked(self *transfer) {
+	var best *transfer
+	if len(l.active) > 0 {
+		best = l.active[0]
+	}
+	old := l.pacer
+	l.pacer = best
+	if old != nil && old != best && old != self && !old.done {
+		old.cond.Signal()
+	}
+	if best != nil && best != self {
+		best.cond.Signal()
+	}
+}
+
 // Estimate predicts how long transferring size bytes would take if it
 // started now, given the current load (assuming load stays constant). It
 // is used by the eviction policy's predict_evictable estimator and never
-// blocks.
+// blocks or contends with in-flight settles.
 func (l *Link) Estimate(size int64) time.Duration {
 	if size <= 0 {
 		return 0
 	}
-	l.mu.Lock()
-	n := len(l.active) + 1
-	l.mu.Unlock()
+	n := l.inFlight.Load() + 1
 	return l.latency + durationFor(float64(size), l.bw/float64(n))
 }
 
 // InFlight returns the number of transfers currently using the link.
 func (l *Link) InFlight() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.active)
+	return int(l.inFlight.Load())
 }
 
 // Stats reports cumulative transfer statistics.
 func (l *Link) Stats() (bytes, transfers int64, peakConcurrent int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.totalBytes, l.totalTransfers, l.peakConcurrent
+	s := l.StatsSnapshot()
+	return s.Bytes, s.Transfers, s.PeakConcurrent
 }
 
 // BusyTime returns the cumulative simulated time during which the link had
 // at least one transfer in flight. The observability sampler differences
 // successive readings to compute per-interval utilization.
 func (l *Link) BusyTime() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.settleLocked()
-	return l.busy
+	return l.StatsSnapshot().Busy
+}
+
+// LinkStats is a coherent, lock-free view of a link's counters.
+type LinkStats struct {
+	Bytes          int64
+	Transfers      int64
+	PeakConcurrent int
+	InFlight       int
+	Busy           time.Duration // includes the in-progress busy interval
+}
+
+// StatsSnapshot reads the link's statistics without taking the transfer
+// mutex, so probes (the metrics gauge sampler, utilization reports) never
+// contend with in-flight settles. The busy figure extends through now when
+// the link is active, exactly what the settle-on-read path used to return.
+func (l *Link) StatsSnapshot() LinkStats {
+	var busy, last, act int64
+	for {
+		s1 := l.statsSeq.Load()
+		if s1&1 == 0 {
+			busy = l.busyNS.Load()
+			last = l.lastSettleNS.Load()
+			act = l.inFlight.Load()
+			if l.statsSeq.Load() == s1 {
+				break
+			}
+		}
+	}
+	if act > 0 {
+		if partial := int64(l.clk.Now()) - last; partial > 0 {
+			busy += partial
+		}
+	}
+	return LinkStats{
+		Bytes:          l.totalBytes.Load(),
+		Transfers:      l.totalTransfers.Load(),
+		PeakConcurrent: int(l.peakConcurrent.Load()),
+		InFlight:       int(act),
+		Busy:           time.Duration(busy),
+	}
 }
 
 // settleLocked credits progress to every active transfer for the simulated
 // time elapsed since the last settlement, at the fair share that was in
-// effect over that interval. Must be called with l.mu held, and after
-// every event that could change shares.
+// effect over that interval. Must be called with l.mu held, and before
+// every membership change.
 func (l *Link) settleLocked() {
 	now := l.clk.Now()
 	elapsed := now - l.lastSettle
-	l.lastSettle = now
-	if elapsed <= 0 || len(l.active) == 0 {
+	if elapsed <= 0 {
+		// Same-instant settle: nothing moved and no snapshot field changes,
+		// so skip the seqlock write entirely. Frequent — every membership
+		// change after the first at a given instant lands here.
 		return
 	}
-	l.busy += elapsed
+	l.lastSettle = now
+	l.statsSeq.Add(1)
+	l.lastSettleNS.Store(int64(now))
+	if len(l.active) > 0 {
+		l.busyNS.Add(int64(elapsed))
+	}
+	l.statsSeq.Add(1)
+	if len(l.active) == 0 {
+		return
+	}
 	share := l.bw / float64(len(l.active))
 	credit := share * elapsed.Seconds()
-	for t := range l.active {
+	for _, t := range l.active {
 		t.remaining -= credit
 		if t.remaining < 0 {
 			t.remaining = 0

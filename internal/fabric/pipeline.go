@@ -75,6 +75,58 @@ type pipeline struct {
 	err error
 	// running counts live downstream hop tasks.
 	running int
+
+	// condClk remembers which clock cond was built for, so a pooled
+	// pipeline reused under the same clock keeps its cond (the mutex it
+	// wraps lives in this struct and is stable across reuses).
+	condClk simclock.Clock
+}
+
+// pipelinePool recycles pipeline records between streams. A chunked
+// multi-rank run creates one pipeline per flush/stage/restore stream;
+// reuse keeps the queue backing arrays and the cond allocation out of
+// the per-stream bill.
+var pipelinePool = sync.Pool{New: func() any { return new(pipeline) }}
+
+// getPipeline returns a reset pipeline for path whose busy/bytes
+// accumulators alias the caller's stats arrays.
+func getPipeline(clk simclock.Clock, path Path, busy []time.Duration, bytes []int64) *pipeline {
+	ps := pipelinePool.Get().(*pipeline)
+	nHops := len(path)
+	ps.path = path
+	if cap(ps.queues) < nHops {
+		ps.queues = make([][]int64, nHops)
+		ps.heads = make([]int, nHops)
+		ps.closed = make([]bool, nHops)
+	} else {
+		ps.queues = ps.queues[:nHops]
+		ps.heads = ps.heads[:nHops]
+		ps.closed = ps.closed[:nHops]
+		for h := 0; h < nHops; h++ {
+			ps.queues[h] = ps.queues[h][:0]
+			ps.heads[h] = 0
+			ps.closed[h] = false
+		}
+	}
+	ps.busy, ps.bytes = busy, bytes
+	ps.err = nil
+	ps.running = 0
+	if ps.condClk != clk {
+		ps.cond = clk.NewCond(&ps.mu)
+		ps.condClk = clk
+	}
+	return ps
+}
+
+// putPipeline returns ps to the pool. Callers must only do this after
+// every hop task has exited (running == 0): the hop tasks hold the only
+// other references. The caller-owned stats arrays are dropped so the
+// pool never retains them.
+func putPipeline(ps *pipeline) {
+	ps.path = nil
+	ps.busy, ps.bytes = nil, nil
+	ps.err = nil
+	pipelinePool.Put(ps)
 }
 
 // PipelinedTransfer is TryPipelinedTransfer with the error discarded,
@@ -140,15 +192,7 @@ func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
 	}
 
 	nHops := len(p)
-	ps := &pipeline{
-		path:   p,
-		queues: make([][]int64, nHops),
-		heads:  make([]int, nHops),
-		closed: make([]bool, nHops),
-		busy:   st.HopBusy,
-		bytes:  st.HopBytes,
-	}
-	ps.cond = clk.NewCond(&ps.mu)
+	ps := getPipeline(clk, p, st.HopBusy, st.HopBytes)
 
 	for h := 1; h < nHops; h++ {
 		h := h
@@ -195,6 +239,7 @@ func (p Path) TryPipelined(size, chunkSize int64) (PipelineStats, error) {
 	}
 	err := ps.err
 	ps.mu.Unlock()
+	putPipeline(ps)
 
 	st.Chunks = chunks
 	st.Duration = clk.Now() - start

@@ -8,111 +8,106 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Recorder accumulates measurements for one process (one GPU).
 // All methods are safe for concurrent use.
+//
+// The hot counters are plain atomics and the histograms have atomic
+// buckets (sharded.go), so the many tasks of one rank — application,
+// flush workers, prefetcher, stager — never serialize on a registry
+// mutex. Every hot update is a commutative integer add, which keeps
+// totals independent of same-instant task interleaving (the determinism
+// contract). The mutex guards only the cold structured state: series
+// appends, per-tier maps, and critical-path records.
 type Recorder struct {
-	mu sync.Mutex
+	ckptBytes   atomic.Int64
+	ckptBlocked atomic.Int64 // ns
+	ckptOps     atomic.Int64
 
-	ckptBytes   int64
-	ckptBlocked time.Duration
-	ckptOps     int64
+	restBytes   atomic.Int64
+	restBlocked atomic.Int64 // ns
+	restOps     atomic.Int64
 
-	restBytes   int64
-	restBlocked time.Duration
-	restOps     int64
-
-	// Per-operation series, in issue order.
-	restoreSeries  []SeriesPoint
-	prefetchDist   []int
-	evictionWait   time.Duration
-	deviationReads int64 // restores that deviated from the hint order
+	evictionWait   atomic.Int64 // ns
+	deviationReads atomic.Int64 // restores that deviated from the hint order
 
 	// Robustness counters (fault injection / degradation).
-	retries        map[string]int64 // tier name -> retried I/O attempts
-	degradations   map[string]int64 // tier name -> times marked degraded
-	tierRecoveries map[string]int64 // tier name -> degradations healed by a probe
-	fallbackReads  int64            // reads served from a deeper tier after a faster one failed
-	repopulations  int64            // lost/corrupt replicas re-staged into a faster tier
-	flushAborts    int64            // flush chains abandoned after exhausting every route
-	syncFlushes    int64            // checkpoints that fell back to synchronous flush (§2 cond. 4)
+	fallbackReads atomic.Int64 // reads served from a deeper tier after a faster one failed
+	repopulations atomic.Int64 // lost/corrupt replicas re-staged into a faster tier
+	flushAborts   atomic.Int64 // flush chains abandoned after exhausting every route
+	syncFlushes   atomic.Int64 // checkpoints that fell back to synchronous flush (§2 cond. 4)
 
 	// Cluster failure model: partner-copy replication and rank deaths.
-	partnerCopies       int64 // replicas staged on the partner node's SSD
-	partnerCopyBytes    int64
-	partnerCopyFailures int64 // replication attempts that failed
-	rankDeaths          int64 // injected kills of this rank (0 or 1)
+	partnerCopies       atomic.Int64 // replicas staged on the partner node's SSD
+	partnerCopyBytes    atomic.Int64
+	partnerCopyFailures atomic.Int64 // replication attempts that failed
+	rankDeaths          atomic.Int64 // injected kills of this rank (0 or 1)
 
 	// Scheduling events: deadline-bounded drain and live migration.
-	drains                 int64 // preemption drains initiated (0 or 1 per client)
-	drainDeadlineHits      int64 // drains whose last triage flush landed inside the grace window
-	drainedVersions        int64 // versions a drain made durable
-	drainedBytes           int64
-	drainAbandonedVersions int64 // versions a drain failed open to ErrLost
-	drainAbandonedBytes    int64
-	migrations             int64 // live migrations attempted
-	migratedVersions       int64 // store versions copied to the successor node
-	migratedBytes          int64
-	migrationFailures      int64 // per-version migration copies that failed
+	drains                 atomic.Int64 // preemption drains initiated (0 or 1 per client)
+	drainDeadlineHits      atomic.Int64 // drains whose last triage flush landed inside the grace window
+	drainedVersions        atomic.Int64 // versions a drain made durable
+	drainedBytes           atomic.Int64
+	drainAbandonedVersions atomic.Int64 // versions a drain failed open to ErrLost
+	drainAbandonedBytes    atomic.Int64
+	migrations             atomic.Int64 // live migrations attempted
+	migratedVersions       atomic.Int64 // store versions copied to the successor node
+	migratedBytes          atomic.Int64
+	migrationFailures      atomic.Int64 // per-version migration copies that failed
 
 	// Chunked transfer pipelining (§4.3): per-stream overlap accounting.
-	pipelinedStreams int64
-	pipelinedBytes   int64
-	pipelinedElapsed time.Duration // end-to-end stream durations
-	pipelinedHopBusy time.Duration // summed per-hop occupancy
+	pipelinedStreams atomic.Int64
+	pipelinedBytes   atomic.Int64
+	pipelinedElapsed atomic.Int64 // ns; end-to-end stream durations
+	pipelinedHopBusy atomic.Int64 // ns; summed per-hop occupancy
 
 	// Per-hop byte conservation for complete pipelined streams: every hop
 	// of an error-free stream must carry exactly the payload size.
-	pipelinedHopBytes     int64 // observed per-hop bytes, summed
-	pipelinedHopBytesWant int64 // payload size × hop count
+	pipelinedHopBytes     atomic.Int64 // observed per-hop bytes, summed
+	pipelinedHopBytesWant atomic.Int64 // payload size × hop count
 
 	// Conservation (fate) accounting: every byte accepted into the
 	// checkpoint pipeline must end up exactly one of durable, discarded
 	// (consumed before flush, §2 cond. 5) or lost (flush chain aborted).
 	// CheckInvariants enforces the balance.
-	acceptedBytes  int64
-	durableBytes   int64
-	discardedBytes int64
-	lostBytes      int64
+	acceptedBytes  atomic.Int64
+	durableBytes   atomic.Int64
+	discardedBytes atomic.Int64
+	lostBytes      atomic.Int64
 
 	// Retry bouts: one bout = one retried I/O sequence (>=1 retries). A
 	// bout either recovers (the operation eventually succeeds) or exhausts
 	// its attempts; CheckInvariants ties bouts to the per-retry counters.
-	retryBoutsRecovered int64
-	retryBoutsExhausted int64
+	retryBoutsRecovered atomic.Int64
+	retryBoutsExhausted atomic.Int64
 
-	// Critical-path attribution: one record per durable checkpoint and
-	// per restore, decomposing its end-to-end latency (see critpath.go).
 	// durableOps counts ConserveDurable calls so CheckInvariants can tie
-	// the durable record count to the fate accounting.
-	critPaths  []CritPathRecord
-	durableOps int64
+	// the critical-path record count to the fate accounting.
+	durableOps atomic.Int64
 
 	// Fixed-boundary latency histograms, keyed by the Hist* constants.
-	hists map[string]*Histogram
-}
+	// Lock-free observes, copy-on-write name registry (sharded.go).
+	hists histRegistry
 
-// observeLocked records d into the named histogram. Caller holds r.mu.
-func (r *Recorder) observeLocked(name string, d time.Duration) {
-	if r.hists == nil {
-		r.hists = map[string]*Histogram{}
-	}
-	h := r.hists[name]
-	if h == nil {
-		h = NewHistogram()
-		r.hists[name] = h
-	}
-	h.Observe(d)
+	// Cold structured state: series appends, per-tier maps, and
+	// critical-path attribution records (see critpath.go).
+	mu             sync.Mutex
+	restoreSeries  []SeriesPoint // per-operation series, in issue order
+	prefetchDist   []int
+	retries        map[string]int64 // tier name -> retried I/O attempts
+	degradations   map[string]int64 // tier name -> times marked degraded
+	tierRecoveries map[string]int64 // tier name -> degradations healed by a probe
+	critPaths      []CritPathRecord
 }
 
 // ObserveDuration records one duration sample into the named
-// fixed-boundary histogram (see the Hist* constants).
+// fixed-boundary histogram (see the Hist* constants). Lock-free after
+// the name's first observation.
 func (r *Recorder) ObserveDuration(name string, d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.observeLocked(name, d)
+	r.hists.get(name).Observe(d)
 }
 
 // SeriesPoint is one restore operation's measurement.
@@ -134,77 +129,62 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Checkpoint records one checkpoint operation that moved bytes and blocked
 // the application for blocked.
 func (r *Recorder) Checkpoint(bytes int64, blocked time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.ckptBytes += bytes
-	r.ckptBlocked += blocked
-	r.ckptOps++
-	r.observeLocked(HistCheckpoint, blocked)
+	r.ckptBytes.Add(bytes)
+	r.ckptBlocked.Add(int64(blocked))
+	r.ckptOps.Add(1)
+	r.ObserveDuration(HistCheckpoint, blocked)
 }
 
 // CheckpointAccepted records bytes entering the flush pipeline. Paired
 // with exactly one of ConserveDurable, ConserveDiscarded, ConserveLost or
 // CheckpointRejected per checkpoint.
 func (r *Recorder) CheckpointAccepted(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.acceptedBytes += bytes
+	r.acceptedBytes.Add(bytes)
 }
 
 // CheckpointRejected un-accounts a previously accepted checkpoint whose
 // admission ultimately failed (e.g. the synchronous-flush fallback could
 // not land it anywhere).
 func (r *Recorder) CheckpointRejected(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.acceptedBytes -= bytes
+	r.acceptedBytes.Add(-bytes)
 }
 
 // ConserveDurable records bytes whose flush chain reached a durable tier.
 // Called exactly once per durable checkpoint version, which is what lets
 // CheckInvariants demand one critical-path record per durable version.
 func (r *Recorder) ConserveDurable(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.durableBytes += bytes
-	r.durableOps++
+	r.durableBytes.Add(bytes)
+	r.durableOps.Add(1)
 }
 
 // ConserveDiscarded records bytes whose flush was skipped because the
 // checkpoint was consumed first (§2 cond. 5) or its cached replica was
 // released before the chain ran.
 func (r *Recorder) ConserveDiscarded(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.discardedBytes += bytes
+	r.discardedBytes.Add(bytes)
 }
 
 // ConserveLost records bytes whose flush chain was abandoned after
 // exhausting every durable route.
 func (r *Recorder) ConserveLost(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.lostBytes += bytes
+	r.lostBytes.Add(bytes)
 }
 
 // RetryBout records the outcome of one retried I/O sequence.
 func (r *Recorder) RetryBout(recovered bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if recovered {
-		r.retryBoutsRecovered++
+		r.retryBoutsRecovered.Add(1)
 	} else {
-		r.retryBoutsExhausted++
+		r.retryBoutsExhausted.Add(1)
 	}
 }
 
 // Restore records one restore operation.
 func (r *Recorder) Restore(iter int, bytes int64, blocked time.Duration, prefetchDistance int) {
+	r.restBytes.Add(bytes)
+	r.restBlocked.Add(int64(blocked))
+	r.restOps.Add(1)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.restBytes += bytes
-	r.restBlocked += blocked
-	r.restOps++
 	r.restoreSeries = append(r.restoreSeries, SeriesPoint{
 		Iteration:        iter,
 		Bytes:            bytes,
@@ -212,22 +192,19 @@ func (r *Recorder) Restore(iter int, bytes int64, blocked time.Duration, prefetc
 		PrefetchDistance: prefetchDistance,
 	})
 	r.prefetchDist = append(r.prefetchDist, prefetchDistance)
-	r.observeLocked(HistRestore, blocked)
+	r.mu.Unlock()
+	r.ObserveDuration(HistRestore, blocked)
 }
 
 // EvictionWait accumulates time spent blocked on evictions.
 func (r *Recorder) EvictionWait(d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.evictionWait += d
-	r.observeLocked(HistEvictionWait, d)
+	r.evictionWait.Add(int64(d))
+	r.ObserveDuration(HistEvictionWait, d)
 }
 
 // Deviation records a restore that was not the next hinted checkpoint.
 func (r *Recorder) Deviation() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.deviationReads++
+	r.deviationReads.Add(1)
 }
 
 // Retry records one retried I/O attempt against the named tier.
@@ -275,113 +252,85 @@ func (r *Recorder) TierRecoveryCount() int64 {
 
 // PartnerCopy records one replica staged on the partner node's SSD.
 func (r *Recorder) PartnerCopy(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.partnerCopies++
-	r.partnerCopyBytes += bytes
+	r.partnerCopies.Add(1)
+	r.partnerCopyBytes.Add(bytes)
 }
 
 // PartnerCopyFailure records a partner replication attempt that failed.
 func (r *Recorder) PartnerCopyFailure() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.partnerCopyFailures++
+	r.partnerCopyFailures.Add(1)
 }
 
 // RankDeath records this rank being killed by fault injection.
 func (r *Recorder) RankDeath() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.rankDeaths++
+	r.rankDeaths.Add(1)
 }
 
 // DrainStart records a preemption notice initiating a deadline-bounded
 // drain.
 func (r *Recorder) DrainStart() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.drains++
+	r.drains.Add(1)
 }
 
 // DrainDeadline records whether the drain's triage finished inside its
 // grace window. Called exactly once per drain.
 func (r *Recorder) DrainDeadline(met bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if met {
-		r.drainDeadlineHits++
+		r.drainDeadlineHits.Add(1)
 	}
 }
 
 // DrainFlushed records one version the drain triage made durable.
 func (r *Recorder) DrainFlushed(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.drainedVersions++
-	r.drainedBytes += bytes
+	r.drainedVersions.Add(1)
+	r.drainedBytes.Add(bytes)
 }
 
 // DrainAbandoned records one version the drain failed open to ErrLost
 // because it could not land inside the deadline budget.
 func (r *Recorder) DrainAbandoned(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.drainAbandonedVersions++
-	r.drainAbandonedBytes += bytes
+	r.drainAbandonedVersions.Add(1)
+	r.drainAbandonedBytes.Add(bytes)
 }
 
 // MigrationStart records a live migration attempt to a successor node.
 func (r *Recorder) MigrationStart() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.migrations++
+	r.migrations.Add(1)
 }
 
 // MigrationCopy records one store version copied to the successor.
 func (r *Recorder) MigrationCopy(bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.migratedVersions++
-	r.migratedBytes += bytes
+	r.migratedVersions.Add(1)
+	r.migratedBytes.Add(bytes)
 }
 
 // MigrationFailure records a per-version migration copy that failed.
 func (r *Recorder) MigrationFailure() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.migrationFailures++
+	r.migrationFailures.Add(1)
 }
 
 // FallbackRead records a read served from a deeper tier after a faster
 // tier's replica failed or was missing.
 func (r *Recorder) FallbackRead() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.fallbackReads++
+	r.fallbackReads.Add(1)
 }
 
 // Repopulation records a replica re-staged into a faster tier after a
 // fallback read recovered the bytes.
 func (r *Recorder) Repopulation() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.repopulations++
+	r.repopulations.Add(1)
 }
 
 // FlushAbort records a flush chain abandoned after exhausting every
 // durable route.
 func (r *Recorder) FlushAbort() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushAborts++
+	r.flushAborts.Add(1)
 }
 
 // SyncFlush records a checkpoint that bypassed the GPU cache via the
 // synchronous-flush fallback.
 func (r *Recorder) SyncFlush() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.syncFlushes++
+	r.syncFlushes.Add(1)
 }
 
 // Pipelined records one chunked multi-hop transfer stream: the bytes it
@@ -391,17 +340,17 @@ func (r *Recorder) SyncFlush() {
 // streams every hop must have moved exactly bytes, which CheckInvariants
 // verifies against the accumulated totals.
 func (r *Recorder) Pipelined(bytes int64, elapsed, hopBusy time.Duration, hopBytes []int64, complete bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.pipelinedStreams++
-	r.pipelinedBytes += bytes
-	r.pipelinedElapsed += elapsed
-	r.pipelinedHopBusy += hopBusy
+	r.pipelinedStreams.Add(1)
+	r.pipelinedBytes.Add(bytes)
+	r.pipelinedElapsed.Add(int64(elapsed))
+	r.pipelinedHopBusy.Add(int64(hopBusy))
 	if complete {
+		var sum int64
 		for _, hb := range hopBytes {
-			r.pipelinedHopBytes += hb
+			sum += hb
 		}
-		r.pipelinedHopBytesWant += bytes * int64(len(hopBytes))
+		r.pipelinedHopBytes.Add(sum)
+		r.pipelinedHopBytesWant.Add(bytes * int64(len(hopBytes)))
 	}
 }
 
@@ -523,73 +472,73 @@ func (s Summary) TotalTierRecoveries() int64 {
 	return t
 }
 
-// Snapshot returns the current totals.
+// Snapshot returns the current totals. Atomic counters are read
+// individually (merge-on-read); at quiescence the result is exact, and
+// mid-run it is the same per-field-consistent view concurrent updates
+// always produced.
 func (r *Recorder) Snapshot() Summary {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	series := make([]SeriesPoint, len(r.restoreSeries))
 	copy(series, r.restoreSeries)
-	var hists map[string]HistogramSnapshot
-	if len(r.hists) > 0 {
-		hists = make(map[string]HistogramSnapshot, len(r.hists))
-		for name, h := range r.hists {
-			hists[name] = h.Snapshot()
-		}
-	}
+	retries := copyCounts(r.retries)
+	degradations := copyCounts(r.degradations)
+	tierRecoveries := copyCounts(r.tierRecoveries)
+	critPaths := copyCritPaths(r.critPaths)
+	r.mu.Unlock()
 	return Summary{
-		CheckpointBytes:   r.ckptBytes,
-		CheckpointBlocked: r.ckptBlocked,
-		CheckpointOps:     r.ckptOps,
-		RestoreBytes:      r.restBytes,
-		RestoreBlocked:    r.restBlocked,
-		RestoreOps:        r.restOps,
+		CheckpointBytes:   r.ckptBytes.Load(),
+		CheckpointBlocked: time.Duration(r.ckptBlocked.Load()),
+		CheckpointOps:     r.ckptOps.Load(),
+		RestoreBytes:      r.restBytes.Load(),
+		RestoreBlocked:    time.Duration(r.restBlocked.Load()),
+		RestoreOps:        r.restOps.Load(),
 		RestoreSeries:     series,
-		EvictionWait:      r.evictionWait,
-		DeviationReads:    r.deviationReads,
-		Retries:           copyCounts(r.retries),
-		Degradations:      copyCounts(r.degradations),
-		TierRecoveries:    copyCounts(r.tierRecoveries),
-		FallbackReads:     r.fallbackReads,
-		Repopulations:     r.repopulations,
-		FlushAborts:       r.flushAborts,
-		SyncFlushes:       r.syncFlushes,
+		EvictionWait:      time.Duration(r.evictionWait.Load()),
+		DeviationReads:    r.deviationReads.Load(),
+		Retries:           retries,
+		Degradations:      degradations,
+		TierRecoveries:    tierRecoveries,
+		FallbackReads:     r.fallbackReads.Load(),
+		Repopulations:     r.repopulations.Load(),
+		FlushAborts:       r.flushAborts.Load(),
+		SyncFlushes:       r.syncFlushes.Load(),
 
-		PartnerCopies:       r.partnerCopies,
-		PartnerCopyBytes:    r.partnerCopyBytes,
-		PartnerCopyFailures: r.partnerCopyFailures,
-		RankDeaths:          r.rankDeaths,
+		PartnerCopies:       r.partnerCopies.Load(),
+		PartnerCopyBytes:    r.partnerCopyBytes.Load(),
+		PartnerCopyFailures: r.partnerCopyFailures.Load(),
+		RankDeaths:          r.rankDeaths.Load(),
 
-		Drains:                 r.drains,
-		DrainDeadlineHits:      r.drainDeadlineHits,
-		DrainedVersions:        r.drainedVersions,
-		DrainedBytes:           r.drainedBytes,
-		DrainAbandonedVersions: r.drainAbandonedVersions,
-		DrainAbandonedBytes:    r.drainAbandonedBytes,
-		Migrations:             r.migrations,
-		MigratedVersions:       r.migratedVersions,
-		MigratedBytes:          r.migratedBytes,
-		MigrationFailures:      r.migrationFailures,
+		Drains:                 r.drains.Load(),
+		DrainDeadlineHits:      r.drainDeadlineHits.Load(),
+		DrainedVersions:        r.drainedVersions.Load(),
+		DrainedBytes:           r.drainedBytes.Load(),
+		DrainAbandonedVersions: r.drainAbandonedVersions.Load(),
+		DrainAbandonedBytes:    r.drainAbandonedBytes.Load(),
+		Migrations:             r.migrations.Load(),
+		MigratedVersions:       r.migratedVersions.Load(),
+		MigratedBytes:          r.migratedBytes.Load(),
+		MigrationFailures:      r.migrationFailures.Load(),
 
-		PipelinedStreams: r.pipelinedStreams,
-		PipelinedBytes:   r.pipelinedBytes,
-		PipelinedElapsed: r.pipelinedElapsed,
-		PipelinedHopBusy: r.pipelinedHopBusy,
+		PipelinedStreams: r.pipelinedStreams.Load(),
+		PipelinedBytes:   r.pipelinedBytes.Load(),
+		PipelinedElapsed: time.Duration(r.pipelinedElapsed.Load()),
+		PipelinedHopBusy: time.Duration(r.pipelinedHopBusy.Load()),
 
-		PipelinedHopBytes:     r.pipelinedHopBytes,
-		PipelinedHopBytesWant: r.pipelinedHopBytesWant,
+		PipelinedHopBytes:     r.pipelinedHopBytes.Load(),
+		PipelinedHopBytesWant: r.pipelinedHopBytesWant.Load(),
 
-		AcceptedBytes:  r.acceptedBytes,
-		DurableBytes:   r.durableBytes,
-		DiscardedBytes: r.discardedBytes,
-		LostBytes:      r.lostBytes,
+		AcceptedBytes:  r.acceptedBytes.Load(),
+		DurableBytes:   r.durableBytes.Load(),
+		DiscardedBytes: r.discardedBytes.Load(),
+		LostBytes:      r.lostBytes.Load(),
 
-		RetryBoutsRecovered: r.retryBoutsRecovered,
-		RetryBoutsExhausted: r.retryBoutsExhausted,
+		RetryBoutsRecovered: r.retryBoutsRecovered.Load(),
+		RetryBoutsExhausted: r.retryBoutsExhausted.Load(),
 
-		CritPaths:  copyCritPaths(r.critPaths),
-		DurableOps: r.durableOps,
+		CritPaths:  critPaths,
+		DurableOps: r.durableOps.Load(),
 
-		Histograms: hists,
+		Histograms: r.hists.snapshot(),
 	}
 }
 

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the lock-free hot path of the Recorder: atomic
+// histograms and the copy-on-write histogram registry. The paper-scale
+// ambition (100k ranks, many worker tasks per rank) makes one registry
+// mutex per rank a serialization point — every flush worker, prefetcher,
+// and the application task all observe latencies on the same Recorder.
+// Scalar counters became plain atomics (see metrics.go); histograms get
+// atomic buckets here. Everything merges on read: Snapshot sums the
+// atomic cells, so writers never coordinate with each other.
+//
+// Determinism: all updates are commutative integer adds, so totals are
+// independent of the real-scheduler interleaving of same-instant tasks —
+// the same property the mutex-based version had.
+
+// AtomicHistogram is a fixed-boundary latency histogram with lock-free
+// Observe: one atomic add on the bucket, the count, and the sum. The
+// boundaries are the shared defaultBounds, so snapshots stay mergeable
+// bucket by bucket with everything else in the codebase.
+type AtomicHistogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// NewAtomicHistogram returns an empty lock-free histogram over the
+// shared default bounds.
+func NewAtomicHistogram() *AtomicHistogram {
+	return &AtomicHistogram{bounds: defaultBounds, counts: make([]atomic.Int64, len(defaultBounds)+1)}
+}
+
+// Observe adds one duration (negative values clamp to zero). Safe for
+// concurrent use without external locking.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(h.bounds, d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// histBucket finds the bucket for d by binary search over the shared
+// boundary ladder.
+func histBucket(bounds []time.Duration, d time.Duration) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Snapshot merges the atomic cells into an immutable snapshot. Taken
+// while writers are active it is a per-cell-consistent view (cells are
+// read independently); at quiescence it is exact.
+func (h *AtomicHistogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: counts,
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sumNS.Load()),
+	}
+}
+
+// histRegistry maps histogram names to atomic histograms with a
+// copy-on-write map: the read path (every Observe) is one atomic load
+// plus a map lookup, and only the first observation of a new name takes
+// the mutex to publish a grown copy. Histogram names are a small fixed
+// set (the Hist* constants plus per-tier flush names), so copies are
+// rare and tiny.
+type histRegistry struct {
+	m  atomic.Pointer[map[string]*AtomicHistogram]
+	mu sync.Mutex // guards copy-on-write inserts only
+}
+
+// get returns the named histogram, creating and publishing it on first
+// use.
+func (g *histRegistry) get(name string) *AtomicHistogram {
+	if m := g.m.Load(); m != nil {
+		if h := (*m)[name]; h != nil {
+			return h
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.m.Load()
+	if old != nil {
+		if h := (*old)[name]; h != nil {
+			return h
+		}
+	}
+	grown := make(map[string]*AtomicHistogram, 8)
+	if old != nil {
+		for k, v := range *old {
+			grown[k] = v
+		}
+	}
+	h := NewAtomicHistogram()
+	grown[name] = h
+	g.m.Store(&grown)
+	return h
+}
+
+// snapshot returns merged snapshots of every registered histogram, or
+// nil when none exist.
+func (g *histRegistry) snapshot() map[string]HistogramSnapshot {
+	m := g.m.Load()
+	if m == nil || len(*m) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot, len(*m))
+	for name, h := range *m {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

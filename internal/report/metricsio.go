@@ -61,6 +61,11 @@ type BenchRecord struct {
 	Name string `json:"name"`
 	// NsPerOp is the simulated nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
+	// WallNsPerOp is the real (host) nanoseconds the case took per
+	// operation — the simulator-speed trajectory, distinct from the
+	// simulated time above (which must stay bit-identical across engine
+	// optimizations). Zero in records written before it was tracked.
+	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
 	// BytesMoved is the total payload the case pushed through the
 	// fabric.
 	BytesMoved int64 `json:"bytes_moved"`
@@ -124,4 +129,72 @@ func LoadBenchFile(path string) ([]BenchRecord, error) {
 	}
 	defer f.Close()
 	return LoadBenchRecords(f)
+}
+
+// SimSpeedSchema tags the simulator-speed record file format
+// (BENCH_simspeed.json and its committed baseline).
+const SimSpeedSchema = "score-simspeed/v1"
+
+// SimSpeedRecord is one simulator-speed measurement: how fast the
+// discrete-event engine itself retires model events, and what one
+// operation costs in allocations. See DESIGN.md §14 for why the gated
+// throughput counts model events rather than engine wakeups.
+type SimSpeedRecord struct {
+	// Name identifies the case (e.g. "sweep/10k-serial").
+	Name string `json:"name"`
+	// EventsPerSec is model events retired per wall second (the gated
+	// headline).
+	EventsPerSec float64 `json:"events_per_sec"`
+	// WakeupsPerSec is engine wakeups per wall second (diagnostic).
+	WakeupsPerSec float64 `json:"wakeups_per_sec,omitempty"`
+	// AllocsPerOp is heap allocations per operation (one whole sweep).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// WallNsPerOp is real nanoseconds per operation.
+	WallNsPerOp float64 `json:"wall_ns_per_op,omitempty"`
+}
+
+// simSpeedFile is the on-disk envelope of a simulator-speed record set.
+type simSpeedFile struct {
+	Schema  string           `json:"schema"`
+	Records []SimSpeedRecord `json:"records"`
+}
+
+// WriteSimSpeedFile writes records to path as an indented JSON file,
+// sorted by name for stable diffs.
+func WriteSimSpeedFile(path string, records []SimSpeedRecord) error {
+	sorted := make([]SimSpeedRecord, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	data, err := json.MarshalIndent(simSpeedFile{Schema: SimSpeedSchema, Records: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSimSpeedFile reads a simulator-speed record file from disk,
+// validating its schema tag.
+func LoadSimSpeedFile(path string) ([]SimSpeedRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sf simSpeedFile
+	if err := json.NewDecoder(f).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("report: parsing simspeed records: %w", err)
+	}
+	if sf.Schema != SimSpeedSchema {
+		return nil, fmt.Errorf("report: simspeed records schema %q, want %q", sf.Schema, SimSpeedSchema)
+	}
+	return sf.Records, nil
 }

@@ -1,11 +1,21 @@
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// eventCount tallies task wakeups (timer fires, signals, broadcast wakes)
+// across every Virtual clock in the process. The simulator-speed
+// benchmarks difference it to report events/sec; one uncontended atomic
+// add per wakeup is noise next to the channel handoff that follows it.
+var eventCount atomic.Uint64
+
+// EventCount returns the process-wide number of discrete-event wakeups
+// performed by all Virtual clocks so far.
+func EventCount() uint64 { return eventCount.Load() }
 
 // Virtual is a deterministic discrete-event clock. Simulated time stands
 // still while any registered task is runnable and jumps to the next pending
@@ -15,54 +25,110 @@ import (
 // Cond wait with no pending timer, no event can ever wake the simulation,
 // and the clock panics with a diagnostic rather than hanging.
 type Virtual struct {
-	mu          sync.Mutex
-	now         time.Duration
+	mu  sync.Mutex
+	now time.Duration
+	// nowAtomic mirrors now for lock-free reads. Time only advances while
+	// every task is blocked, so no task can observe it mid-change: Now()
+	// from a running task is exact without the mutex.
+	nowAtomic   atomic.Int64
 	runnable    int // tasks currently executing (or woken and about to run)
 	condWaiters int // tasks suspended in a Cond wait
-	timers      timerHeap
-	seq         uint64 // tie-break for deterministic heap order
+	timers      timerQueue
+	seq         uint64 // tie-break for deterministic wake order; doubles as waiter generation
 	dead        bool   // deadlock detected; clock no longer advances
+	parallel    bool   // batch-wake same-deadline sleepers (WithParallelWake)
+
+	// wake1/pendingWakes stage timer wakeups chosen under the mutex for
+	// delivery after it is released (see advanceAndMaybePanicLocked).
+	// Serial advances wake exactly one task, so the common case is a single
+	// pointer field; parallel cohorts overflow into a pooled slice.
+	wake1         *waiter
+	pendingWakes  []*waiter
+	pendingHolder *[]*waiter // heap home for pendingWakes while pooled
+	overflowPool  sync.Pool  // of *[]*waiter, for pendingWakes buffers
+
+	// wpool recycles waiter records (and their wake channels) so Sleep and
+	// Cond waits are allocation-free in steady state. It is per-clock on
+	// purpose: a recycled waiter may still be referenced by stale timer or
+	// cond entries from a previous incarnation, whose liveness checks read
+	// its seq/fired fields under THIS clock's mutex — all waiter field
+	// mutation happens under the same mutex, so those stale readers never
+	// race (DESIGN.md §14 has the ownership rules). A process-wide pool
+	// would let a waiter migrate to a clock with a different mutex.
+	wpool sync.Pool
+}
+
+func (c *Virtual) getWaiter() *waiter {
+	if w, _ := c.wpool.Get().(*waiter); w != nil {
+		return w
+	}
+	return &waiter{ch: make(chan bool, 1)}
+}
+
+// A VirtualOption configures a Virtual clock at construction.
+type VirtualOption func(*Virtual)
+
+// WithHeapTimers selects the original binary-heap timer store instead of
+// the timer wheel. It exists for differential determinism tests and A/B
+// benchmarks; behavior is identical, only the data structure differs.
+func WithHeapTimers() VirtualOption {
+	return func(c *Virtual) { c.timers = newTimerHeapQ() }
+}
+
+// WithParallelWake lets the clock wake every plain sleeper that shares the
+// next deadline in one batch, so their wake-side work (the real CPU cost
+// between clock interactions) runs concurrently instead of strictly one
+// at a time. Timed or untimed Cond waiters are never batched, and the
+// default remains strictly serial wakeups.
+//
+// Determinism is preserved exactly when the batched tasks' same-instant
+// effects commute — the discipline the runtime already requires of
+// Broadcast, which has always handed all woken waiters to the scheduler
+// at once. DESIGN.md §14 states the argument; the serial-vs-parallel
+// differential tests enforce it for the shipped scenarios.
+func WithParallelWake() VirtualOption {
+	return func(c *Virtual) { c.parallel = true }
 }
 
 // NewVirtual returns a virtual clock positioned at time zero with no
 // registered tasks.
-func NewVirtual() *Virtual { return &Virtual{} }
+func NewVirtual(opts ...VirtualOption) *Virtual {
+	c := &Virtual{}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.timers == nil {
+		c.timers = newTimerWheel()
+	}
+	return c
+}
 
 // waiter is a suspended task. It may be woken by a timer (timeout/sleep)
-// or by a Cond signal, whichever comes first; fired guards double wake.
+// or by a Cond signal, whichever comes first; fired guards double wake,
+// and seq (reassigned on every acquisition) identifies the incarnation
+// that stale queue entries were filed against.
 type waiter struct {
-	ch       chan bool // receives true when woken by timer expiry
-	deadline time.Duration
-	seq      uint64
-	fired    bool
-	inCond   bool // counted in condWaiters
+	ch     chan bool // receives true when woken by timer expiry
+	seq    uint64
+	fired  bool
+	inCond bool // counted in condWaiters
+	timed  bool // has a filed timer (markStale bookkeeping on signal)
 }
 
-type timerHeap []*waiter
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return w
+// acquireWaiterLocked readies w for a new suspension. Must be called with
+// c.mu held: stale queue entries for w's previous incarnation may be
+// examined concurrently under the same mutex.
+func (c *Virtual) acquireWaiterLocked(w *waiter, inCond, timed bool) {
+	w.seq = c.seq
+	c.seq++
+	w.fired = false
+	w.inCond = inCond
+	w.timed = timed
 }
 
 // Now returns the current simulated time.
 func (c *Virtual) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.nowAtomic.Load())
 }
 
 // Sleep suspends the calling task for d of simulated time. The calling
@@ -71,15 +137,14 @@ func (c *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	w := &waiter{ch: make(chan bool, 1)}
+	w := c.getWaiter()
 	c.mu.Lock()
-	w.deadline = c.now + d
-	w.seq = c.seq
-	c.seq++
-	heap.Push(&c.timers, w)
+	c.acquireWaiterLocked(w, false, true)
+	c.timers.push(w, c.now+d, w.seq)
 	c.runnable--
 	c.advanceAndMaybePanicLocked()
 	<-w.ch
+	c.wpool.Put(w)
 }
 
 // Go starts fn as a clock-managed task.
@@ -122,7 +187,34 @@ func (c *Virtual) NewCond(l sync.Locker) Cond { return &vcond{clk: c, l: l} }
 func (c *Virtual) advanceAndMaybePanicLocked() {
 	deadlocked := c.maybeAdvanceLocked()
 	waiters, now := c.condWaiters, c.now
+	w1 := c.wake1
+	c.wake1 = nil
+	var restp *[]*waiter
+	if len(c.pendingWakes) > 0 {
+		restp = c.pendingHolder
+		*restp = c.pendingWakes
+		c.pendingWakes, c.pendingHolder = nil, nil
+	}
 	c.mu.Unlock()
+	// Deliver the wakes outside the mutex: the woken task's first clock
+	// call would otherwise contend with the lock we still hold. The fired
+	// flag was set under the mutex, so no competing waker exists, and
+	// delivery order (= staging order) is preserved. The overflow buffer
+	// travels through the pool inside its original heap holder: taking the
+	// address of a local here would heap-allocate a fresh slice header per
+	// advance, the one thing this path exists to avoid.
+	if w1 != nil {
+		w1.ch <- true
+	}
+	if restp != nil {
+		rest := *restp
+		for i, w := range rest {
+			rest[i] = nil
+			w.ch <- true
+		}
+		*restp = rest[:0]
+		c.overflowPool.Put(restp)
+	}
 	if deadlocked {
 		panic(fmt.Sprintf(
 			"simclock: deadlock: %d task(s) blocked in Cond waits with no pending timers at t=%v",
@@ -137,50 +229,79 @@ func (c *Virtual) maybeAdvanceLocked() (deadlocked bool) {
 	if c.runnable > 0 || c.dead {
 		return false
 	}
+	w, deadline, ok := c.timers.pop()
+	if !ok {
+		if c.condWaiters > 0 {
+			c.dead = true
+			return true
+		}
+		return false // clean quiescence: every task has exited
+	}
+	if deadline > c.now {
+		c.now = deadline
+		c.nowAtomic.Store(int64(deadline))
+	}
+	// Wake exactly one timer per advance: same-deadline waiters resume
+	// one at a time in registration order, each running to its next
+	// blocking point before the next wakes. Waking them all at once
+	// would hand several runnable goroutines to the real scheduler,
+	// whose interleaving is not reproducible.
+	c.wakeTimerLocked(w)
+	if !c.parallel || w.inCond {
+		return false
+	}
+	// Parallel mode: plain sleepers sharing this deadline wake as one
+	// cohort (see WithParallelWake for the determinism contract). The
+	// batch stops at the first Cond waiter — timed waits carry
+	// share-recomputation semantics (fabric pacers) that stay serial.
 	for {
-		// Discard stale timer entries (cond waiters already signaled).
-		for c.timers.Len() > 0 && c.timers[0].fired {
-			heap.Pop(&c.timers)
-		}
-		if c.timers.Len() == 0 {
-			if c.condWaiters > 0 {
-				c.dead = true
-				return true
-			}
-			return false // clean quiescence: every task has exited
-		}
-		next := c.timers[0].deadline
-		if next > c.now {
-			c.now = next
-		}
-		// Wake exactly one timer per advance: same-deadline waiters resume
-		// one at a time in registration order, each running to its next
-		// blocking point before the next wakes. Waking them all at once
-		// would hand several runnable goroutines to the real scheduler,
-		// whose interleaving is not reproducible.
-		for c.timers.Len() > 0 && c.timers[0].deadline <= c.now {
-			w := heap.Pop(&c.timers).(*waiter)
-			if w.fired {
-				continue
-			}
-			w.fired = true
-			if w.inCond {
-				c.condWaiters--
-			}
-			c.runnable++
-			w.ch <- true
+		w2, d2, ok2 := c.timers.peekReady()
+		if !ok2 || d2 != deadline || w2.inCond {
 			return false
 		}
-		// All entries at this deadline were stale; try the next one.
+		c.timers.pop()
+		c.wakeTimerLocked(w2)
 	}
+}
+
+func (c *Virtual) wakeTimerLocked(w *waiter) {
+	w.fired = true
+	if w.inCond {
+		c.condWaiters--
+	}
+	c.runnable++
+	eventCount.Add(1)
+	if c.wake1 == nil {
+		c.wake1 = w
+		return
+	}
+	if c.pendingHolder == nil {
+		if p, _ := c.overflowPool.Get().(*[]*waiter); p != nil {
+			c.pendingWakes, c.pendingHolder = *p, p
+		} else {
+			c.pendingHolder = new([]*waiter)
+		}
+	}
+	c.pendingWakes = append(c.pendingWakes, w)
 }
 
 // vcond is the Virtual implementation of Cond.
 type vcond struct {
 	clk     *Virtual
 	l       sync.Locker
-	waiters []*waiter // FIFO; entries may be stale (fired by timeout)
+	waiters []condEntry // FIFO from head; entries may be stale
+	head    int
 }
+
+// condEntry pins the incarnation of a queued waiter, exactly as
+// timerEntry does for timers: a pooled waiter recycled after a timeout
+// leaves its cond entry behind, detectable by the seq mismatch.
+type condEntry struct {
+	w   *waiter
+	seq uint64
+}
+
+func (e condEntry) live() bool { return e.w.seq == e.seq && !e.w.fired }
 
 func (cd *vcond) Wait() { cd.wait(-1) }
 
@@ -195,54 +316,96 @@ func (cd *vcond) WaitTimeout(d time.Duration) bool {
 // Precondition: caller holds cd.l.
 func (cd *vcond) wait(d time.Duration) bool {
 	c := cd.clk
-	w := &waiter{ch: make(chan bool, 1), inCond: true}
+	w := c.getWaiter()
 	c.mu.Lock()
-	cd.waiters = append(cd.waiters, w)
+	c.acquireWaiterLocked(w, true, d >= 0)
+	cd.enqueue(condEntry{w, w.seq})
 	if d >= 0 {
-		w.deadline = c.now + d
-		w.seq = c.seq
-		c.seq++
-		heap.Push(&c.timers, w)
+		c.timers.push(w, c.now+d, w.seq)
 	}
 	c.condWaiters++
 	c.runnable--
 	cd.l.Unlock()
 	c.advanceAndMaybePanicLocked()
 	timedOut := <-w.ch
+	c.wpool.Put(w)
 	cd.l.Lock()
 	return timedOut
 }
 
+func (cd *vcond) enqueue(e condEntry) {
+	if cd.head > 0 && cd.head == len(cd.waiters) {
+		cd.waiters = cd.waiters[:0]
+		cd.head = 0
+	}
+	cd.waiters = append(cd.waiters, e)
+}
+
+// wakeCondLocked fires a queued waiter: its pending timer (if any) is now
+// stale, which the timer store tracks as a live-count decrement. The
+// channel send happens after the clock mutex is released (fired, set here,
+// already excludes competing wakers).
+func (c *Virtual) wakeCondLocked(w *waiter) {
+	w.fired = true
+	if w.timed {
+		c.timers.markStale()
+	}
+	c.condWaiters--
+	c.runnable++
+	eventCount.Add(1)
+}
+
 func (cd *vcond) Signal() {
 	c := cd.clk
+	var woken *waiter
 	c.mu.Lock()
-	for len(cd.waiters) > 0 {
-		w := cd.waiters[0]
-		cd.waiters = cd.waiters[1:]
-		if w.fired {
-			continue // already timed out
+	for cd.head < len(cd.waiters) {
+		e := cd.waiters[cd.head]
+		cd.waiters[cd.head] = condEntry{}
+		cd.head++
+		if !e.live() {
+			continue // already timed out or recycled
 		}
-		w.fired = true
-		c.condWaiters--
-		c.runnable++
-		w.ch <- false
+		c.wakeCondLocked(e.w)
+		woken = e.w
 		break
 	}
 	c.mu.Unlock()
+	if woken != nil {
+		woken.ch <- false
+	}
 }
 
 func (cd *vcond) Broadcast() {
 	c := cd.clk
+	var single *waiter
+	var woken []*waiter
 	c.mu.Lock()
-	for _, w := range cd.waiters {
-		if w.fired {
+	for cd.head < len(cd.waiters) {
+		e := cd.waiters[cd.head]
+		cd.waiters[cd.head] = condEntry{}
+		cd.head++
+		if !e.live() {
 			continue
 		}
-		w.fired = true
-		c.condWaiters--
-		c.runnable++
-		w.ch <- false
+		c.wakeCondLocked(e.w)
+		if single == nil && woken == nil {
+			single = e.w
+		} else {
+			if woken == nil {
+				woken = append(woken, single)
+				single = nil
+			}
+			woken = append(woken, e.w)
+		}
 	}
 	cd.waiters = cd.waiters[:0]
+	cd.head = 0
 	c.mu.Unlock()
+	if single != nil {
+		single.ch <- false
+	}
+	for _, w := range woken {
+		w.ch <- false
+	}
 }

@@ -118,16 +118,19 @@ const DefaultFlightCap = 8192
 // FlightRecorder keeps a bounded per-rank ring of lifecycle events — a
 // flight recorder for the checkpoint pipeline. When a rank's ring
 // fills, the oldest entries are overwritten and counted as dropped.
-// Safe for concurrent use.
+// Safe for concurrent use; the lock is sharded per rank (the recorder
+// mutex covers only map membership), so 10k ranks recording lifecycle
+// events do not serialize on one mutex.
 type FlightRecorder struct {
 	now        func() time.Duration
 	capPerRank int
 
-	mu    sync.Mutex
+	mu    sync.Mutex // guards ranks map membership only
 	ranks map[int]*rankRing
 }
 
 type rankRing struct {
+	mu      sync.Mutex // guards everything below
 	events  []LifecycleEvent
 	next    int
 	seq     []uint64 // arrival order, parallel to events
@@ -147,19 +150,26 @@ func NewFlightRecorder(now func() time.Duration, capPerRank int) *FlightRecorder
 	return &FlightRecorder{now: now, capPerRank: capPerRank, ranks: map[int]*rankRing{}}
 }
 
+// ring returns rank's ring, creating it on first use.
+func (f *FlightRecorder) ring(rank int) *rankRing {
+	f.mu.Lock()
+	r := f.ranks[rank]
+	if r == nil {
+		r = &rankRing{}
+		f.ranks[rank] = r
+	}
+	f.mu.Unlock()
+	return r
+}
+
 // Record appends one lifecycle event for (rank, version). Nil-safe.
 func (f *FlightRecorder) Record(rank int, version int64, kind LifecycleKind, tier, detail string) {
 	if f == nil {
 		return
 	}
 	at := f.now()
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	r := f.ranks[rank]
-	if r == nil {
-		r = &rankRing{}
-		f.ranks[rank] = r
-	}
+	r := f.ring(rank)
+	r.mu.Lock()
 	ev := LifecycleEvent{Rank: rank, Version: version, Kind: kind, Tier: tier, Detail: detail, At: at}
 	if len(r.events) < f.capPerRank {
 		r.events = append(r.events, ev)
@@ -171,6 +181,7 @@ func (f *FlightRecorder) Record(rank int, version int64, kind LifecycleKind, tie
 		r.dropped++
 	}
 	r.nextSeq++
+	r.mu.Unlock()
 }
 
 // Ledger returns rank's retained events in a deterministic order:
@@ -184,13 +195,15 @@ func (f *FlightRecorder) Ledger(rank int) []LifecycleEvent {
 	}
 	f.mu.Lock()
 	r := f.ranks[rank]
+	f.mu.Unlock()
 	var out []LifecycleEvent
 	var seq []uint64
 	if r != nil {
+		r.mu.Lock()
 		out = append(out, r.events...)
 		seq = append(seq, r.seq...)
+		r.mu.Unlock()
 	}
-	f.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.At != b.At {
@@ -248,8 +261,11 @@ func (f *FlightRecorder) Dropped(rank int) int64 {
 		return 0
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if r := f.ranks[rank]; r != nil {
+	r := f.ranks[rank]
+	f.mu.Unlock()
+	if r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		return r.dropped
 	}
 	return 0
@@ -266,17 +282,23 @@ func (f *FlightRecorder) TotalDropped() int64 {
 
 // Flight returns the tracer's flight recorder, creating it at the
 // default capacity on first use. Nil-safe (returns nil on nil tracer,
-// and a nil *FlightRecorder is itself a no-op sink).
+// and a nil *FlightRecorder is itself a no-op sink). The common path is
+// one atomic load: Lifecycle calls this per ledger event.
 func (t *Tracer) Flight() *FlightRecorder {
 	if t == nil {
 		return nil
 	}
+	if f := t.flight.Load(); f != nil {
+		return f
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.flight == nil {
-		t.flight = NewFlightRecorder(t.now, DefaultFlightCap)
+	if f := t.flight.Load(); f != nil {
+		return f
 	}
-	return t.flight
+	f := NewFlightRecorder(t.now, DefaultFlightCap)
+	t.flight.Store(f)
+	return f
 }
 
 // EnableFlightRecorder (re)creates the tracer's flight recorder with an
@@ -286,9 +308,7 @@ func (t *Tracer) EnableFlightRecorder(capPerRank int) *FlightRecorder {
 		return nil
 	}
 	f := NewFlightRecorder(t.now, capPerRank)
-	t.mu.Lock()
-	t.flight = f
-	t.mu.Unlock()
+	t.flight.Store(f)
 	return f
 }
 

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,7 +100,8 @@ type Tracer struct {
 	ctrNext    int
 	evDropped  int64
 	ctrDropped int64
-	flight     *FlightRecorder
+
+	flight atomic.Pointer[FlightRecorder] // created on first use; t.mu guards creation only
 }
 
 // New creates a tracer reading timestamps from now (typically the

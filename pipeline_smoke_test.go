@@ -3,6 +3,7 @@ package score_test
 import (
 	"flag"
 	"testing"
+	"time"
 
 	"score/internal/experiments"
 	"score/internal/report"
@@ -19,6 +20,7 @@ var benchOut = flag.String("bench.out", "", "write pipeline bench records to thi
 // headline metric — it overlaps the PCIe and NVMe hops of every flush and
 // promotion, so it should strictly help here.
 func TestChunkedPipelineSmoke(t *testing.T) {
+	wall := map[int64]time.Duration{}
 	shot := func(chunk int64) experiments.ShotResult {
 		cfg := experiments.ShotConfig{
 			Uniform: true, WaitForFlush: true, Order: rtm.Reverse,
@@ -27,7 +29,9 @@ func TestChunkedPipelineSmoke(t *testing.T) {
 		}
 		benchScale().Apply(&cfg)
 		cfg.ChunkSize = chunk
+		start := time.Now()
 		res, err := experiments.RunShot(cfg)
+		wall[chunk] = time.Since(start)
 		if err != nil {
 			t.Fatalf("chunk=%d: %v", chunk, err)
 		}
@@ -49,10 +53,15 @@ func TestChunkedPipelineSmoke(t *testing.T) {
 	}
 
 	if *benchOut != "" {
-		records := []report.BenchRecord{
-			benchRecord("pipeline/monolithic", mono),
-			benchRecord("pipeline/chunked", chunked),
+		monoRec := benchRecord("pipeline/monolithic", mono)
+		chunkedRec := benchRecord("pipeline/chunked", chunked)
+		if ops := mono.MergedSummary().CheckpointOps; ops > 0 {
+			monoRec.WallNsPerOp = float64(wall[0].Nanoseconds()) / float64(ops)
 		}
+		if ops := chunked.MergedSummary().CheckpointOps; ops > 0 {
+			chunkedRec.WallNsPerOp = float64(wall[benchScale().UniformSize/8].Nanoseconds()) / float64(ops)
+		}
+		records := []report.BenchRecord{monoRec, chunkedRec}
 		if err := report.WriteBenchFile(*benchOut, records); err != nil {
 			t.Fatalf("writing %s: %v", *benchOut, err)
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package score_test
+
+// raceEnabled: see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package score_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose ~20-50× slowdown and shadow-memory allocations make
+// wall-clock and allocs/op gates meaningless.
+const raceEnabled = true
