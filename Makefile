@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet vet-deprecated race chaos chaos-rank chaos-preempt bench bench-smoke fuzz-smoke trace-smoke results clean
+.PHONY: verify build test vet vet-deprecated race chaos chaos-rank chaos-preempt bench bench-smoke bench-evict fuzz-smoke trace-smoke results clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -65,6 +65,13 @@ bench-smoke:
 	$(GO) test -bench BenchmarkAblationChunkedPipeline -benchtime 1x -run '^$$' .
 	$(GO) test -bench BenchmarkSimSpeed -benchmem -benchtime 1x -run '^$$' .
 
+# bench-evict runs the eviction policy × workload ablation matrix once,
+# gates the hit-rate sanity invariants (score ≥ LRU on the RTM scan; at
+# least one DBMS-inspired policy beats LRU on the KV-cache workload —
+# DESIGN.md §15), and emits the matrix as BENCH_evict.json.
+bench-evict:
+	$(GO) test -run TestEvictionMatrixSmoke -v . -args -evict.out=BENCH_evict.json
+
 # trace-smoke exercises the observability layer end to end: the trace
 # determinism and flow-arrow golden tests, then the pipeline experiment
 # with Chrome-trace and score-critpath/v1 exports. -fail-on-unattributed
@@ -89,7 +96,8 @@ FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzIDFIFO -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzCacheEviction -fuzztime $(FUZZTIME) ./internal/cachebuf
+	$(GO) test -run '^$$' -fuzz FuzzEvictionPolicy -fuzztime $(FUZZTIME) ./internal/cachebuf
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_pipeline.json BENCH_preempt.json BENCH_simspeed.json critpath.json trace-pipeline-*.json
+	rm -f BENCH_pipeline.json BENCH_preempt.json BENCH_simspeed.json BENCH_evict.json critpath.json trace-pipeline-*.json

@@ -208,9 +208,10 @@ func ablationShot(b *testing.B, mutate func(*experiments.ShotConfig)) {
 }
 
 // BenchmarkAblationEvictionPolicy compares the paper's gap-aware scored
-// policy (§4.2) against LRU and FIFO windows.
+// policy (§4.2) against every other registered eviction policy (the
+// classic baselines plus the DBMS-inspired suite).
 func BenchmarkAblationEvictionPolicy(b *testing.B) {
-	for _, pol := range []cachebuf.Policy{cachebuf.PolicyScore, cachebuf.PolicyLRU, cachebuf.PolicyFIFO} {
+	for _, pol := range cachebuf.Policies() {
 		pol := pol
 		b.Run(pol.String(), func(b *testing.B) {
 			ablationShot(b, func(cfg *experiments.ShotConfig) { cfg.EvictionPolicy = pol })

@@ -35,6 +35,7 @@ type clientConfig struct {
 	partnerDir    string
 	tracker       *CommitTracker
 	rank          int
+	evictPolicy   string
 }
 
 // WithGPUCache sets the device cache reservation (default 4 GiB, the
@@ -134,6 +135,14 @@ func WithScrubOnOpen() ClientOption {
 // monolithic store-and-forward transfers.
 func WithChunkSize(bytes int64) ClientOption {
 	return func(c *clientConfig) { c.chunkSize = bytes }
+}
+
+// WithEvictionPolicy selects the GPU cache eviction policy by name:
+// "score" (the paper's gap-aware sliding window, the default), "lru",
+// "fifo", or one of the DBMS-inspired policies "lru-k", "2q", "arc",
+// "clock-pro" (DESIGN.md §15). NewClient fails on an unknown name.
+func WithEvictionPolicy(name string) ClientOption {
+	return func(c *clientConfig) { c.evictPolicy = name }
 }
 
 // WithFlushStreams sets the worker count of each flusher stage pool

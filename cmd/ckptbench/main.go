@@ -32,8 +32,8 @@ import (
 
 var experimentNames = []string{
 	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
-	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "rankfail",
-	"pipeline", "preempt", "migrate", "elastic",
+	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "evict",
+	"rankfail", "pipeline", "preempt", "migrate", "elastic",
 }
 
 func main() {
@@ -398,6 +398,12 @@ func run(name string, scale experiments.Scale) error {
 			return err
 		}
 		return abl.Render(os.Stdout)
+	case "evict":
+		res, err := experiments.EvictionMatrix(scale)
+		if err != nil {
+			return err
+		}
+		return res.Render(os.Stdout)
 	case "rankfail":
 		return runRankFail()
 	case "pipeline":

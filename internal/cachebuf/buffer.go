@@ -79,45 +79,11 @@ var (
 	ErrDuplicate = errors.New("cachebuf: checkpoint already resident")
 )
 
-// Policy selects how eviction windows are scored. PolicyScore is the
-// paper's Algorithm 1; PolicyLRU and PolicyFIFO are classic baselines used
-// by the ablation benchmarks (they still honor pinning — eviction of a
-// pinned replica would lose data — but ignore flush estimates and
-// prefetch distances).
-type Policy int
-
-const (
-	// PolicyScore is the gap-aware sliding-window scored policy (§4.2).
-	PolicyScore Policy = iota
-	// PolicyLRU evicts the window whose most recently touched fragment
-	// is least recent.
-	PolicyLRU
-	// PolicyFIFO evicts the window whose most recently inserted
-	// fragment is oldest.
-	PolicyFIFO
-)
-
-// String names the policy.
-func (p Policy) String() string {
-	switch p {
-	case PolicyScore:
-		return "score"
-	case PolicyLRU:
-		return "lru"
-	case PolicyFIFO:
-		return "fifo"
-	}
-	return fmt.Sprintf("Policy(%d)", int(p))
-}
-
 // frag is one fragment: a resident checkpoint or a gap.
 type frag struct {
 	id   ID // gapID for gaps
 	off  int64
 	size int64
-
-	insertSeq int64 // buffer-wide insertion counter (FIFO)
-	touchSeq  int64 // last access counter (LRU)
 
 	// claimed marks the fragment as part of an eviction window another
 	// reservation has selected and is waiting on: no other reservation
@@ -156,7 +122,7 @@ type Buffer struct {
 	reserving bool // serializes window selection + eviction
 	closed    bool
 	policy    Policy
-	seq       int64 // insertion/touch counter
+	ep        EvictionPolicy
 	stats     Stats
 	waitObs   func(time.Duration) // per-wait eviction-stall observer
 }
@@ -178,12 +144,60 @@ func New(clk simclock.Clock, name string, capacity int64, oracle Oracle) *Buffer
 		resident: make(map[ID]struct{}),
 	}
 	b.cond = clk.NewCond(&b.mu)
+	ep, err := PolicyScore.NewPolicy()
+	if err != nil {
+		panic(err) // unreachable: PolicyScore is registered
+	}
+	b.ep = ep
 	return b
 }
 
-// SetPolicy selects the eviction policy (default PolicyScore). Intended
-// for configuration at construction time, before concurrent use.
-func (b *Buffer) SetPolicy(p Policy) { b.policy = p }
+// SetPolicy selects a built-in eviction policy (default PolicyScore).
+// Unknown values are an error — there is no silent fallback. Intended
+// for configuration at construction time, before concurrent use; if
+// called mid-life, the new policy is re-seeded by replaying an insert
+// event for every resident checkpoint in offset order.
+func (b *Buffer) SetPolicy(p Policy) error {
+	ep, err := p.NewPolicy()
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.policy = p
+	b.installPolicyLocked(ep)
+	return nil
+}
+
+// SetEvictionPolicy installs a custom EvictionPolicy implementation
+// (nil panics). The Policy enum reported by PolicyName becomes
+// whatever ep.Name() says. Same re-seeding semantics as SetPolicy.
+func (b *Buffer) SetEvictionPolicy(ep EvictionPolicy) {
+	if ep == nil {
+		panic("cachebuf: nil eviction policy")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.installPolicyLocked(ep)
+}
+
+// installPolicyLocked swaps the policy and replays the current resident
+// set into it so recency-class state starts from a defined point.
+func (b *Buffer) installPolicyLocked(ep EvictionPolicy) {
+	b.ep = ep
+	for _, f := range b.frags {
+		if !f.isGap() {
+			ep.OnInsert(f.id, f.size)
+		}
+	}
+}
+
+// PolicyName reports the active eviction policy's name.
+func (b *Buffer) PolicyName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ep.Name()
+}
 
 // SetWaitObserver installs fn to be called with the duration of every
 // individual eviction wait (the Stats.EvictionWait aggregate, per stall).
@@ -200,17 +214,13 @@ func (b *Buffer) observeWaitLocked(d time.Duration) {
 	}
 }
 
-// Touch records an access to id for the LRU policy; the runtime calls it
-// when a resident checkpoint serves a read.
+// Touch records an access to id for recency/frequency policies; the
+// runtime calls it when a resident checkpoint serves a read.
 func (b *Buffer) Touch(id ID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i := range b.frags {
-		if b.frags[i].id == id {
-			b.seq++
-			b.frags[i].touchSeq = b.seq
-			return
-		}
+	if _, ok := b.resident[id]; ok {
+		b.ep.OnTouch(id)
 	}
 }
 
@@ -347,8 +357,7 @@ func (b *Buffer) placeInGapLocked(id ID, size int64) (int64, bool) {
 		return 0, false
 	}
 	g := b.frags[best]
-	b.seq++
-	nf := frag{id: id, off: g.off, size: size, insertSeq: b.seq, touchSeq: b.seq}
+	nf := frag{id: id, off: g.off, size: size}
 	if g.size == size {
 		b.frags[best] = nf
 	} else {
@@ -359,6 +368,7 @@ func (b *Buffer) placeInGapLocked(id ID, size int64) (int64, bool) {
 		b.frags[best+1] = rest
 	}
 	b.resident[id] = struct{}{}
+	b.ep.OnInsert(id, size)
 	return nf.off, true
 }
 
@@ -421,6 +431,7 @@ func (b *Buffer) evictClaimedLocked(id ID, size int64, startOff, endOff int64) (
 			delete(b.resident, f.id)
 			b.stats.Evictions++
 			b.stats.BytesEvicted += f.size
+			b.ep.OnEvict(f.id)
 			b.oracle.Evicted(f.id)
 		}
 		last++
@@ -432,8 +443,7 @@ func (b *Buffer) evictClaimedLocked(id ID, size int64, startOff, endOff int64) (
 			b.name, windowBytes, size))
 	}
 
-	b.seq++
-	newFrags := []frag{{id: id, off: startOff, size: size, insertSeq: b.seq, touchSeq: b.seq}}
+	newFrags := []frag{{id: id, off: startOff, size: size}}
 	if rest := windowBytes - size; rest > 0 {
 		newFrags = append(newFrags, frag{id: gapID, off: startOff + size, size: rest})
 	}
@@ -441,6 +451,7 @@ func (b *Buffer) evictClaimedLocked(id ID, size int64, startOff, endOff int64) (
 	b.frags = append(b.frags[:first], append(newFrags, tail...)...)
 	b.coalesceLocked()
 	b.resident[id] = struct{}{}
+	b.ep.OnInsert(id, size)
 	b.cond.Broadcast()
 	return startOff, true
 }
@@ -470,104 +481,56 @@ func (b *Buffer) fragAtLocked(off int64) (int, bool) {
 	return 0, false
 }
 
-// bestWindowLocked runs the sliding-window scan of Algorithm 1 and returns
-// the chosen window as a fragment index range [start, end). feasible is
-// false when no window of sufficient size avoids pinned fragments.
-func (b *Buffer) bestWindowLocked(sizeNew int64) (start, end int, feasible bool) {
-	b.stats.WindowScans++
-	if b.policy != PolicyScore {
-		return b.recencyWindowLocked(sizeNew)
-	}
-	n := len(b.frags)
-	j := 0
-	var window int64
-	var pScore, sScore float64
-	var pinned int // pinned fragments in the current window
-	minP := math.Inf(1)
-	maxS := -1.0
-	rStart, rEnd := -1, -1
+// bufferView adapts the locked fragment list to the read-only WindowView
+// the policy layer scans. Valid only while the buffer lock is held.
+type bufferView struct{ b *Buffer }
 
-	for i := 0; i < n; i++ {
-		if i > 0 {
-			prev := b.frags[i-1]
-			p, pin := b.fragPScoreLocked(prev)
-			pScore -= p
-			if pin {
-				pinned--
-			}
-			sScore -= b.fragSScoreLocked(prev)
-			window -= prev.size
-		}
-		for window < sizeNew && j < n {
-			f := b.frags[j]
-			p, pin := b.fragPScoreLocked(f)
-			pScore += p
-			if pin {
-				pinned++
-			}
-			sScore += b.fragSScoreLocked(f)
-			window += f.size
-			j++
-		}
-		if window < sizeNew {
-			break // suffix too small; no further window can fit
-		}
-		if pinned > 0 {
-			continue // window crosses a pinned fragment: infeasible
-		}
-		if pScore < minP || (pScore == minP && sScore > maxS) {
-			minP, maxS = pScore, sScore
-			rStart, rEnd = i, j
-		}
+func (v bufferView) Len() int { return len(v.b.frags) }
+
+func (v bufferView) Frag(i int) (ID, bool) {
+	f := v.b.frags[i]
+	if f.isGap() {
+		return 0, false
 	}
-	if rStart < 0 {
-		return 0, 0, false
-	}
-	return rStart, rEnd, true
+	return f.id, true
 }
 
-// recencyWindowLocked implements the LRU and FIFO ablation policies: the
-// candidate window minimizing the maximum recency (touch or insertion
-// sequence) of its fragments wins. Pinned fragments still exclude a
-// window. O(N²) over the fragment list, which is small.
-func (b *Buffer) recencyWindowLocked(sizeNew int64) (start, end int, feasible bool) {
-	n := len(b.frags)
-	bestScore := int64(math.MaxInt64)
-	rStart, rEnd := -1, -1
-	for i := 0; i < n; i++ {
-		var window int64
-		var maxSeq int64
-		for j := i; j < n; j++ {
-			f := b.frags[j]
-			if f.claimed {
-				break
-			}
-			if !f.isGap() {
-				if _, pinned := b.fragPScoreLocked(f); pinned {
-					break
-				}
-				seq := f.touchSeq
-				if b.policy == PolicyFIFO {
-					seq = f.insertSeq
-				}
-				if seq > maxSeq {
-					maxSeq = seq
-				}
-			}
-			window += f.size
-			if window >= sizeNew {
-				if maxSeq < bestScore {
-					bestScore = maxSeq
-					rStart, rEnd = i, j+1
-				}
-				break
-			}
-		}
-	}
-	if rStart < 0 {
+func (v bufferView) Size(i int) int64 { return v.b.frags[i].size }
+
+func (v bufferView) PScore(i int) (float64, bool) {
+	return v.b.fragPScoreLocked(v.b.frags[i])
+}
+
+func (v bufferView) SScore(i int) float64 {
+	return v.b.fragSScoreLocked(v.b.frags[i])
+}
+
+// bestWindowLocked delegates window selection to the active eviction
+// policy and enforces the pinning contract on whatever comes back: a
+// window that is out of range, too small, or crosses a pinned/claimed
+// fragment is rejected (treated as infeasible) rather than trusted —
+// a buggy policy may stall a reservation but can never evict pinned
+// data.
+func (b *Buffer) bestWindowLocked(sizeNew int64) (start, end int, feasible bool) {
+	b.stats.WindowScans++
+	start, end, feasible = b.ep.SelectWindow(bufferView{b}, sizeNew)
+	if !feasible {
 		return 0, 0, false
 	}
-	return rStart, rEnd, true
+	if start < 0 || end > len(b.frags) || start >= end {
+		return 0, 0, false
+	}
+	var window int64
+	for i := start; i < end; i++ {
+		if _, pinned := b.fragPScoreLocked(b.frags[i]); pinned {
+			return 0, 0, false
+		}
+		window += b.frags[i].size
+	}
+	if window < sizeNew {
+		return 0, 0, false
+	}
+	return start, end, true
 }
 
 // fragPScoreLocked returns the estimated seconds until the fragment
@@ -612,6 +575,7 @@ func (b *Buffer) Release(id ID) bool {
 		}
 	}
 	delete(b.resident, id)
+	b.ep.OnRelease(id)
 	b.coalesceLocked()
 	b.cond.Broadcast()
 	return true

@@ -106,8 +106,11 @@ func FuzzCacheEviction(f *testing.F) {
 					o.evictable[id] = true
 				case 5: // give the id a prefetch distance (s_score input)
 					o.distance[id] = int(op)
-				case 6: // switch eviction policy
-					b.SetPolicy(Policy(int(op) % 3))
+				case 6: // switch eviction policy (all registered policies)
+					pols := Policies()
+					if err := b.SetPolicy(pols[int(op)%len(pols)]); err != nil {
+						t.Fatalf("op %d: SetPolicy: %v", i, err)
+					}
 				case 7: // pin again: freshly reserved replicas start pinned
 					delete(o.evictable, id)
 				}

@@ -8,12 +8,58 @@ import (
 )
 
 func TestPolicyStrings(t *testing.T) {
-	if PolicyScore.String() != "score" || PolicyLRU.String() != "lru" || PolicyFIFO.String() != "fifo" {
-		t.Error("unexpected policy names")
+	want := map[Policy]string{
+		PolicyScore: "score", PolicyLRU: "lru", PolicyFIFO: "fifo",
+		PolicyLRUK: "lru-k", Policy2Q: "2q", PolicyARC: "arc", PolicyClockPro: "clock-pro",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), name)
+		}
 	}
 	if Policy(9).String() != "Policy(9)" {
 		t.Error("out-of-range policy should format numerically")
 	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+		ep, err := p.NewPolicy()
+		if err != nil {
+			t.Fatalf("NewPolicy(%v): %v", p, err)
+		}
+		if ep.Name() != p.String() {
+			t.Errorf("policy %v names itself %q", p, ep.Name())
+		}
+	}
+	if _, err := ParsePolicy("mru"); err == nil {
+		t.Error("ParsePolicy of unregistered name should fail")
+	}
+}
+
+// Regression: unknown Policy values used to fall through silently to the
+// score policy; they must now be a constructor error everywhere.
+func TestUnknownPolicyIsError(t *testing.T) {
+	bogus := Policy(99)
+	if bogus.Known() {
+		t.Fatal("Policy(99) should not be known")
+	}
+	if _, err := bogus.NewPolicy(); err == nil {
+		t.Error("NewPolicy on unknown policy should fail")
+	}
+	runSim(t, func(clk *simclock.Virtual) {
+		b := New(clk, "gpu", 100, newFakeOracle())
+		if err := b.SetPolicy(bogus); err == nil {
+			t.Error("SetPolicy(Policy(99)) should fail")
+		}
+		if b.PolicyName() != "score" {
+			t.Errorf("failed SetPolicy changed the active policy to %q", b.PolicyName())
+		}
+	})
 }
 
 func TestLRUPolicyEvictsLeastRecentlyTouched(t *testing.T) {

@@ -102,9 +102,15 @@ func New(p Params) (*Client, error) {
 		c.gpuC = cachebuf.New(c.clk, fmt.Sprintf("gpu%d-cache", p.GPU.ID()),
 			p.GPUCacheSize, gpuOracle)
 	}
-	c.gpuC.SetPolicy(p.GPUEvictionPolicy)
+	// validate() already rejected unknown policies, so these cannot fail;
+	// checked anyway so a registry regression surfaces at construction.
+	if err := c.gpuC.SetPolicy(p.GPUEvictionPolicy); err != nil {
+		return nil, err
+	}
 	if c.gpuP != nil {
-		c.gpuP.SetPolicy(p.GPUEvictionPolicy)
+		if err := c.gpuP.SetPolicy(p.GPUEvictionPolicy); err != nil {
+			return nil, err
+		}
 	}
 	// Per-stall eviction-wait observations feed the latency histogram.
 	// Only buffers owned by this client get an observer: a shared host

@@ -251,6 +251,8 @@ func (p Params) validate() error {
 		return errors.New("core: Params.FlushStreams must be non-negative")
 	case (p.PartnerStore == nil) != (len(p.PartnerPath) == 0):
 		return errors.New("core: PartnerStore and PartnerPath must be set together")
+	case !p.GPUEvictionPolicy.Known():
+		return fmt.Errorf("core: unknown Params.GPUEvictionPolicy %d", int(p.GPUEvictionPolicy))
 	}
 	return nil
 }

@@ -73,8 +73,8 @@ func Ablations(scale Scale) (AblationResult, error) {
 		return nil
 	}
 
-	// §4.2 eviction policy.
-	for _, pol := range []cachebuf.Policy{cachebuf.PolicyScore, cachebuf.PolicyLRU, cachebuf.PolicyFIFO} {
+	// §4.2 eviction policy — every registered policy, on the full client.
+	for _, pol := range cachebuf.Policies() {
 		pol := pol
 		res, err := irregular(func(c *ShotConfig) { c.EvictionPolicy = pol })
 		if err := add("eviction policy (§4.2)", pol.String(), res, err); err != nil {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"score/internal/cachebuf"
 )
 
 func TestAblationsSmokeAndShapes(t *testing.T) {
@@ -14,8 +16,11 @@ func TestAblationsSmokeAndShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(abl.Rows) != 12 {
-		t.Fatalf("ablation rows = %d, want 12", len(abl.Rows))
+	// One row per registered eviction policy plus the nine fixed
+	// variants of the other principles.
+	wantRows := len(cachebuf.Policies()) + 9
+	if len(abl.Rows) != wantRows {
+		t.Fatalf("ablation rows = %d, want %d", len(abl.Rows), wantRows)
 	}
 	byKey := map[string]AblationRow{}
 	for _, r := range abl.Rows {

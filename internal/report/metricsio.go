@@ -72,6 +72,9 @@ type BenchRecord struct {
 	// OverlapRatio is hidden transfer time over summed hop busy time
 	// (0 = store-and-forward, approaching 1 with deep pipelines).
 	OverlapRatio float64 `json:"overlap_ratio"`
+	// HitRate is the cache hit fraction [0,1] for cache-policy cases
+	// (the eviction ablation matrix); omitted elsewhere.
+	HitRate float64 `json:"hit_rate,omitempty"`
 }
 
 // benchFile is the on-disk envelope of a bench-record set.

@@ -94,6 +94,7 @@ func TestBenchRecordsRoundTrip(t *testing.T) {
 	records := []BenchRecord{
 		{Name: "pipeline/mono", NsPerOp: 2.5e6, BytesMoved: 64 << 20, OverlapRatio: 0},
 		{Name: "pipeline/chunked", NsPerOp: 1.2e6, BytesMoved: 64 << 20, OverlapRatio: 0.55},
+		{Name: "evict/kv/arc", NsPerOp: 3.2e5, BytesMoved: 32 << 20, HitRate: 0.958},
 	}
 	var buf bytes.Buffer
 	if err := WriteBenchRecords(&buf, records); err != nil {
@@ -103,15 +104,21 @@ func TestBenchRecordsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("round-trip kept %d records, want 2", len(got))
+	if len(got) != 3 {
+		t.Fatalf("round-trip kept %d records, want 3", len(got))
 	}
 	// Writer sorts by name for stable diffs.
-	if got[0].Name != "pipeline/chunked" || got[1].Name != "pipeline/mono" {
-		t.Errorf("records not sorted by name: %q, %q", got[0].Name, got[1].Name)
+	if got[0].Name != "evict/kv/arc" || got[1].Name != "pipeline/chunked" || got[2].Name != "pipeline/mono" {
+		t.Errorf("records not sorted by name: %q, %q, %q", got[0].Name, got[1].Name, got[2].Name)
 	}
-	if got[0].OverlapRatio != 0.55 || got[0].BytesMoved != 64<<20 || got[0].NsPerOp != 1.2e6 {
-		t.Errorf("chunked record did not round-trip: %+v", got[0])
+	if got[1].OverlapRatio != 0.55 || got[1].BytesMoved != 64<<20 || got[1].NsPerOp != 1.2e6 {
+		t.Errorf("chunked record did not round-trip: %+v", got[1])
+	}
+	if got[0].HitRate != 0.958 {
+		t.Errorf("hit rate did not round-trip: %+v", got[0])
+	}
+	if got[1].HitRate != 0 {
+		t.Errorf("zero hit rate should stay zero after round-trip: %+v", got[1])
 	}
 }
 

@@ -206,3 +206,37 @@ func TestCustomBandwidths(t *testing.T) {
 		}
 	})
 }
+
+func TestWithEvictionPolicy(t *testing.T) {
+	sim, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(func() {
+		c, err := sim.NewClient(0, 0, score.WithEvictionPolicy("lru-k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		data := bytes.Repeat([]byte{0x5c}, 4096)
+		if err := c.Checkpoint(1, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Restart(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip under lru-k policy lost data")
+		}
+	})
+	sim2, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Run(func() {
+		if _, err := sim2.NewClient(0, 0, score.WithEvictionPolicy("mru")); err == nil {
+			t.Error("unknown eviction policy name accepted")
+		}
+	})
+}

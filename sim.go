@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"score/internal/cachebuf"
 	"score/internal/ckptstore"
 	"score/internal/core"
 	"score/internal/device"
@@ -391,6 +392,14 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 	if cc.tracker != nil {
 		commit = cc.tracker.inner
 	}
+	var evictPolicy cachebuf.Policy // zero value is PolicyScore, the default
+	if cc.evictPolicy != "" {
+		p, err := cachebuf.ParsePolicy(cc.evictPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("score: %w", err)
+		}
+		evictPolicy = p
+	}
 	client, err := core.New(core.Params{
 		Clock:               s.clock(),
 		GPU:                 dev,
@@ -398,6 +407,7 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		PFS:                 n.PFS,
 		GPUCacheSize:        cc.gpuCache,
 		HostCacheSize:       cc.hostCache,
+		GPUEvictionPolicy:   evictPolicy,
 		DiscardAfterRestore: cc.discard,
 		PersistToPFS:        cc.persistPFS,
 		AutoStartPrefetch:   cc.autoPrefetch,
