@@ -36,6 +36,7 @@ type clientConfig struct {
 	tracker       *CommitTracker
 	rank          int
 	evictPolicy   string
+	hedge         bool
 }
 
 // WithGPUCache sets the device cache reservation (default 4 GiB, the
@@ -151,6 +152,20 @@ func WithEvictionPolicy(name string) ClientOption {
 // the GPU's copy-engine count when WithChunkSize is enabled.
 func WithFlushStreams(n int) ClientOption {
 	return func(c *clientConfig) { c.flushStreams = n }
+}
+
+// WithHedgedRestores enables gray-failure tolerance: deep restores race
+// a hedge leg against the next-deeper replica (SSD → partner SSD → PFS)
+// once the running leg exceeds its adaptive deadline — the online
+// estimate for its link class — background flush legs that stall past
+// their deadline re-route to an alternate durable tier, and link classes
+// whose EWMA health score breaches the quarantine threshold are taken
+// out of rotation until probes show them recovered. First success wins;
+// every checkpoint still gets exactly one fate and restores never see
+// wrong bytes. Off by default: without it (and without injected gray
+// faults) the runtime behaves byte-identically to the sequential ladder.
+func WithHedgedRestores() ClientOption {
+	return func(c *clientConfig) { c.hedge = true }
 }
 
 // WithFaultInjector attaches a fault-injection schedule (see
@@ -313,6 +328,19 @@ type Stats struct {
 	// MigratedBytes what they copied to the successor;
 	// MigrationFailures per-version copies that failed through retries.
 	Migrations, MigratedVersions, MigratedBytes, MigrationFailures int64
+	// HedgesLaunched counts hedge legs launched against a deeper replica
+	// after a deep read ran past its adaptive deadline
+	// (WithHedgedRestores); HedgeWins how many of those hedge legs won
+	// their race; HedgeWastedBytes the bytes moved by legs that lost.
+	HedgesLaunched, HedgeWins, HedgeWastedBytes int64
+	// StallsDetected counts background flush legs that ran past their
+	// adaptive deadline without failing (gray stalls); StallsRerouted how
+	// many of those flushes went durable on an alternate tier instead.
+	StallsDetected, StallsRerouted int64
+	// HealthQuarantines counts tiers taken out of rotation because their
+	// EWMA health score breached — gray failures, where operations
+	// succeed but run far slower than nominal.
+	HealthQuarantines int64
 }
 
 // PredictedHints reports how many hints the auto-hint predictor has
@@ -370,6 +398,12 @@ func (c *Client) Stats() Stats {
 		MigratedVersions:       s.MigratedVersions,
 		MigratedBytes:          s.MigratedBytes,
 		MigrationFailures:      s.MigrationFailures,
+		HedgesLaunched:         s.HedgesLaunched,
+		HedgeWins:              s.HedgeWins,
+		HedgeWastedBytes:       s.HedgeWastedBytes,
+		StallsDetected:         s.StallsDetected,
+		StallsRerouted:         s.StallsRerouted,
+		HealthQuarantines:      s.HealthQuarantines,
 	}
 }
 

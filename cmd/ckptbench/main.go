@@ -33,7 +33,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
 	"fig7", "fig8a", "fig8b", "fig9a", "fig9b", "ablations", "evict",
-	"rankfail", "pipeline", "preempt", "migrate", "elastic",
+	"rankfail", "pipeline", "preempt", "migrate", "elastic", "straggler",
 }
 
 func main() {
@@ -418,6 +418,8 @@ func run(name string, scale experiments.Scale) error {
 		return runMigrate()
 	case "elastic":
 		return runElastic()
+	case "straggler":
+		return runStraggler()
 	default:
 		return fmt.Errorf("unknown experiment %q (registered: %s)", name, strings.Join(experimentNames, ", "))
 	}
@@ -469,6 +471,37 @@ func runPreempt(scale experiments.Scale) error {
 		fmt.Printf("  v%-3d %-10s %-16s %-24s t=%v\n", e.Version, sizeMB(e.Size), e.Outcome, detail, e.At)
 	}
 	return nil
+}
+
+// runStraggler sweeps NVMe slowdown severity with hedged restores off
+// and on and prints the restore-tail contrast: the gray-failure
+// machinery's value is the gap between the two P99 columns at high
+// severity (hedge wins racing the PFS replica, or a health quarantine
+// routing around the straggler entirely).
+func runStraggler() error {
+	res, err := experiments.Straggler(experiments.StragglerConfig{})
+	if err != nil {
+		return err
+	}
+	backlog := float64(int64(res.Config.Checkpoints)*res.Config.Size) / 1e9
+	tab := report.NewTable(
+		fmt.Sprintf("Straggler restores — %.1f GB over a silently degraded NVMe link, SSD→PFS hedge ladder", backlog),
+		"severity", "mode", "restores", "p50", "p99", "max", "hedges (wins)", "wasted", "stalls (rerouted)", "quarantines")
+	for _, c := range res.Cells {
+		mode := "unhedged"
+		if c.Hedged {
+			mode = "hedged"
+		}
+		tab.AddRow(
+			fmt.Sprintf("%g×", c.Severity), mode, c.Restores,
+			c.P50, c.P99, c.Max,
+			fmt.Sprintf("%d (%d)", c.HedgesLaunched, c.HedgeWins),
+			sizeMB(c.HedgeWastedBytes),
+			fmt.Sprintf("%d (%d)", c.StallsDetected, c.StallsRerouted),
+			c.HealthQuarantines,
+		)
+	}
+	return tab.Render(os.Stdout)
 }
 
 // runMigrate runs the live-migration scenario twice — clean and with an

@@ -1,0 +1,174 @@
+package score_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"score"
+)
+
+// TestRestoreErrorClassification pins the error taxonomy of the hedged
+// restore ladder: a restore either succeeds (possibly by re-routing
+// around failed legs), fails with ErrTierIO when replicas exist but
+// every leg's I/O kept failing, or fails with ErrLost when no tier
+// holds a readable copy at all. All three verdicts must survive the
+// %w-wrapping through retry, hedge race, and flush re-route paths so
+// callers can classify them with errors.Is against the public API.
+func TestRestoreErrorClassification(t *testing.T) {
+	const (
+		n       = 6
+		payLen  = 128 << 10
+		version = 0 // always probe the oldest — guaranteed evicted below host
+	)
+
+	cases := []struct {
+		name string
+		opts []score.ClientOption
+		// rules installed before the run starts.
+		rules func() []score.FaultRule
+		// arm fires after the flush chain drained, before the probe
+		// restore — the mid-run gray-to-black transition.
+		arm       func(inj *score.FaultInjector, now time.Duration)
+		wantIs    []error
+		wantNotIs []error
+		wantBytes bool
+	}{
+		{
+			name:      "healthy ladder restores",
+			opts:      []score.ClientOption{score.WithPersistToPFS()},
+			wantBytes: true,
+		},
+		{
+			name: "SSD leg dead, PFS leg re-routes",
+			opts: []score.ClientOption{score.WithPersistToPFS()},
+			arm: func(inj *score.FaultInjector, now time.Duration) {
+				inj.Add(score.FailAfter(score.FaultNVMe, now))
+			},
+			wantBytes: true,
+		},
+		{
+			name: "every deep leg fails: tier I/O, not loss",
+			opts: []score.ClientOption{score.WithPersistToPFS()},
+			arm: func(inj *score.FaultInjector, now time.Duration) {
+				inj.Add(
+					score.FailAfter(score.FaultNVMe, now),
+					score.FailAfter(score.FaultPFS, now))
+			},
+			wantIs:    []error{score.ErrTierIO, score.ErrFaultInjected},
+			wantNotIs: []error{score.ErrLost},
+		},
+		{
+			// PCIe dead from t=0: checkpoints never leave the GPU, cache
+			// pressure forces sacrificial evictions, and the evicted
+			// versions are gone for good. The verdict must be ErrLost
+			// alone — the flush-abort cause (a tier I/O failure on an
+			// injected fault) appears as detail text, deliberately NOT
+			// %w-wrapped: loss is terminal, and a chain that also matched
+			// ErrTierIO or ErrFaultInjected would read as retryable.
+			name: "no durable route ever existed: loss",
+			rules: func() []score.FaultRule {
+				return []score.FaultRule{score.FailAfter(score.FaultPCIe, 0)}
+			},
+			wantIs:    []error{score.ErrLost},
+			wantNotIs: []error{score.ErrTierIO, score.ErrFaultInjected},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := score.NewSim()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rules []score.FaultRule
+			if tc.rules != nil {
+				rules = tc.rules()
+			}
+			inj := sim.NewFaultInjector(11, rules...)
+			payloads := make([][]byte, n)
+			for v := range payloads {
+				payloads[v] = bytes.Repeat([]byte{byte(0x31 * (v + 1))}, payLen)
+			}
+			sim.Run(func() {
+				opts := append([]score.ClientOption{
+					// Caches hold ~2 versions each, so the probe version is
+					// long gone below the host tier by restore time.
+					score.WithGPUCache(256 << 10), score.WithHostCache(256 << 10),
+					score.WithHedgedRestores(),
+					score.WithFaultInjector(inj),
+				}, tc.opts...)
+				c, err := sim.NewClient(0, 0, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				for v := 0; v < n; v++ {
+					if err := c.Checkpoint(int64(v), payloads[v]); err != nil {
+						t.Fatalf("checkpoint %d: %v", v, err)
+					}
+					c.Compute(time.Millisecond)
+				}
+				// The loss case's flush chain is allowed (expected) to fail:
+				// its only durable route is dead from t=0.
+				flushErr := c.WaitFlush()
+				if flushErr != nil && len(rules) == 0 {
+					t.Fatalf("flush failed without a pre-installed outage: %v", flushErr)
+				}
+				if tc.arm != nil {
+					tc.arm(inj, sim.Clock().Now())
+				}
+				if tc.wantBytes {
+					got, err := c.Restart(version)
+					if err != nil {
+						t.Fatalf("restart %d: %v, want success", version, err)
+					}
+					if !bytes.Equal(got, payloads[version]) {
+						t.Fatalf("restart %d: not bit-exact", version)
+					}
+				} else {
+					checkFailureClassification(t, c, payloads, tc.wantIs, tc.wantNotIs)
+				}
+				if err := c.CheckMetricsInvariants(false); err != nil {
+					t.Errorf("metrics invariants: %v", err)
+				}
+			})
+		})
+	}
+}
+
+// checkFailureClassification probes every version: sacrificial eviction
+// picks its victims by cache policy, not age, so each one must either
+// restore bit-exact or fail with exactly the expected classification;
+// at least one must fail.
+func checkFailureClassification(t *testing.T, c *score.Client, payloads [][]byte, wantIs, wantNotIs []error) {
+	t.Helper()
+	failures := 0
+	for v := 0; v < len(payloads); v++ {
+		got, err := c.Restart(int64(v))
+		if err == nil {
+			if !bytes.Equal(got, payloads[v]) {
+				t.Errorf("restart %d: returned wrong bytes instead of an error", v)
+			}
+			continue
+		}
+		failures++
+		if got != nil {
+			t.Errorf("restart %d returned bytes alongside error %v", v, err)
+		}
+		for _, want := range wantIs {
+			if !errors.Is(err, want) {
+				t.Errorf("errors.Is(%v, %v) = false, want true", err, want)
+			}
+		}
+		for _, not := range wantNotIs {
+			if errors.Is(err, not) {
+				t.Errorf("errors.Is(%v, %v) = true, want false", err, not)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Error("every restore succeeded, want at least one classified failure")
+	}
+}

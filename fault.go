@@ -1,6 +1,9 @@
 package score
 
-import "score/internal/faultinject"
+import (
+	"score/internal/core"
+	"score/internal/faultinject"
+)
 
 // This file re-exports the fault-injection vocabulary so applications can
 // build schedules against the public API alone. A FaultInjector is
@@ -43,6 +46,18 @@ const (
 // errors.Is to tell injected faults from real ones.
 var ErrFaultInjected = faultinject.ErrInjected
 
+// Definitive restore outcomes, re-exported so applications can classify
+// failures with errors.Is against the public API alone.
+var (
+	// ErrLost: no tier holds a readable copy of the checkpoint. This is
+	// the terminal verdict of the whole degradation ladder — sequential
+	// or hedged — and of a drain that failed a version open.
+	ErrLost = core.ErrLost
+	// ErrTierIO: a tier I/O operation kept failing through every retry.
+	// Restore errors that carry it name the deepest leg that failed.
+	ErrTierIO = core.ErrTierIO
+)
+
 // Rule constructors, mirroring internal/faultinject.
 var (
 	// FailNth fails the Nth operation at site (1-based).
@@ -67,4 +82,12 @@ var (
 	// DelayOps adds fixed latency to operations at site within
 	// [after, until).
 	DelayOps = faultinject.Delay
+	// JitterOps adds random latency drawn uniformly from [0, max) to each
+	// operation at site within [after, until) — gray-failure tail noise.
+	JitterOps = faultinject.Jitter
+	// StallWindow pins every operation at site arriving inside
+	// [after, until) until the window closes — a bounded gray stall:
+	// the operations eventually succeed, they just take until the stall
+	// clears.
+	StallWindow = faultinject.StallWindow
 )

@@ -66,6 +66,15 @@ type Client struct {
 	rnd   *rand.Rand // retry jitter; seeded for deterministic replays
 
 	daemons *simclock.WaitGroup
+	// hedgeWG tracks the gray-failure background legs (hedge reads still
+	// in flight after their race was decided, stalled SSD writers that
+	// were re-routed around); Close joins it so no leg outlives the
+	// client.
+	hedgeWG *simclock.WaitGroup
+	// health estimates per-link-class latency quantiles and EWMA
+	// slowdown scores, driving adaptive hedge/stall deadlines and
+	// quarantine-on-breach.
+	health *tierHealth
 }
 
 // New creates and starts a Client. The caller must Close it to stop the
@@ -84,6 +93,8 @@ func New(p Params) (*Client, error) {
 	}
 	c.cond = c.clk.NewCond(&c.mu)
 	c.daemons = simclock.NewWaitGroup(c.clk)
+	c.hedgeWG = simclock.NewWaitGroup(c.clk)
+	c.health = newTierHealth()
 	c.rnd = rand.New(rand.NewSource(p.FaultSeed*0x9E3779B9 + int64(p.GPU.ID()) + 1))
 
 	// Pre-allocate the contiguous device cache (§4.1.4). The HBM
@@ -331,6 +342,10 @@ func (c *Client) Close() {
 		c.hstC.Notify()
 	}
 	c.daemons.Wait()
+	// Gray-failure background legs (hedge losers, re-routed stalled
+	// writers) finish on their own in bounded virtual time; join them so
+	// nothing references the client after Close returns.
+	c.hedgeWG.Wait()
 }
 
 // notifyGPU wakes reservations on every GPU-side buffer.

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"score/internal/cachebuf"
 	"score/internal/ckptstore"
 	"score/internal/lifecycle"
 	"score/internal/metrics"
+	"score/internal/simclock"
 	"score/internal/trace"
 )
 
@@ -290,7 +292,13 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool, att *attrib) error {
 	if !ssdRep.hasData() {
 		ssdRep.fsm.MustTo(lifecycle.WriteInProgress)
 		c.lifecycle(ck.id, trace.LHopStart, "ssd", "")
-		err := c.writeSSD(ck, fromGPU, att)
+		err, rerouted := c.writeSSDGuarded(ck, fromGPU, att, ssdRep)
+		if rerouted {
+			// The write stalled past its adaptive deadline and the flush
+			// went durable on the PFS instead; the SSD leg finalizes
+			// itself in the background when (if) it completes.
+			return nil
+		}
 		if err == nil {
 			// The write landed, but only a live process gets credit for a
 			// durable transition — a kill racing the flush must resolve
@@ -343,6 +351,130 @@ func (c *Client) directToSSD(ck *checkpoint, fromGPU bool, att *attrib) error {
 	return nil
 }
 
+// writeSSDGuarded runs writeSSD under a stall watchdog when gray-failure
+// handling is enabled (Params.Hedge with a PFS configured): the write
+// runs in a background task and the caller waits with an adaptive
+// deadline (the health estimator's median-with-headroom estimate for
+// the SSD class). A write that
+// runs past the deadline without failing — a gray stall — is detected
+// and the flush re-routes to the PFS; on reroute success the SSD leg is
+// abandoned to finish on its own (first durable copy decides the fate —
+// accountFate keeps it single) and rerouted=true tells the caller to
+// skip the normal SSD completion path. Without hedging this reduces to
+// a plain writeSSD call, byte-identical to the seed.
+func (c *Client) writeSSDGuarded(ck *checkpoint, fromGPU bool, att *attrib, ssdRep *replica) (err error, rerouted bool) {
+	if !c.p.Hedge || c.p.PFS == nil {
+		start := c.clk.Now()
+		err := c.writeSSD(ck, fromGPU, att)
+		if err == nil {
+			c.observeHealth(TierSSD, ck.size, c.clk.Now()-start)
+		}
+		return err, false
+	}
+
+	type waitState struct {
+		mu        sync.Mutex
+		cond      simclock.Cond
+		done      bool
+		err       error
+		abandoned bool
+	}
+	ws := &waitState{}
+	ws.cond = c.clk.NewCond(&ws.mu)
+	start := c.clk.Now()
+	c.hedgeWG.Add(1)
+	c.clk.Go(func() {
+		defer c.hedgeWG.Done()
+		werr := c.writeSSD(ck, fromGPU, nil)
+		ws.mu.Lock()
+		ws.done, ws.err = true, werr
+		abandoned := ws.abandoned
+		ws.cond.Broadcast()
+		ws.mu.Unlock()
+		if !abandoned {
+			return // the waiter owns the completion path
+		}
+		// The waiter re-routed and moved on; finalize the SSD leg here
+		// with the same rules the foreground path would have applied.
+		if werr == nil {
+			werr = c.killGate()
+		}
+		if werr != nil {
+			c.mu.Lock()
+			if ck.replicas[TierSSD] == ssdRep {
+				delete(ck.replicas, TierSSD)
+			}
+			c.mu.Unlock()
+			if !isShutdownErr(werr) {
+				c.degradeTier(TierSSD)
+			}
+		} else {
+			c.observeHealth(TierSSD, ck.size, c.clk.Now()-start)
+			c.healTier(TierSSD)
+			ssdRep.fsm.MustTo(lifecycle.WriteComplete)
+			ssdRep.fsm.MustTo(lifecycle.Flushed)
+			c.lifecycle(ck.id, trace.LHopEnd, "ssd", "late completion after stall reroute")
+			// No-op: the reroute already decided the fate as durable.
+			c.accountFate(ck, fateDurable)
+		}
+		c.notifyGPU()
+		c.hstC.Notify()
+	})
+
+	deadline := c.health.deadline("ssd", ck.size, c.p.HedgeDelayFloor)
+	ws.mu.Lock()
+	for deadline == 0 && !ws.done {
+		// The SSD class has no observations yet, so there is nothing to
+		// judge a stall against — the estimator has to earn the right to
+		// call a write slow. Wait it out undeadlined (cold-start writes
+		// would otherwise misfire the guard on the configured floor).
+		ws.cond.Wait()
+	}
+	for !ws.done {
+		if wait := start + deadline - c.clk.Now(); wait > 0 {
+			ws.cond.WaitTimeout(wait)
+			continue
+		}
+		// Gray stall: the write is past its deadline and still running.
+		ws.mu.Unlock()
+		c.rec.StallDetected()
+		c.lifecycle(ck.id, trace.LStalled, "ssd", fmt.Sprintf("write past its %v deadline", deadline))
+		rrStart := c.clk.Now()
+		rerr := c.routeToPFS(ck, fromGPU, att)
+		ws.mu.Lock()
+		if rerr == nil && !ws.done {
+			ws.abandoned = true
+			c.rec.StallRerouted()
+			c.rec.ObserveDuration(metrics.HistStallReroute, c.clk.Now()-rrStart)
+			ws.mu.Unlock()
+			return nil, true
+		}
+		if rerr == nil {
+			// The write finished while we were re-routing: take the
+			// normal completion path after all (the reroute already
+			// decided the fate; the foreground accounting is a no-op).
+			c.rec.StallRerouted()
+			c.rec.ObserveDuration(metrics.HistStallReroute, c.clk.Now()-rrStart)
+			break
+		}
+		// The alternate route failed too: nothing left but to wait the
+		// SSD write out and let the normal path decide.
+		for !ws.done {
+			ws.cond.Wait()
+		}
+		break
+	}
+	err = ws.err
+	ws.mu.Unlock()
+	if err == nil {
+		c.observeHealth(TierSSD, ck.size, c.clk.Now()-start)
+		// The background writer carries no attribution; charge the whole
+		// guarded window to the SSD transfer component.
+		c.mark(att, metrics.CompXferSSD)
+	}
+	return err, false
+}
+
 // writeSSD charges the transfers and durable write of the SSD flush,
 // with per-hop retries (or a whole-stream retry when chunked). fromGPU
 // adds the PCIe hop.
@@ -384,6 +516,7 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool, att *attrib) error {
 	}
 	pfsRep.fsm.MustTo(lifecycle.WriteInProgress)
 	c.lifecycle(ck.id, trace.LHopStart, "pfs", "")
+	xferStart := c.clk.Now()
 	err := func() error {
 		if err := c.transferDown(ck, fromGPU, c.p.PFS, "pfs", "PFS write", att); err != nil {
 			return err
@@ -415,6 +548,7 @@ func (c *Client) routeToPFS(ck *checkpoint, fromGPU bool, att *attrib) error {
 		c.mu.Unlock()
 		return err
 	}
+	c.observeHealth(TierPFS, ck.size, c.clk.Now()-xferStart)
 	pfsRep.fsm.MustTo(lifecycle.WriteComplete)
 	pfsRep.fsm.MustTo(lifecycle.Flushed) // terminal durable tier
 	c.lifecycle(ck.id, trace.LHopEnd, "pfs", "")
@@ -451,6 +585,7 @@ func (c *Client) routeToPartner(ck *checkpoint) {
 			fmt.Sprintf("replicate %d → partner ssd", ck.id), c.flowID(ck.id))()
 	}
 	rep.fsm.MustTo(lifecycle.WriteInProgress)
+	xferStart := c.clk.Now()
 	err := func() error {
 		if err := c.retryIOAttr(ck, nil, "", "partner", "partner copy", func() error {
 			return c.partnerHop(ck.size, true)
@@ -482,6 +617,7 @@ func (c *Client) routeToPartner(ck *checkpoint) {
 		}
 		return
 	}
+	c.observeHealth(TierPartner, ck.size, c.clk.Now()-xferStart)
 	rep.fsm.MustTo(lifecycle.WriteComplete)
 	rep.fsm.MustTo(lifecycle.Flushed) // durable the moment the put lands
 	c.healTier(TierPartner)

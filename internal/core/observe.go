@@ -138,6 +138,15 @@ func (c *Client) RegisterProbes(s *metrics.Sampler, prefix string) {
 	s.Register(name("tiers.recoveries"), func() float64 {
 		return float64(c.rec.TierRecoveryCount())
 	})
+	// Per-link-class gray-failure health: the EWMA slowdown ratio of each
+	// deep link class (1.0 = nominal, 0 = no samples yet). Sampled so
+	// dashboards see the degradation building before a quarantine trips.
+	for _, class := range []string{"ssd", "partner", "pfs"} {
+		class := class
+		s.Register(name("health."+class), func() float64 {
+			return c.health.score(class)
+		})
+	}
 	s.Register(name("drain.active"), func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()

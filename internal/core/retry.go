@@ -150,8 +150,10 @@ func isShutdownErr(err error) bool {
 // host→PFS directly and reads prefer the PFS replica; a degraded host
 // makes D2H flushes stream GPU→SSD. Only the first transition counts as
 // a Degradation; a failed recovery probe merely refreshes the quarantine
-// timestamp.
-func (c *Client) degradeTier(t Tier) {
+// timestamp. Returns whether this call made the transition (false when
+// the tier was already degraded), so health-triggered quarantines can
+// account themselves exactly once.
+func (c *Client) degradeTier(t Tier) bool {
 	c.mu.Lock()
 	already := c.degraded[t]
 	c.degraded[t] = true
@@ -161,12 +163,13 @@ func (c *Client) degradeTier(t Tier) {
 	}
 	c.mu.Unlock()
 	if already {
-		return
+		return false
 	}
 	c.rec.Degradation(t.String())
 	c.lifecycle(-1, trace.LDegraded, t.String(), "")
 	c.notifyGPU()
 	c.hstC.Notify()
+	return true
 }
 
 // tierDegraded reports whether t should currently be skipped. A degraded
@@ -187,8 +190,16 @@ func (c *Client) tierDegraded(t Tier) bool {
 
 // healTier clears a degradation after an operation on t succeeded — the
 // recovery half of the degradation ladder. A no-op on healthy tiers, so
-// success paths call it unconditionally.
+// success paths call it unconditionally. Under gray-failure handling a
+// success is not enough: a probe that completes slowly keeps the tier's
+// health score breached, and the quarantine stands until the EWMA
+// recovers — succeeding is necessary but not sufficient to rejoin.
 func (c *Client) healTier(t Tier) {
+	if c.p.Hedge {
+		if class := healthClass(t); class != "" && c.health.breached(class) {
+			return
+		}
+	}
 	c.mu.Lock()
 	healed := c.degraded[t]
 	if healed {
@@ -227,6 +238,14 @@ func (c *Client) DegradedTiers() []Tier {
 // goes). A checkpoint with no readable deep replica is definitively
 // lost.
 func (c *Client) readDeep(ck *checkpoint, att *attrib) error {
+	if c.p.Hedge {
+		// Hedged form: race the ladder's legs instead of walking them.
+		// A single candidate degenerates to the sequential walk below.
+		if legs := c.deepLegs(ck); len(legs) >= 2 {
+			return c.hedgeRace(ck, att, legs)
+		}
+	}
+
 	c.mu.Lock()
 	onSSD := ck.dataOn(TierSSD)
 	onPartner := ck.dataOn(TierPartner)
@@ -234,10 +253,12 @@ func (c *Client) readDeep(ck *checkpoint, att *attrib) error {
 	c.mu.Unlock()
 
 	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
+		legStart := c.clk.Now()
 		err := c.retryIOAttr(ck, att, metrics.CompXferSSD, "ssd", "NVMe read", func() error {
 			return c.deepHop(c.p.NVMe, ck.size)
 		})
 		if err == nil {
+			c.observeHealth(TierSSD, ck.size, c.clk.Now()-legStart)
 			c.healTier(TierSSD)
 			return nil
 		}
@@ -250,10 +271,12 @@ func (c *Client) readDeep(ck *checkpoint, att *attrib) error {
 		if onSSD {
 			c.rec.FallbackRead()
 		}
+		legStart := c.clk.Now()
 		err := c.retryIOAttr(ck, att, metrics.CompXferPartner, "partner", "partner SSD read", func() error {
 			return c.partnerHop(ck.size, false)
 		})
 		if err == nil {
+			c.observeHealth(TierPartner, ck.size, c.clk.Now()-legStart)
 			c.healTier(TierPartner)
 			return nil
 		}
@@ -266,9 +289,14 @@ func (c *Client) readDeep(ck *checkpoint, att *attrib) error {
 		if onSSD || onPartner {
 			c.rec.FallbackRead()
 		}
-		return c.retryIOAttr(ck, att, metrics.CompXferPFS, "pfs", "PFS read", func() error {
+		legStart := c.clk.Now()
+		err := c.retryIOAttr(ck, att, metrics.CompXferPFS, "pfs", "PFS read", func() error {
 			return c.deepHop(c.p.PFS, ck.size)
 		})
+		if err == nil {
+			c.observeHealth(TierPFS, ck.size, c.clk.Now()-legStart)
+		}
+		return err
 	}
 	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
 }

@@ -118,6 +118,13 @@ func (c *Client) readDeepToGPU(ck *checkpoint, att *attrib) error {
 		}
 		return c.copyH2D(ck, att)
 	}
+	if c.p.Hedge {
+		// Hedged form: race whole chunked streams (each leg holds its
+		// own copy engine). One candidate falls through to the ladder.
+		if legs := c.deepLegsGPU(ck); len(legs) >= 2 {
+			return c.hedgeRace(ck, att, legs)
+		}
+	}
 
 	c.mu.Lock()
 	onSSD := ck.dataOn(TierSSD)
@@ -134,8 +141,10 @@ func (c *Client) readDeepToGPU(ck *checkpoint, att *attrib) error {
 		})
 	}
 	if onSSD && (!c.tierDegraded(TierSSD) || !(onPartner || onPFS)) {
+		legStart := c.clk.Now()
 		err := stream("ssd+pcie", "ssd", metrics.CompXferSSD, fabric.Path{c.p.NVMe})
 		if err == nil {
+			c.observeHealth(TierSSD, ck.size, c.clk.Now()-legStart)
 			c.healTier(TierSSD)
 			return nil
 		}
@@ -154,8 +163,10 @@ func (c *Client) readDeepToGPU(ck *checkpoint, att *attrib) error {
 		for i, l := range c.p.PartnerPath {
 			rev[len(rev)-1-i] = l
 		}
+		legStart := c.clk.Now()
 		err := stream("partner+pcie", "partner", metrics.CompXferPartner, rev)
 		if err == nil {
+			c.observeHealth(TierPartner, ck.size, c.clk.Now()-legStart)
 			c.healTier(TierPartner)
 			return nil
 		}
@@ -168,7 +179,12 @@ func (c *Client) readDeepToGPU(ck *checkpoint, att *attrib) error {
 		if onSSD || onPartner {
 			c.rec.FallbackRead()
 		}
-		return stream("pfs+pcie", "pfs", metrics.CompXferPFS, fabric.Path{c.p.PFS})
+		legStart := c.clk.Now()
+		err := stream("pfs+pcie", "pfs", metrics.CompXferPFS, fabric.Path{c.p.PFS})
+		if err == nil {
+			c.observeHealth(TierPFS, ck.size, c.clk.Now()-legStart)
+		}
+		return err
 	}
 	return fmt.Errorf("%w: checkpoint %d has no readable replica below the host tier", ErrLost, ck.id)
 }

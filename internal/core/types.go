@@ -199,6 +199,21 @@ type Params struct {
 	// Retry tunes the exponential-backoff retry applied to transient
 	// tier-I/O failures; zero fields take the defaults.
 	Retry RetryPolicy
+	// Hedge enables gray-failure tolerance: deep restores race a hedge
+	// leg against the next-deeper replica once the current leg exceeds
+	// its adaptive deadline (the online healthy-cost estimate for its link
+	// class),
+	// background flush legs that stall past their deadline re-route to an
+	// alternate durable tier, and link classes whose EWMA health score
+	// breaches the quarantine threshold are taken out of rotation until a
+	// probe reinstates them. First success wins and every checkpoint still
+	// gets exactly one fate. Off (the default) the runtime is
+	// byte-identical to the sequential ladder.
+	Hedge bool
+	// HedgeDelayFloor bounds the adaptive hedge/stall deadlines from
+	// below, guarding against hair-trigger hedging before the latency
+	// estimators have samples. 0 takes the default (1ms simulated).
+	HedgeDelayFloor time.Duration
 	// FaultSeed seeds the retry jitter (and any other client-local
 	// randomness) so fault-injection runs replay deterministically.
 	FaultSeed int64
@@ -228,6 +243,9 @@ func (p Params) withDefaults() Params {
 		p.HostCacheSize = 32 * fabric.GB
 	}
 	p.Retry = p.Retry.withDefaults()
+	if p.HedgeDelayFloor == 0 {
+		p.HedgeDelayFloor = time.Millisecond
+	}
 	return p
 }
 
@@ -249,6 +267,8 @@ func (p Params) validate() error {
 		return errors.New("core: Params.ChunkSize must be non-negative")
 	case p.FlushStreams < 0:
 		return errors.New("core: Params.FlushStreams must be non-negative")
+	case p.HedgeDelayFloor < 0:
+		return errors.New("core: Params.HedgeDelayFloor must be non-negative")
 	case (p.PartnerStore == nil) != (len(p.PartnerPath) == 0):
 		return errors.New("core: PartnerStore and PartnerPath must be set together")
 	case !p.GPUEvictionPolicy.Known():

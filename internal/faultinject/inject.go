@@ -162,6 +162,17 @@ type Rule struct {
 	// ((0,1]; 0.1 = 10% of nominal), Delay adds fixed latency.
 	Scale float64
 	Delay time.Duration
+
+	// Gray-fault shapes (KindSlow refinements). Jitter adds a random
+	// extra latency drawn uniformly from [0, Jitter) per firing — the
+	// draw comes from the injector's seeded source, so schedules replay
+	// identically under the virtual clock. Stall pins every matching
+	// operation inside the rule's [After, Until) window until the window
+	// closes: the operation's delay is extended to Until-now, modeling a
+	// device or link that stops answering for a bounded interval without
+	// ever returning an error. Stall requires Until > 0.
+	Jitter time.Duration
+	Stall  bool
 }
 
 // FailNth fails the Nth operation at site (1-based).
@@ -210,6 +221,23 @@ func Slow(site Site, scale float64, after, until time.Duration) Rule {
 // [after, until) — e.g. host allocation pressure.
 func Delay(site Site, d time.Duration, after, until time.Duration) Rule {
 	return Rule{Site: site, Kind: KindSlow, Delay: d, After: after, Until: until}
+}
+
+// Jitter adds a seeded-random extra latency in [0, max) to every
+// operation at site within [after, until) — a link that still moves
+// bytes at nominal bandwidth but with erratic per-operation latency.
+// Never an error: the gray half of the failure taxonomy.
+func Jitter(site Site, max time.Duration, after, until time.Duration) Rule {
+	return Rule{Site: site, Kind: KindSlow, Jitter: max, After: after, Until: until}
+}
+
+// StallWindow freezes site for [after, until): any operation arriving
+// inside the window is delayed until the window closes, then proceeds
+// normally. This models a bounded gray stall — a copy engine or store
+// that stops answering for a while without failing — so an operation
+// arriving at t in [after, until) is charged until-t of extra latency.
+func StallWindow(site Site, after, until time.Duration) Rule {
+	return Rule{Site: site, Kind: KindSlow, Stall: true, After: after, Until: until}
 }
 
 // KillSpec schedules the abrupt death of one rank — or a whole node —
@@ -463,6 +491,13 @@ func (in *Injector) Decide(site Site, id int64, size int64) Decision {
 				}
 			}
 			d.Delay += r.Delay
+			if r.Jitter > 0 {
+				d.Delay += time.Duration(in.rng.Int63n(int64(r.Jitter)))
+			}
+			if r.Stall && r.Until > now {
+				// Pin the operation until the stall window closes.
+				d.Delay += r.Until - now
+			}
 		}
 	}
 	if injected {

@@ -180,3 +180,178 @@ func TestFailWinsOverSlow(t *testing.T) {
 		}
 	})
 }
+
+func TestSiteTargeting(t *testing.T) {
+	// One rule per site; every site's operations must only trip its own
+	// rule. Guards against a site-enum reorder silently redirecting
+	// schedules.
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		sites := []Site{
+			SitePCIe, SiteNVMe, SitePFS, SiteStoreWrite, SiteStoreRead,
+			SitePFSStoreWrite, SitePFSStoreRead, SiteHostAlloc,
+			SitePartner, SitePartnerStoreWrite, SitePartnerStoreRead, SiteMigrate,
+		}
+		var rules []Rule
+		for _, s := range sites {
+			rules = append(rules, FailNth(s, 1))
+		}
+		in := New(clk, 1, rules...)
+		for _, s := range sites {
+			if d := in.Decide(s, -1, 1); d.Err == nil {
+				t.Errorf("site %s: rule did not fire", s)
+			}
+			if got := in.InjectedAt(s); got != 1 {
+				t.Errorf("site %s: InjectedAt = %d, want 1", s, got)
+			}
+			if got := in.Ops(s); got != 1 {
+				t.Errorf("site %s: Ops = %d, want 1", s, got)
+			}
+		}
+		if got := in.Injected(); got != int64(len(sites)) {
+			t.Errorf("Injected() = %d, want %d", got, len(sites))
+		}
+	})
+}
+
+func TestNthCountsOnlyMatchingOps(t *testing.T) {
+	// The Nth schedule advances on matching operations only: other
+	// sites and other ids must not consume the trigger.
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		r := FailID(SiteStoreRead, 9)
+		r.Nth = 2
+		in := New(clk, 1, r)
+		in.Decide(SiteStoreWrite, 9, 1) // wrong site
+		in.Decide(SiteStoreRead, 8, 1)  // wrong id
+		if d := in.Decide(SiteStoreRead, 9, 1); d.Err != nil {
+			t.Error("fired on the 1st matching op; want the 2nd")
+		}
+		if d := in.Decide(SiteStoreRead, 9, 1); d.Err == nil {
+			t.Error("did not fire on the 2nd matching op")
+		}
+	})
+}
+
+func TestScheduleExpiry(t *testing.T) {
+	// A windowed always-fire rule expires exactly at Until, and its seen
+	// counter keeps advancing outside the window (the schedule is
+	// anchored to operation order, not to window entry).
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, FailWindow(SiteNVMe, 0, 10*time.Millisecond))
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err == nil {
+			t.Error("window [0,10ms) did not fire at t=0")
+		}
+		clk.Sleep(10 * time.Millisecond)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err != nil {
+			t.Error("fired at t=Until; window is half-open")
+		}
+		clk.Sleep(time.Hour)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Err != nil {
+			t.Error("fired long after expiry")
+		}
+	})
+}
+
+func TestJitterSeededAndBounded(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var out []time.Duration
+		clk := simclock.NewVirtual()
+		clk.Run(func() {
+			in := New(clk, seed, Jitter(SiteNVMe, 2*time.Millisecond, 0, 0))
+			for i := 0; i < 64; i++ {
+				d := in.Decide(SiteNVMe, -1, 1)
+				if d.Err != nil || d.Corrupt || d.Scale != 0 {
+					t.Error("jitter must only add latency")
+				}
+				if d.Delay < 0 || d.Delay >= 2*time.Millisecond {
+					t.Errorf("jitter %v outside [0, 2ms)", d.Delay)
+				}
+				out = append(out, d.Delay)
+			}
+		})
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("jitter produced a constant delay over 64 draws")
+	}
+}
+
+func TestStallWindowPinsUntilClose(t *testing.T) {
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1, StallWindow(SiteStoreWrite, 10*time.Millisecond, 30*time.Millisecond))
+		if d := in.Decide(SiteStoreWrite, -1, 1); d.Delay != 0 {
+			t.Errorf("stalled before window: %v", d.Delay)
+		}
+		clk.Sleep(15 * time.Millisecond)
+		// 15ms into a [10ms,30ms) stall: pinned for the remaining 15ms.
+		if d := in.Decide(SiteStoreWrite, -1, 1); d.Delay != 15*time.Millisecond {
+			t.Errorf("mid-window delay = %v, want 15ms", d.Delay)
+		}
+		clk.Sleep(14 * time.Millisecond)
+		if d := in.Decide(SiteStoreWrite, -1, 1); d.Delay != time.Millisecond {
+			t.Errorf("late-window delay = %v, want 1ms", d.Delay)
+		}
+		clk.Sleep(time.Millisecond)
+		if d := in.Decide(SiteStoreWrite, -1, 1); d.Delay != 0 {
+			t.Errorf("stalled after window closed: %v", d.Delay)
+		}
+	})
+}
+
+func TestGrayShapesCompose(t *testing.T) {
+	// A scaled link with jitter and a stall window: the merged decision
+	// carries the scale and the summed delays, and never an error.
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 1,
+			Slow(SiteNVMe, 0.05, 0, 0),
+			Delay(SiteNVMe, time.Millisecond, 0, 0),
+			StallWindow(SiteNVMe, 0, 20*time.Millisecond),
+		)
+		clk.Sleep(5 * time.Millisecond)
+		d := in.Decide(SiteNVMe, -1, 1<<20)
+		if d.Err != nil || d.Corrupt {
+			t.Error("gray shapes must not fail or corrupt")
+		}
+		if d.Scale != 0.05 {
+			t.Errorf("Scale = %v, want 0.05", d.Scale)
+		}
+		if want := 16 * time.Millisecond; d.Delay != want {
+			t.Errorf("Delay = %v, want %v (1ms fixed + 15ms stall)", d.Delay, want)
+		}
+	})
+}
+
+func TestGrayWindowExpiry(t *testing.T) {
+	// Jitter and stall rules are windowed like every other rule: outside
+	// [After, Until) they contribute nothing.
+	clk := simclock.NewVirtual()
+	clk.Run(func() {
+		in := New(clk, 3,
+			Jitter(SiteNVMe, time.Millisecond, 5*time.Millisecond, 10*time.Millisecond),
+		)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Delay != 0 {
+			t.Error("jitter fired before its window")
+		}
+		clk.Sleep(20 * time.Millisecond)
+		if d := in.Decide(SiteNVMe, -1, 1); d.Delay != 0 {
+			t.Error("jitter fired after its window")
+		}
+	})
+}

@@ -48,8 +48,12 @@ func CheckInvariants(s Summary) error {
 	if s.RetryBoutsRecovered > s.TotalRetries() {
 		fail("retries: %d recovered bouts but only %d retried attempts", s.RetryBoutsRecovered, s.TotalRetries())
 	}
-	if d := s.TotalDegradations(); d > s.RetryBoutsExhausted {
-		fail("retries: %d degradations but only %d exhausted bouts", d, s.RetryBoutsExhausted)
+	// Every degradation transition is triggered either by an exhausted
+	// retry bout (hard failure) or by a health-score breach (gray
+	// failure).
+	if d := s.TotalDegradations(); d > s.RetryBoutsExhausted+s.HealthQuarantines {
+		fail("retries: %d degradations but only %d exhausted bouts + %d health quarantines",
+			d, s.RetryBoutsExhausted, s.HealthQuarantines)
 	}
 	if s.Repopulations > s.FallbackReads {
 		fail("retries: %d repopulations but only %d fallback reads", s.Repopulations, s.FallbackReads)
@@ -63,6 +67,26 @@ func CheckInvariants(s Summary) error {
 	}
 	if s.PartnerCopyBytes < 0 {
 		fail("partner: negative replicated bytes (%d)", s.PartnerCopyBytes)
+	}
+
+	// Gray-failure tolerance: a hedge win needs a launched hedge leg, a
+	// reroute needs a detected stall, and the waste/quarantine tallies
+	// only ever accumulate. Health quarantines are a subset of the
+	// degradation transitions they trigger.
+	if s.HedgeWins > s.HedgesLaunched {
+		fail("hedge: %d wins but only %d hedge legs launched", s.HedgeWins, s.HedgesLaunched)
+	}
+	if s.HedgeWastedBytes < 0 {
+		fail("hedge: negative wasted bytes (%d)", s.HedgeWastedBytes)
+	}
+	if s.StallsRerouted > s.StallsDetected {
+		fail("stall: %d reroutes but only %d stalls detected", s.StallsRerouted, s.StallsDetected)
+	}
+	if s.HealthQuarantines > s.TotalDegradations() {
+		fail("health: %d quarantines but only %d degradations", s.HealthQuarantines, s.TotalDegradations())
+	}
+	if h, ok := s.Histograms[HistHedgeWait]; ok && s.HedgesLaunched == 0 && h.Count != 0 {
+		fail("hedge: %d hedge_wait samples with no hedge launched", h.Count)
 	}
 
 	// Drain accounting folds into the fate ledger: every version a drain

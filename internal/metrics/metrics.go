@@ -84,6 +84,18 @@ type Recorder struct {
 	retryBoutsRecovered atomic.Int64
 	retryBoutsExhausted atomic.Int64
 
+	// Gray-failure tolerance: hedged restores and stalled-flush reroutes
+	// (DESIGN.md §16). A hedge is a concurrent read of the next-deeper
+	// replica launched when the preferred tier exceeds its adaptive
+	// deadline; a stall is a background flush leg that exceeded its
+	// deadline and was re-routed to an alternate durable tier.
+	hedgesLaunched    atomic.Int64 // hedge legs launched after a deadline breach
+	hedgeWins         atomic.Int64 // reads won by a hedge leg (not the preferred tier)
+	hedgeWastedBytes  atomic.Int64 // bytes moved by legs that lost the race
+	stallsDetected    atomic.Int64 // flush legs that exceeded their adaptive deadline
+	stallsRerouted    atomic.Int64 // stalled flushes successfully re-routed to an alternate tier
+	healthQuarantines atomic.Int64 // tiers quarantined by an EWMA health-score breach
+
 	// durableOps counts ConserveDurable calls so CheckInvariants can tie
 	// the critical-path record count to the fate accounting.
 	durableOps atomic.Int64
@@ -309,6 +321,42 @@ func (r *Recorder) MigrationFailure() {
 	r.migrationFailures.Add(1)
 }
 
+// HedgeLaunched records a hedge leg launched because the preferred
+// tier's read exceeded its adaptive deadline.
+func (r *Recorder) HedgeLaunched() {
+	r.hedgesLaunched.Add(1)
+}
+
+// HedgeWin records a read won by a hedge leg: the data was served from
+// the hedged (deeper) replica while the preferred tier was still busy.
+func (r *Recorder) HedgeWin() {
+	r.hedgeWins.Add(1)
+}
+
+// HedgeWasted records bytes moved by a race leg that lost: the transfer
+// completed but its result was discarded.
+func (r *Recorder) HedgeWasted(bytes int64) {
+	r.hedgeWastedBytes.Add(bytes)
+}
+
+// StallDetected records a background flush leg exceeding its adaptive
+// deadline without failing — the gray-stall signal.
+func (r *Recorder) StallDetected() {
+	r.stallsDetected.Add(1)
+}
+
+// StallRerouted records a stalled flush successfully re-routed to an
+// alternate durable tier.
+func (r *Recorder) StallRerouted() {
+	r.stallsRerouted.Add(1)
+}
+
+// HealthQuarantine records a tier quarantined because its EWMA latency
+// health score breached the gray-failure threshold.
+func (r *Recorder) HealthQuarantine() {
+	r.healthQuarantines.Add(1)
+}
+
 // FallbackRead records a read served from a deeper tier after a faster
 // tier's replica failed or was missing.
 func (r *Recorder) FallbackRead() {
@@ -412,6 +460,14 @@ type Summary struct {
 	// Retry bout outcomes.
 	RetryBoutsRecovered int64
 	RetryBoutsExhausted int64
+
+	// Gray-failure tolerance (DESIGN.md §16).
+	HedgesLaunched    int64
+	HedgeWins         int64
+	HedgeWastedBytes  int64
+	StallsDetected    int64
+	StallsRerouted    int64
+	HealthQuarantines int64
 
 	// Critical-path attribution records and the durable-fate op count
 	// they are balanced against (see critpath.go, CheckInvariants).
@@ -535,6 +591,13 @@ func (r *Recorder) Snapshot() Summary {
 		RetryBoutsRecovered: r.retryBoutsRecovered.Load(),
 		RetryBoutsExhausted: r.retryBoutsExhausted.Load(),
 
+		HedgesLaunched:    r.hedgesLaunched.Load(),
+		HedgeWins:         r.hedgeWins.Load(),
+		HedgeWastedBytes:  r.hedgeWastedBytes.Load(),
+		StallsDetected:    r.stallsDetected.Load(),
+		StallsRerouted:    r.stallsRerouted.Load(),
+		HealthQuarantines: r.healthQuarantines.Load(),
+
 		CritPaths:  critPaths,
 		DurableOps: r.durableOps.Load(),
 
@@ -630,6 +693,12 @@ func Merge(parts ...Summary) Summary {
 		out.LostBytes += p.LostBytes
 		out.RetryBoutsRecovered += p.RetryBoutsRecovered
 		out.RetryBoutsExhausted += p.RetryBoutsExhausted
+		out.HedgesLaunched += p.HedgesLaunched
+		out.HedgeWins += p.HedgeWins
+		out.HedgeWastedBytes += p.HedgeWastedBytes
+		out.StallsDetected += p.StallsDetected
+		out.StallsRerouted += p.StallsRerouted
+		out.HealthQuarantines += p.HealthQuarantines
 		out.CritPaths = append(out.CritPaths, copyCritPaths(p.CritPaths)...)
 		out.DurableOps += p.DurableOps
 		for name, h := range p.Histograms {

@@ -38,6 +38,8 @@ const (
 	LMigrateStart                        // live migration to a successor node began
 	LMigrateEnd                          // migration cutover validated (or failed definitively)
 	LMigrated                            // this version's durable replica landed on the successor
+	LStalled                             // an I/O leg exceeded its adaptive deadline without failing (gray stall)
+	LHedged                              // a hedge leg was launched against the next-deeper replica
 )
 
 // String names the kind as rendered in ledger dumps.
@@ -95,6 +97,10 @@ func (k LifecycleKind) String() string {
 		return "migrate-end"
 	case LMigrated:
 		return "migrated"
+	case LStalled:
+		return "stalled"
+	case LHedged:
+		return "hedged"
 	}
 	return fmt.Sprintf("LifecycleKind(%d)", int(k))
 }

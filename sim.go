@@ -263,17 +263,28 @@ func linkInterceptor(inj *faultinject.Injector, site faultinject.Site) fabric.Tr
 }
 
 // storeFaults adapts the injector to a durable store's read/write paths.
+// Injected delays (gray slowness: DelayOps, JitterOps, StallWindow) are
+// served by sleeping on the simulation clock, so a "slow store" genuinely
+// slows the operation down instead of failing it.
 type storeFaults struct {
 	inj         *faultinject.Injector
+	clk         simclock.Clock
 	write, read faultinject.Site
 }
 
 func (h storeFaults) BeforeWrite(id int64, size int) error {
-	return h.inj.Decide(h.write, id, int64(size)).Err
+	d := h.inj.Decide(h.write, id, int64(size))
+	if d.Delay > 0 {
+		h.clk.Sleep(d.Delay)
+	}
+	return d.Err
 }
 
 func (h storeFaults) OnRead(id int64, raw []byte) ([]byte, error) {
 	d := h.inj.Decide(h.read, id, int64(len(raw)))
+	if d.Delay > 0 {
+		h.clk.Sleep(d.Delay)
+	}
 	if d.Err != nil {
 		return nil, d.Err
 	}
@@ -379,13 +390,13 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		n.NIC.SetInterceptor(linkInterceptor(inj, faultinject.SitePartner))
 		dev.SetAllocInterceptor(linkInterceptor(inj, faultinject.SiteHostAlloc))
 		if store != nil {
-			store.SetFaultHook(storeFaults{inj, faultinject.SiteStoreWrite, faultinject.SiteStoreRead})
+			store.SetFaultHook(storeFaults{inj, s.clock(), faultinject.SiteStoreWrite, faultinject.SiteStoreRead})
 		}
 		if pfsStore != nil {
-			pfsStore.SetFaultHook(storeFaults{inj, faultinject.SitePFSStoreWrite, faultinject.SitePFSStoreRead})
+			pfsStore.SetFaultHook(storeFaults{inj, s.clock(), faultinject.SitePFSStoreWrite, faultinject.SitePFSStoreRead})
 		}
 		if partnerStore != nil {
-			partnerStore.SetFaultHook(storeFaults{inj, faultinject.SitePartnerStoreWrite, faultinject.SitePartnerStoreRead})
+			partnerStore.SetFaultHook(storeFaults{inj, s.clock(), faultinject.SitePartnerStoreWrite, faultinject.SitePartnerStoreRead})
 		}
 	}
 	var commit core.CommitHook
@@ -424,6 +435,7 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		PartnerPath:         partnerPath,
 		Rank:                cc.rank,
 		Commit:              commit,
+		Hedge:               cc.hedge,
 	})
 	if err != nil {
 		return nil, err

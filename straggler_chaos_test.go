@@ -1,0 +1,144 @@
+package score_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"score"
+)
+
+// stragglerSchedules is the number of seeded gray-fault schedules the
+// soak runs; raise it for a longer campaign (make chaos-straggler).
+var stragglerSchedules = flag.Int("straggler.schedules", 25, "seeded gray schedules for TestStragglerChaosSoak")
+
+// TestStragglerChaosSoak replays seeded random gray-fault schedules —
+// slowdowns, jitter, stall windows: faults that never return an error,
+// only time — against hedged clients on real stores. The contract is
+// strictly stronger than the hard-fault soak's: gray faults destroy no
+// data and every window eventually closes, so the flush chain must
+// drain cleanly and EVERY restore must come back bit-exact, no matter
+// which leg of the hedge race served it or how many stalled flushes
+// were rerouted mid-air. The virtual clock panics on deadlock, so a
+// hedge coordinator or abandoned stall leg that wedges fails loudly.
+func TestStragglerChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const n = 8
+	for i := 0; i < *stragglerSchedules; i++ {
+		seed := int64(9000 + i)
+		t.Run(fmt.Sprintf("schedule-%d", seed), func(t *testing.T) {
+			runStragglerSchedule(t, seed, n)
+		})
+	}
+	// Hedge losers and abandoned stall legs run under background
+	// waitgroups; give them time to unwind, then check for leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		t.Errorf("goroutine leak: %d before soak, %d after", baseline, g)
+	}
+}
+
+// randomGrayRules derives one gray schedule from a seeded source. Every
+// rule is latency-only — no rule here can surface as an operation
+// error. The PFS link keeps the hard-fault soak's convention: it is the
+// floor of the degradation ladder and the hedge race's deepest leg, so
+// it is never degraded below nominal — slowing it would only lengthen
+// the run, but keeping it clean makes "the hedge always has a healthy
+// replica to race" part of what the soak exercises.
+func randomGrayRules(r *rand.Rand) []score.FaultRule {
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+r.Intn(hi-lo+1)) * time.Millisecond
+	}
+	var rules []score.FaultRule
+	if r.Float64() < 0.7 { // the headline straggler: SSD path crawls
+		after := ms(0, 6)
+		scale := 0.02 + 0.1*r.Float64() // 10×–50× slowdown
+		if r.Float64() < 0.5 {
+			rules = append(rules, score.SlowLink(score.FaultNVMe, scale, after, after+ms(2, 10)))
+		} else {
+			rules = append(rules, score.SlowLink(score.FaultNVMe, scale, after, after+time.Hour))
+		}
+	}
+	if r.Float64() < 0.5 { // tail noise on the SSD path
+		rules = append(rules, score.JitterOps(score.FaultNVMe, ms(1, 4), ms(0, 4), ms(5, 20)))
+	}
+	if r.Float64() < 0.4 { // bounded stall: ops pinned until the window closes
+		after := ms(1, 6)
+		rules = append(rules, score.StallWindow(score.FaultNVMe, after, after+ms(1, 6)))
+	}
+	if r.Float64() < 0.3 { // the partner leg crawls too
+		rules = append(rules, score.SlowLink(score.FaultPartner, 0.05+0.1*r.Float64(), ms(0, 4), ms(6, 20)))
+	}
+	if r.Float64() < 0.3 { // interconnect jitter under everything
+		rules = append(rules, score.JitterOps(score.FaultPCIe, ms(1, 2), 0, ms(8, 20)))
+	}
+	return rules
+}
+
+func runStragglerSchedule(t *testing.T, seed int64, n int) {
+	ssdDir, pfsDir := t.TempDir(), t.TempDir()
+	r := rand.New(rand.NewSource(seed))
+	payloads := make([][]byte, n)
+	for v := range payloads {
+		b := make([]byte, 64*1024)
+		r.Read(b)
+		payloads[v] = b
+	}
+	rules := randomGrayRules(r)
+
+	sim, err := score.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sim.NewFaultInjector(seed, rules...)
+	sim.Run(func() {
+		c, err := sim.NewClient(0, 0,
+			score.WithGPUCache(256<<10), score.WithHostCache(1<<20),
+			score.WithStore(ssdDir), score.WithPFSStore(pfsDir),
+			score.WithHedgedRestores(),
+			score.WithFaultInjector(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for v := 0; v < n; v++ {
+			if err := c.Checkpoint(int64(v), payloads[v]); err != nil {
+				t.Fatalf("checkpoint %d failed under a latency-only schedule: %v", v, err)
+			}
+			c.Compute(time.Millisecond)
+		}
+		if err := c.WaitFlush(); err != nil {
+			t.Fatalf("flush chain failed under a latency-only schedule: %v", err)
+		}
+		if err := c.CheckMetricsInvariants(true); err != nil {
+			t.Errorf("metrics invariants after drain: %v", err)
+		}
+		for v := n - 1; v >= 0; v-- {
+			got, err := c.Restart(int64(v))
+			if err != nil {
+				t.Errorf("restart %d failed — gray faults lose no data: %v", v, err)
+				continue
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Errorf("restart %d: hedge race returned wrong bytes", v)
+			}
+		}
+		if err := c.CheckMetricsInvariants(false); err != nil {
+			t.Errorf("metrics invariants after hedged restores: %v", err)
+		}
+		st := c.Stats()
+		if st.HedgeWins > st.HedgesLaunched {
+			t.Errorf("HedgeWins %d > HedgesLaunched %d", st.HedgeWins, st.HedgesLaunched)
+		}
+		if st.StallsRerouted > st.StallsDetected {
+			t.Errorf("StallsRerouted %d > StallsDetected %d", st.StallsRerouted, st.StallsDetected)
+		}
+	})
+}
