@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet vet-deprecated staticcheck race chaos chaos-rank chaos-preempt chaos-straggler bench bench-smoke bench-evict fuzz-smoke trace-smoke results clean
+.PHONY: verify build test vet vet-deprecated staticcheck race chaos chaos-rank chaos-preempt chaos-straggler bench bench-smoke bench-evict fuzz-smoke trace-smoke slo-smoke results clean
 
 # verify is the pre-merge gate: static checks, a full build, and the
 # race-enabled test suite (which includes a short chaos soak).
@@ -101,6 +101,23 @@ trace-smoke:
 	$(GO) run ./cmd/ckptbench -exp pipeline -scale small \
 		-trace-out trace.json -critpath-out critpath.json -fail-on-unattributed
 
+# slo-smoke exercises the SLO engine end to end (DESIGN.md §17): the
+# alert-ledger determinism goldens and the straggler alert story
+# (healthy control clean, 20× gray straggler firing with xfer
+# attribution), emitting the compliance reports as BENCH_slo.json; then
+# the pipeline experiment under -fail-on-slo, which must hold its
+# checked-in objectives; then the straggler experiment under
+# -fail-on-slo, which must breach — the alert path proven live in the
+# CLI, not just in tests.
+slo-smoke:
+	$(GO) test -run 'TestSLOSmoke|TestSLODeterminism' -v . -args -slo.out=BENCH_slo.json
+	$(GO) run ./cmd/ckptbench -exp pipeline -scale small -slo -fail-on-slo
+	@if $(GO) run ./cmd/ckptbench -exp straggler -slo -fail-on-slo >/dev/null 2>&1; then \
+		echo "straggler run unexpectedly passed -fail-on-slo (the 20x straggler must breach)"; exit 1; \
+	else \
+		echo "straggler breach correctly detected by -fail-on-slo"; \
+	fi
+
 # results regenerates the committed full-scale evaluation transcript.
 # Rerun after any change that shifts the simulated numbers, and commit
 # the diff — a stale transcript fails honest review.
@@ -118,4 +135,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_pipeline.json BENCH_preempt.json BENCH_simspeed.json BENCH_evict.json BENCH_straggler.json critpath.json trace-pipeline-*.json
+	rm -f BENCH_pipeline.json BENCH_preempt.json BENCH_simspeed.json BENCH_evict.json BENCH_straggler.json BENCH_slo.json critpath.json trace-pipeline-*.json

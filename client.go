@@ -12,6 +12,7 @@ import (
 	"score/internal/payload"
 	"score/internal/predict"
 	"score/internal/simclock"
+	"score/internal/slo"
 )
 
 // ClientOption configures one process's runtime.
@@ -37,6 +38,7 @@ type clientConfig struct {
 	rank          int
 	evictPolicy   string
 	hedge         bool
+	slo           *slo.Engine
 }
 
 // WithGPUCache sets the device cache reservation (default 4 GiB, the
@@ -166,6 +168,15 @@ func WithFlushStreams(n int) ClientOption {
 // faults) the runtime behaves byte-identically to the sequential ladder.
 func WithHedgedRestores() ClientOption {
 	return func(c *clientConfig) { c.hedge = true }
+}
+
+// WithSLO attaches an SLO engine (built with Sim.NewSLOEngine):
+// the runtime feeds it every finished critical-path record and drain
+// outcome for online burn-rate evaluation against its objectives. Pure
+// observation — attaching an engine never perturbs scheduling or
+// timing, only evaluates it.
+func WithSLO(eng *slo.Engine) ClientOption {
+	return func(c *clientConfig) { c.slo = eng }
 }
 
 // WithFaultInjector attaches a fault-injection schedule (see

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 	"score/internal/experiments"
 	"score/internal/metrics"
 	"score/internal/report"
+	"score/internal/slo"
 	"score/internal/trace"
 )
 
@@ -51,6 +53,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after a final GC) to this file when the run(s) finish")
 	benchTime := flag.Duration("benchtime", 0, "repeat the selected experiment(s) until this much wall time has elapsed — stabilizes -cpuprofile samples on fast configs (0 = run once)")
 	parallelSim := flag.Bool("parallel-sim", false, "wake same-instant rank cohorts in parallel on the real scheduler for wall-clock speed; results may differ slightly from the (byte-deterministic) serial default")
+	sloFlag := flag.Bool("slo", false, "evaluate each scenario's checked-in SLO objectives on the virtual clock (burn-rate alerting with critical-path attribution) and print the compliance table")
+	sloOut := flag.String("slo-out", "", "write the per-run SLO compliance reports (score-slo/v1 JSON) to this file; implies -slo")
+	failSLO := flag.Bool("fail-on-slo", false, "exit non-zero if any objective fired an alert or missed its goal; implies -slo")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: ckptbench -exp <name> [flags]
 
@@ -119,6 +124,7 @@ Flags:
 		{"-critpath-out", *critpathOut},
 		{"-cpuprofile", *cpuProfile},
 		{"-memprofile", *memProfile},
+		{"-slo-out", *sloOut},
 	} {
 		if out.path == "" {
 			continue
@@ -162,6 +168,14 @@ Flags:
 	experiments.SetDefaultSampleInterval(*sample)
 	experiments.SetDefaultChunkSize(*chunk)
 	experiments.SetDefaultParallelSim(*parallelSim)
+	sloOn := *sloFlag || *sloOut != "" || *failSLO
+	var sloRuns []report.SLORun
+	if sloOn {
+		experiments.SetSLO(true)
+		experiments.SetSLOObserver(func(label string, rep slo.Report) {
+			sloRuns = append(sloRuns, report.SLORun{Label: label, Report: rep})
+		})
+	}
 	if *traceOut != "" {
 		experiments.SetDefaultTraceSink(func(label string, tr *trace.Tracer) {
 			path := tracePath(*traceOut, label)
@@ -240,6 +254,38 @@ Flags:
 		}
 		fmt.Printf("wrote critical-path attribution for %d run(s) to %s\n", len(critRuns), *critpathOut)
 	}
+	if sloOn {
+		if err := report.SLOTable(sloRuns).Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ckptbench: rendering slo table: %v\n", err)
+			os.Exit(1)
+		}
+		for _, run := range sloRuns {
+			for _, w := range run.Report.Warnings {
+				fmt.Fprintf(os.Stderr, "ckptbench: warning: %s: %s\n", run.Label, w)
+			}
+		}
+		if *sloOut != "" {
+			if err := report.WriteSLOFile(*sloOut, sloRuns); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptbench: writing %s: %v\n", *sloOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote slo compliance for %d run(s) to %s\n", len(sloRuns), *sloOut)
+		}
+		if *failSLO {
+			var breached []string
+			for _, run := range sloRuns {
+				if run.Report.Breached() {
+					breached = append(breached, run.Label)
+				}
+			}
+			if len(breached) > 0 {
+				fmt.Fprintf(os.Stderr, "ckptbench: slo breached in %d run(s): %s\n",
+					len(breached), strings.Join(breached, ", "))
+				os.Exit(1)
+			}
+			fmt.Printf("slo compliance: %d run(s), no alerts fired, no goals missed\n", len(sloRuns))
+		}
+	}
 	if *failUnattributed {
 		// The per-rank metrics invariants already fail a shot whose
 		// attribution leaves a gap; this re-checks the aggregated export
@@ -309,6 +355,11 @@ func writeMetrics(path string, registry *metrics.Registry) error {
 
 // servePrometheus exposes the registry in Prometheus text exposition
 // format; scrapes during the run see the experiments completed so far.
+// The mux also serves the net/http/pprof handlers, so a long sweep can
+// be profiled live (go tool pprof http://<addr>/debug/pprof/profile)
+// without restarting it under -cpuprofile. The handlers are registered
+// explicitly: the package's DefaultServeMux side-effect registration
+// does not reach this private mux.
 func servePrometheus(addr string, registry *metrics.Registry) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -317,6 +368,11 @@ func servePrometheus(addr string, registry *metrics.Registry) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "ckptbench: -prom-listen: %v\n", err)
 		os.Exit(1)

@@ -672,7 +672,11 @@ func (c *Client) Restore(id ID) (payload.Payload, error) {
 	// count, so the running invariant holds at every instant.
 	end := c.clk.Now()
 	c.rec.Restore(iter, ck.size, end-start, pfDist)
-	c.rec.CritPath(att.finish(end))
+	crit := att.finish(end)
+	c.rec.CritPath(crit)
+	if c.p.SLO != nil {
+		c.p.SLO.ObserveCritPath(crit)
+	}
 	c.lifecycle(id, trace.LRestored, "", "")
 	return ck.pay, nil
 }

@@ -251,6 +251,9 @@ func (c *Client) Drain(grace time.Duration) (DrainManifest, error) {
 	c.buildManifest(&m, outcomes)
 	m.DeadlineMet = finish <= deadline && m.Count(DrainAbandoned) == 0
 	c.rec.DrainDeadline(m.DeadlineMet)
+	if c.p.SLO != nil {
+		c.p.SLO.ObserveDrain(m.DeadlineMet)
+	}
 	if m.DeadlineMet {
 		c.rec.ObserveDuration(metrics.HistDrainSlack, deadline-finish)
 	}

@@ -50,7 +50,11 @@ func (c *Client) accountFate(ck *checkpoint, fate ckptFate) {
 		// attribution records by durable checkpoints at every instant.
 		c.rec.ConserveDurable(ck.size)
 		if ck.att != nil {
-			c.rec.CritPath(ck.att.finish(c.clk.Now()))
+			crit := ck.att.finish(c.clk.Now())
+			c.rec.CritPath(crit)
+			if c.p.SLO != nil {
+				c.p.SLO.ObserveCritPath(crit)
+			}
 		}
 		c.lifecycle(ck.id, trace.LDurable, "", "")
 	case fateDiscarded:

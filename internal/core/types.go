@@ -95,6 +95,17 @@ type CommitHook interface {
 	RankDead(rank int)
 }
 
+// SLOSink receives the observations the SLO engine evaluates: finished
+// critical-path records (restore blocking, time-to-durable) and
+// preemption-drain outcomes. internal/slo implements it; core only
+// defines the interface so the dependency points outward. Calls happen
+// on the hot paths under the virtual clock, so implementations must be
+// non-blocking and concurrency-safe.
+type SLOSink interface {
+	ObserveCritPath(rec metrics.CritPathRecord)
+	ObserveDrain(met bool)
+}
+
 // Params configures a Client.
 type Params struct {
 	// Clock drives all timing; required.
@@ -169,6 +180,12 @@ type Params struct {
 	// on the simulated timeline for Chrome-trace export. Nil disables
 	// tracing with zero overhead.
 	Tracer *trace.Tracer
+
+	// SLO, when set, receives every finished critical-path record and
+	// drain outcome for online burn-rate evaluation (internal/slo,
+	// DESIGN.md §17). Nil disables SLO evaluation with zero overhead —
+	// the hot paths pay exactly one nil check.
+	SLO SLOSink
 
 	// Store, when set, makes the SSD tier genuinely durable for real
 	// (byte-backed) payloads: flushes that reach the SSD persist the

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"score/internal/cachebuf"
+	"score/internal/metrics"
 	"score/internal/report"
 	"score/internal/simclock"
+	"score/internal/slo"
 )
 
 // EvictCell is one (workload, policy) cell of the ablation matrix.
@@ -44,6 +46,9 @@ type EvictCell struct {
 	MissBytes int64
 	// Blocking is total simulated restore-blocking time (miss stalls).
 	Blocking time.Duration
+	// SLO holds the cell's hit-rate compliance report when the matrix
+	// ran with objectives (nil otherwise).
+	SLO *slo.Report
 }
 
 // HitRate is the fraction of accesses served from the cache.
@@ -223,7 +228,7 @@ func (o *evictOracle) Evicted(cachebuf.ID) {}
 // replayTrace runs one (trace, policy) cell on a fresh buffer and
 // virtual clock. Uniform 1 MiB blocks; a miss stalls for the block's
 // transfer time at the (scaled) host-link bandwidth before it lands.
-func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64) (EvictCell, error) {
+func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64, objs []slo.Objective) (EvictCell, error) {
 	const blockSize = 1 << 20
 	cell := EvictCell{Workload: tr.name, Policy: pol.String()}
 
@@ -241,6 +246,15 @@ func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64) (EvictCell, err
 			replayErr = err
 			return
 		}
+		// The hit-rate objective rides the replay clock: hits are free
+		// (same-instant batch), each miss advances time by its stall and
+		// charges the lower-tier transfer as the bad event's component.
+		var eng *slo.Engine
+		if len(objs) > 0 {
+			if eng, replayErr = slo.NewEngine(clk.Now, objs...); replayErr != nil {
+				return
+			}
+		}
 		missCost := time.Duration(float64(blockSize) / bw * float64(time.Second))
 		for i, a := range tr.accesses {
 			o.pos = i
@@ -248,6 +262,7 @@ func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64) (EvictCell, err
 				if !a.insert {
 					cell.Accesses++
 					cell.Hits++
+					eng.Observe(slo.KindHitRate, true, nil)
 				}
 				buf.Touch(a.id)
 				continue
@@ -259,6 +274,8 @@ func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64) (EvictCell, err
 				start := clk.Now()
 				clk.Sleep(missCost)
 				cell.Blocking += clk.Now() - start
+				eng.Observe(slo.KindHitRate, false,
+					map[string]time.Duration{metrics.CompXferSSD: missCost})
 			}
 			if _, err := buf.TryReserve(a.id, blockSize); err != nil {
 				replayErr = fmt.Errorf("access %d (id %d): %w", i, a.id, err)
@@ -266,6 +283,24 @@ func replayTrace(tr evictTrace, pol cachebuf.Policy, bw float64) (EvictCell, err
 			}
 		}
 		cell.Evictions = buf.Snapshot().Evictions
+		if eng != nil {
+			eng.Finalize()
+			rep := eng.Report()
+			var fired, resolved int64
+			for _, obj := range rep.Objectives {
+				fired += obj.Fired
+				resolved += obj.Resolved
+			}
+			warns, err := slo.CheckConservation(rep,
+				map[slo.Kind]int64{slo.KindHitRate: int64(cell.Accesses)}, fired, resolved, 0)
+			if err != nil {
+				replayErr = fmt.Errorf("slo conservation: %w", err)
+				return
+			}
+			rep.Warnings = append(rep.Warnings, warns...)
+			cell.SLO = &rep
+			emitSLO(fmt.Sprintf("evict/%s/%s", cell.Workload, cell.Policy), rep)
+		}
 	})
 	return cell, replayErr
 }
@@ -279,10 +314,14 @@ func EvictionMatrix(scale Scale) (EvictResult, error) {
 	bw := 2e9 * scale.Bandwidth
 
 	traces := []evictTrace{rtmTrace(rtmN), kvTrace(kvTurns, 1)}
+	var objs []slo.Objective
+	if sloEnabled() {
+		objs = slo.EvictObjectives()
+	}
 	var out EvictResult
 	for _, tr := range traces {
 		for _, pol := range cachebuf.Policies() {
-			cell, err := replayTrace(tr, pol, bw)
+			cell, err := replayTrace(tr, pol, bw, objs)
 			if err != nil {
 				return out, fmt.Errorf("%s/%s: %w", tr.name, pol, err)
 			}

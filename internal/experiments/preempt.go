@@ -17,6 +17,7 @@ import (
 
 	"score"
 	"score/internal/fabric"
+	"score/internal/slo"
 )
 
 // PreemptConfig parameterizes one preemption-drain sweep.
@@ -45,6 +46,12 @@ type PreemptConfig struct {
 	GPUCache, HostCache int64
 	// Seed drives the per-run schedules.
 	Seed int64
+	// Objectives, when non-empty, attaches a sweep-level SLO engine: each
+	// run contributes one DeadlineMet observation on a synthetic
+	// one-second-per-run timeline (the runs live on separate virtual
+	// clocks, so the sweep index is the only shared time axis). Left nil,
+	// the SetSLO default (the drain-hit-ratio objective) applies.
+	Objectives []slo.Objective
 }
 
 func (c PreemptConfig) withDefaults() PreemptConfig {
@@ -77,6 +84,9 @@ func (c PreemptConfig) withDefaults() PreemptConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 2023
+	}
+	if c.Objectives == nil && sloEnabled() {
+		c.Objectives = slo.PreemptObjectives()
 	}
 	return c
 }
@@ -123,6 +133,9 @@ type PreemptResult struct {
 	// SampleManifest is the first run's full manifest — the artifact the
 	// scheduler (and EXPERIMENTS.md) shows per version.
 	SampleManifest score.DrainManifest
+	// SLO holds the sweep-level compliance report when Objectives was set
+	// (nil otherwise).
+	SLO *slo.Report
 }
 
 // Preemption runs the sweep. Deterministic: the same config reproduces
@@ -130,6 +143,21 @@ type PreemptResult struct {
 func Preemption(cfg PreemptConfig) (PreemptResult, error) {
 	cfg = cfg.withDefaults()
 	res := PreemptResult{Config: cfg}
+	// The sweep-level drain objective watches the DeadlineMet stream
+	// across every (window, run) pair on a synthetic timeline advancing
+	// one second per run — tight grace windows early in the sweep burn
+	// budget, generous ones later pay it back.
+	var eng *slo.Engine
+	var step int64
+	if len(cfg.Objectives) > 0 {
+		e, err := slo.NewEngine(func() time.Duration {
+			return time.Duration(step) * time.Second
+		}, cfg.Objectives...)
+		if err != nil {
+			return res, err
+		}
+		eng = e
+	}
 	for _, w := range cfg.Windows {
 		cell := PreemptCell{Window: w}
 		for r := 0; r < cfg.Runs; r++ {
@@ -156,8 +184,32 @@ func Preemption(cfg PreemptConfig) (PreemptResult, error) {
 			if res.SampleManifest.Entries == nil {
 				res.SampleManifest = m
 			}
+			if eng != nil {
+				step++
+				eng.ObserveDrain(m.DeadlineMet)
+			}
 		}
 		res.Cells = append(res.Cells, cell)
+	}
+	if eng != nil {
+		eng.Finalize()
+		rep := eng.Report()
+		var fired, resolved int64
+		for _, o := range rep.Objectives {
+			fired += o.Fired
+			resolved += o.Resolved
+		}
+		// No ledger rides the synthetic timeline: feed the report's own
+		// tallies so that leg of the check is vacuously true, and hold
+		// the event counts strictly to the number of runs.
+		warns, err := slo.CheckConservation(rep,
+			map[slo.Kind]int64{slo.KindDrainDeadline: step}, fired, resolved, 0)
+		if err != nil {
+			return res, fmt.Errorf("experiments: preempt slo conservation: %w", err)
+		}
+		rep.Warnings = append(rep.Warnings, warns...)
+		res.SLO = &rep
+		emitSLO("preempt", rep)
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"score/internal/adiossim"
@@ -20,6 +21,7 @@ import (
 	"score/internal/payload"
 	"score/internal/rtm"
 	"score/internal/simclock"
+	"score/internal/slo"
 	"score/internal/trace"
 	"score/internal/uvmsim"
 )
@@ -203,6 +205,15 @@ type ShotConfig struct {
 	// sampling enabled — every sample as a Chrome-trace counter event.
 	Tracer *trace.Tracer
 
+	// Objectives, when non-empty, attaches an SLO engine evaluating them
+	// over the shot on its virtual clock (Score combos only — the
+	// baselines have no critical-path cursor to attribute from). Left
+	// nil, the SetSLO default set applies.
+	Objectives []slo.Objective
+	// slo is the engine runShot builds from Objectives, carried in the
+	// config so buildRuntime can hand it to each rank's runtime.
+	slo *slo.Engine
+
 	// ParallelSim runs independent ranks' same-instant wakeups (compute
 	// phases ending on the same virtual instant) concurrently on the real
 	// scheduler instead of one at a time. Off by default: the serial
@@ -264,6 +275,41 @@ var defaultParallelSim bool
 // ShotConfig.ParallelSim). Not safe to change while shots are running.
 func SetDefaultParallelSim(on bool) { defaultParallelSim = on }
 
+// defaultSLO mirrors defaultSampleInterval for the SLO knob: ckptbench's
+// -slo flag sets it once, and every scenario that leaves Objectives nil
+// evaluates its checked-in default objective set (internal/slo
+// defaults.go).
+var defaultSLO bool
+
+// SetSLO makes every subsequent scenario that does not carry explicit
+// objectives evaluate its checked-in default set (false disables). Not
+// safe to change while scenarios are running.
+func SetSLO(on bool) { defaultSLO = on }
+
+// sloEnabled reports the SetSLO knob to the non-shot scenario drivers.
+func sloEnabled() bool { return defaultSLO }
+
+// sloObserver, when set, receives every scenario's end-of-run SLO
+// report — the hook ckptbench's -slo flag uses to collect the
+// compliance table without threading a collector through each driver.
+var sloObserver func(label string, rep slo.Report)
+
+// SetSLOObserver installs fn as the SLO report hook (nil removes it).
+// Not safe to change while scenarios are running.
+func SetSLOObserver(fn func(label string, rep slo.Report)) { sloObserver = fn }
+
+// emitSLO hands a labeled report to the observer, if any.
+func emitSLO(label string, rep slo.Report) {
+	if sloObserver != nil {
+		sloObserver(label, rep)
+	}
+}
+
+// SLOLedgerRank is the flight-recorder rank SLO alert transitions are
+// recorded under: they are run-scoped, not per-rank, so they live on a
+// synthetic rank outside the real range.
+const SLOLedgerRank = -1
+
 // withDefaults fills the paper's defaults.
 func (c ShotConfig) withDefaults() ShotConfig {
 	if c.Nodes == 0 {
@@ -310,6 +356,9 @@ func (c ShotConfig) withDefaults() ShotConfig {
 	if !c.ParallelSim {
 		c.ParallelSim = defaultParallelSim
 	}
+	if c.Objectives == nil && defaultSLO {
+		c.Objectives = slo.ShotObjectives()
+	}
 	if c.ChunkSize < 0 {
 		c.ChunkSize = 0 // explicit "force monolithic" marker
 	}
@@ -339,6 +388,9 @@ type ShotResult struct {
 	// Series holds the sampled time series when Config.SampleInterval
 	// was set (nil otherwise).
 	Series map[string][]metrics.Sample
+	// SLO holds the engine's end-of-run report when Config.Objectives
+	// was set on a Score combo (nil otherwise).
+	SLO *slo.Report
 }
 
 // Label names the run for metric exports: the Table 1 combo plus the
@@ -440,6 +492,19 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		sinkTracer = trace.New(clk.Now)
 		cfg.Tracer = sinkTracer
 	}
+	// The SLO engine rides the shot clock and only Score runtimes feed it
+	// (the baselines have no critical-path cursor): a baseline combo with
+	// objectives would report zero events, so skip it there rather than
+	// emit vacuous compliance rows.
+	var sloEng *slo.Engine
+	if len(cfg.Objectives) > 0 && cfg.Combo.Approach == Score {
+		eng, err := slo.NewEngine(clk.Now, cfg.Objectives...)
+		if err != nil {
+			return ShotResult{}, err
+		}
+		sloEng = eng
+		cfg.slo = eng
+	}
 	cluster, err := fabric.NewCluster(clk, cfg.Nodes, cfg.Node)
 	if err != nil {
 		return ShotResult{}, err
@@ -509,6 +574,32 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		orders[rank] = cfg.Order.Sequence(cfg.Snapshots, cfg.Seed+int64(rank))
 	}
 
+	if sloEng != nil {
+		// Alert transitions are run-scoped: counters land on rank 0's
+		// recorder, ledger events on the synthetic SLOLedgerRank. The
+		// sink runs outside the engine mutex, and calls are serialized
+		// by the virtual clock (flushes happen when simulated time
+		// advances, which parks the whole cohort), so the transition
+		// counter needs no lock — but keep it atomic so the race
+		// detector never has to reason about clock-edge ordering.
+		rec := rts[0].Metrics()
+		var fl *trace.FlightRecorder
+		if cfg.Tracer != nil {
+			fl = cfg.Tracer.Flight()
+		}
+		var transitions atomic.Int64
+		sloEng.SetAlertSink(func(a slo.Alert) {
+			kind := trace.LSLOFired
+			if a.Fired() {
+				rec.SLOAlertFired()
+			} else {
+				kind = trace.LSLOResolved
+				rec.SLOAlertResolved()
+			}
+			fl.RecordAt(SLOLedgerRank, transitions.Add(1), kind, a.Class, a.Detail(), a.At)
+		})
+	}
+
 	var sampler *metrics.Sampler
 	if cfg.SampleInterval > 0 {
 		sampler = metrics.NewSampler(clk, cfg.SampleInterval, cfg.SeriesCapacity)
@@ -562,6 +653,19 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 	}
 	wg.Wait()
 
+	// Close out observability state before snapshots so the counters the
+	// per-rank summaries carry already include end-of-run transitions:
+	// Finalize flushes the engine's last staged instant (possibly firing
+	// or resolving alerts through the sink above), and the telemetry-drop
+	// gauges record whether the bounded trace rings wrapped.
+	if sloEng != nil {
+		sloEng.Finalize()
+	}
+	if cfg.Tracer != nil && cfg.Combo.Approach == Score {
+		ev, cnt := cfg.Tracer.Dropped()
+		rts[0].Metrics().TelemetryDrops(ev, cnt, cfg.Tracer.Flight().TotalDropped())
+	}
+
 	res := ShotResult{Config: cfg, Duration: clk.Now()}
 	for rank := 0; rank < ranks; rank++ {
 		if errs[rank] != nil {
@@ -594,6 +698,14 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		sampler.Stop()
 		res.Series = sampler.Series()
 	}
+	if sloEng != nil {
+		rep := sloEng.Report()
+		if err := reconcileSLO(&rep, res.MergedSummary(), cfg.Tracer); err != nil {
+			return res, fmt.Errorf("%s: %w", res.Label(), err)
+		}
+		res.SLO = &rep
+		emitSLO(res.Label(), rep)
+	}
 	if shotObserver != nil {
 		shotObserver(res)
 	}
@@ -601,6 +713,52 @@ func runShot(clk *simclock.Virtual, cfg ShotConfig) (ShotResult, error) {
 		defaultTraceSink(res.Label(), sinkTracer)
 	}
 	return res, nil
+}
+
+// reconcileSLO runs the SLO conservation check against the run's merged
+// metrics and alert ledger, folding degraded-mode warnings into the
+// report. The engine's per-kind event counts must equal the counts
+// derivable from the critical-path records and drain tallies (which the
+// metrics invariants in turn tie to the operation histograms); its alert
+// transitions must equal the ledger's retained fire/resolve events —
+// strictly when the ledger dropped nothing, as warnings otherwise.
+func reconcileSLO(rep *slo.Report, merged metrics.Summary, tracer *trace.Tracer) error {
+	counts := map[slo.Kind]int64{slo.KindDrainDeadline: merged.Drains}
+	for _, cp := range merged.CritPaths {
+		switch cp.Op {
+		case metrics.CritRestore:
+			counts[slo.KindRestoreLatency]++
+			counts[slo.KindHitRate]++
+		case metrics.CritDurable:
+			counts[slo.KindDurableLatency]++
+		}
+	}
+	// Without a tracer there is no ledger to reconcile against: feed the
+	// report's own tallies so that leg of the check is vacuously true.
+	var ledgerFired, ledgerResolved, ledgerDropped int64
+	for _, o := range rep.Objectives {
+		ledgerFired += o.Fired
+		ledgerResolved += o.Resolved
+	}
+	if tracer != nil {
+		fl := tracer.Flight()
+		ledgerFired, ledgerResolved = 0, 0
+		for _, ev := range fl.Ledger(SLOLedgerRank) {
+			switch ev.Kind {
+			case trace.LSLOFired:
+				ledgerFired++
+			case trace.LSLOResolved:
+				ledgerResolved++
+			}
+		}
+		ledgerDropped = fl.TotalDropped()
+	}
+	warns, err := slo.CheckConservation(*rep, counts, ledgerFired, ledgerResolved, ledgerDropped)
+	if err != nil {
+		return err
+	}
+	rep.Warnings = append(rep.Warnings, warns...)
+	return nil
 }
 
 // registerLinkProbes adds one in-flight-transfers gauge and one
@@ -646,7 +804,7 @@ func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fab
 			AsyncHostInit:       true,
 		})
 	case Score:
-		client, err := core.New(core.Params{
+		params := core.Params{
 			Clock: clk, GPU: gpu, NVMe: node.NVMe, PFS: node.PFS,
 			GPUCacheSize: cfg.GPUCache, HostCacheSize: cfg.HostCache,
 			DiscardAfterRestore: !cfg.WaitForFlush,
@@ -661,7 +819,13 @@ func buildRuntime(clk simclock.Clock, cfg ShotConfig, gpu *device.GPU, node *fab
 			ChunkSize:           cfg.ChunkSize,
 			FlushStreams:        cfg.FlushStreams,
 			Tracer:              cfg.Tracer,
-		})
+		}
+		if cfg.slo != nil {
+			// Assigned only when non-nil so the interface stays nil (not
+			// a typed-nil) and core's zero-overhead gate holds.
+			params.SLO = cfg.slo
+		}
+		client, err := core.New(params)
 		if err != nil {
 			return nil, err
 		}

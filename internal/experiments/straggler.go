@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"score"
+	"score/internal/slo"
 )
 
 // StragglerConfig parameterizes one straggler sweep.
@@ -42,6 +43,10 @@ type StragglerConfig struct {
 	FlushStreams int
 	// Seed drives the injector schedule.
 	Seed int64
+	// Objectives, when non-empty, attaches an SLO engine per cell. Left
+	// nil, the SetSLO default (the straggler restore-tail objective set)
+	// applies.
+	Objectives []slo.Objective
 }
 
 func (c StragglerConfig) withDefaults() StragglerConfig {
@@ -69,6 +74,9 @@ func (c StragglerConfig) withDefaults() StragglerConfig {
 	if c.Seed == 0 {
 		c.Seed = 2023
 	}
+	if c.Objectives == nil && sloEnabled() {
+		c.Objectives = slo.StragglerObjectives()
+	}
 	return c
 }
 
@@ -91,6 +99,10 @@ type StragglerCell struct {
 	HedgesLaunched, HedgeWins, HedgeWastedBytes int64
 	StallsDetected, StallsRerouted              int64
 	HealthQuarantines                           int64
+	// SLO holds the cell's compliance report when the sweep ran with
+	// objectives (nil otherwise). The degraded cells are where the
+	// restore-tail objective fires; the healthy control must stay clean.
+	SLO *slo.Report
 }
 
 // Label names the cell as in the table.
@@ -148,6 +160,16 @@ func stragglerRun(cfg StragglerConfig, severity float64, hedged bool) (Straggler
 	}
 	inj := sim.NewFaultInjector(cfg.Seed)
 
+	// The SLO engine rides the cell's own virtual clock, watching the
+	// restore critical paths the client feeds it. Each cell gets a fresh
+	// engine: compliance is per (severity, hedging) run.
+	var eng *slo.Engine
+	if len(cfg.Objectives) > 0 {
+		if eng, err = sim.NewSLOEngine(cfg.Objectives...); err != nil {
+			return cell, err
+		}
+	}
+
 	var runErr error
 	sim.Run(func() {
 		opts := []score.ClientOption{
@@ -162,6 +184,9 @@ func stragglerRun(cfg StragglerConfig, severity float64, hedged bool) (Straggler
 		}
 		if hedged {
 			opts = append(opts, score.WithHedgedRestores())
+		}
+		if eng != nil {
+			opts = append(opts, score.WithSLO(eng))
 		}
 		cl, err := sim.NewClient(0, 0, opts...)
 		if err != nil {
@@ -221,6 +246,17 @@ func stragglerRun(cfg StragglerConfig, severity float64, hedged bool) (Straggler
 		cell.StallsDetected = st.StallsDetected
 		cell.StallsRerouted = st.StallsRerouted
 		cell.HealthQuarantines = st.HealthQuarantines
+
+		if eng != nil {
+			eng.Finalize()
+			rep := eng.Report()
+			if err := reconcileSLO(&rep, cl.MetricsSummary(), nil); err != nil {
+				runErr = fmt.Errorf("slo conservation: %w", err)
+				return
+			}
+			cell.SLO = &rep
+			emitSLO("straggler/"+cell.Label(), rep)
+		}
 
 		if err := cl.CheckMetricsInvariants(false); err != nil {
 			runErr = fmt.Errorf("metrics invariants: %w", err)

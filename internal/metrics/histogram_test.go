@@ -179,3 +179,68 @@ func TestMergeCombinesHistograms(t *testing.T) {
 		t.Errorf("invariants after merge: %v", err)
 	}
 }
+
+// TestHistogramSingleSample: every quantile of a one-observation
+// histogram — including q=0 and q=1 — resolves to that observation's
+// bucket bound.
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond) // lands in the 5ms bucket
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 5*time.Millisecond {
+			t.Errorf("single sample Quantile(%v) = %v, want 5ms", q, got)
+		}
+	}
+	if got := s.P999(); got != 5*time.Millisecond {
+		t.Errorf("single sample P999 = %v, want 5ms", got)
+	}
+}
+
+// TestHistogramAllOverflow: with every observation beyond the ladder,
+// the only honest estimate at any quantile is the mean.
+func TestHistogramAllOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Hour)
+	h.Observe(3 * time.Hour)
+	s := h.Snapshot()
+	want := 2 * time.Hour
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("all-overflow Quantile(%v) = %v, want mean %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileOne: q=1.0 (and above, clamped) resolves to the
+// maximum occupied bucket, not the overflow path.
+func TestHistogramQuantileOne(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != time.Second {
+		t.Errorf("Quantile(1) = %v, want 1s", got)
+	}
+	if got := s.Quantile(2); got != time.Second {
+		t.Errorf("Quantile(2) clamps to 1.0: got %v, want 1s", got)
+	}
+	// A 1% slow tail over 1010 observations: P99's rank still lands in
+	// the fast bucket, P999's reaches the outliers.
+	h2 := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h2.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(time.Second)
+	}
+	s2 := h2.Snapshot()
+	if got := s2.P99(); got != time.Microsecond {
+		t.Errorf("P99 = %v, want 1µs", got)
+	}
+	if got := s2.P999(); got != time.Second {
+		t.Errorf("P999 = %v, want 1s", got)
+	}
+}

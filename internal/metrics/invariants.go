@@ -89,6 +89,16 @@ func CheckInvariants(s Summary) error {
 		fail("hedge: %d hedge_wait samples with no hedge launched", h.Count)
 	}
 
+	// SLO alerting: every resolve follows a fire, and the telemetry-drop
+	// gauges are mirrored totals that can never go negative.
+	if s.SLOAlertsResolved > s.SLOAlertsFired {
+		fail("slo: %d alerts resolved but only %d fired", s.SLOAlertsResolved, s.SLOAlertsFired)
+	}
+	if s.TraceEventsDropped < 0 || s.TraceCountersDropped < 0 || s.LedgerEventsDropped < 0 {
+		fail("slo: negative telemetry-drop gauge (events %d, counters %d, ledger %d)",
+			s.TraceEventsDropped, s.TraceCountersDropped, s.LedgerEventsDropped)
+	}
+
 	// Drain accounting folds into the fate ledger: every version a drain
 	// flushed was credited durable, every abandoned one was credited lost
 	// through the flush-abort path, and each drain decides its deadline

@@ -96,6 +96,15 @@ type Recorder struct {
 	stallsRerouted    atomic.Int64 // stalled flushes successfully re-routed to an alternate tier
 	healthQuarantines atomic.Int64 // tiers quarantined by an EWMA health-score breach
 
+	// SLO burn-rate alert transitions (internal/slo, DESIGN.md §17) and
+	// telemetry-drop gauges mirrored from the bounded tracer and
+	// flight-recorder rings so lost observability is itself observable.
+	sloAlertsFired       atomic.Int64
+	sloAlertsResolved    atomic.Int64
+	traceEventsDropped   atomic.Int64
+	traceCountersDropped atomic.Int64
+	ledgerEventsDropped  atomic.Int64
+
 	// durableOps counts ConserveDurable calls so CheckInvariants can tie
 	// the critical-path record count to the fate accounting.
 	durableOps atomic.Int64
@@ -339,6 +348,27 @@ func (r *Recorder) HedgeWasted(bytes int64) {
 	r.hedgeWastedBytes.Add(bytes)
 }
 
+// SLOAlertFired records one SLO objective window pair crossing its
+// burn-rate threshold.
+func (r *Recorder) SLOAlertFired() {
+	r.sloAlertsFired.Add(1)
+}
+
+// SLOAlertResolved records one firing SLO window pair dropping back
+// below its burn-rate threshold.
+func (r *Recorder) SLOAlertResolved() {
+	r.sloAlertsResolved.Add(1)
+}
+
+// TelemetryDrops mirrors the bounded telemetry rings' drop counts
+// (Tracer.Dropped and FlightRecorder.TotalDropped) into the metrics
+// books. The values are totals, not deltas — the latest call wins.
+func (r *Recorder) TelemetryDrops(traceEvents, traceCounters, ledgerEvents int64) {
+	r.traceEventsDropped.Store(traceEvents)
+	r.traceCountersDropped.Store(traceCounters)
+	r.ledgerEventsDropped.Store(ledgerEvents)
+}
+
 // StallDetected records a background flush leg exceeding its adaptive
 // deadline without failing — the gray-stall signal.
 func (r *Recorder) StallDetected() {
@@ -469,6 +499,13 @@ type Summary struct {
 	StallsRerouted    int64
 	HealthQuarantines int64
 
+	// SLO alert transitions and telemetry-drop gauges (DESIGN.md §17).
+	SLOAlertsFired       int64
+	SLOAlertsResolved    int64
+	TraceEventsDropped   int64
+	TraceCountersDropped int64
+	LedgerEventsDropped  int64
+
 	// Critical-path attribution records and the durable-fate op count
 	// they are balanced against (see critpath.go, CheckInvariants).
 	CritPaths  []CritPathRecord `json:",omitempty"`
@@ -598,6 +635,12 @@ func (r *Recorder) Snapshot() Summary {
 		StallsRerouted:    r.stallsRerouted.Load(),
 		HealthQuarantines: r.healthQuarantines.Load(),
 
+		SLOAlertsFired:       r.sloAlertsFired.Load(),
+		SLOAlertsResolved:    r.sloAlertsResolved.Load(),
+		TraceEventsDropped:   r.traceEventsDropped.Load(),
+		TraceCountersDropped: r.traceCountersDropped.Load(),
+		LedgerEventsDropped:  r.ledgerEventsDropped.Load(),
+
 		CritPaths:  critPaths,
 		DurableOps: r.durableOps.Load(),
 
@@ -699,6 +742,11 @@ func Merge(parts ...Summary) Summary {
 		out.StallsDetected += p.StallsDetected
 		out.StallsRerouted += p.StallsRerouted
 		out.HealthQuarantines += p.HealthQuarantines
+		out.SLOAlertsFired += p.SLOAlertsFired
+		out.SLOAlertsResolved += p.SLOAlertsResolved
+		out.TraceEventsDropped += p.TraceEventsDropped
+		out.TraceCountersDropped += p.TraceCountersDropped
+		out.LedgerEventsDropped += p.LedgerEventsDropped
 		out.CritPaths = append(out.CritPaths, copyCritPaths(p.CritPaths)...)
 		out.DurableOps += p.DurableOps
 		for name, h := range p.Histograms {

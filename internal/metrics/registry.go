@@ -164,6 +164,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		{"score_partner_copy_bytes_total", "bytes replicated to partner SSDs", "counter", func(s Summary) float64 { return float64(s.PartnerCopyBytes) }},
 		{"score_partner_copy_failures_total", "partner replication attempts that failed", "counter", func(s Summary) float64 { return float64(s.PartnerCopyFailures) }},
 		{"score_rank_deaths_total", "ranks killed by fault injection", "counter", func(s Summary) float64 { return float64(s.RankDeaths) }},
+		{"score_slo_alerts_fired_total", "SLO burn-rate alerts fired", "counter", func(s Summary) float64 { return float64(s.SLOAlertsFired) }},
+		{"score_slo_alerts_resolved_total", "SLO burn-rate alerts resolved", "counter", func(s Summary) float64 { return float64(s.SLOAlertsResolved) }},
+		{"score_trace_events_dropped_total", "trace spans evicted by the bounded ring", "counter", func(s Summary) float64 { return float64(s.TraceEventsDropped) }},
+		{"score_trace_counters_dropped_total", "trace counter samples evicted by the bounded ring", "counter", func(s Summary) float64 { return float64(s.TraceCountersDropped) }},
+		{"score_ledger_events_dropped_total", "flight-recorder ledger events evicted by the per-rank rings", "counter", func(s Summary) float64 { return float64(s.LedgerEventsDropped) }},
 	}
 	for _, sc := range scalars {
 		sc := sc

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"score/internal/slo"
+)
+
+// This file defines the SLO compliance artifact: the versioned JSON
+// envelope ckptbench writes (-slo-out) holding, per run, the engine's
+// end-of-run report — objective compliance, budget remaining, and the
+// alert fire/resolve history — plus the human-readable compliance table
+// rendered from it.
+
+// SLOSchema tags the SLO compliance file format.
+const SLOSchema = "score-slo/v1"
+
+// SLORun is one run's (scenario's) SLO report.
+type SLORun struct {
+	// Label names the run (same labels as the metrics export).
+	Label string `json:"label"`
+	// Report is the engine's end-of-run output.
+	Report slo.Report `json:"report"`
+}
+
+// sloFile is the on-disk envelope.
+type sloFile struct {
+	Schema string   `json:"schema"`
+	Runs   []SLORun `json:"runs"`
+}
+
+// WriteSLO writes runs as an indented JSON file, sorted by label for
+// stable diffs (objectives and alerts already carry the engine's
+// deterministic evaluation order).
+func WriteSLO(w io.Writer, runs []SLORun) error {
+	sorted := make([]SLORun, len(runs))
+	copy(sorted, runs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	data, err := json.MarshalIndent(sloFile{Schema: SLOSchema, Runs: sorted}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSLOFile writes runs to path via WriteSLO.
+func WriteSLOFile(path string, runs []SLORun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSLO(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSLO parses an SLO compliance file, validating its schema tag.
+func LoadSLO(r io.Reader) ([]SLORun, error) {
+	var f sloFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("report: parsing slo report: %w", err)
+	}
+	if f.Schema != SLOSchema {
+		return nil, fmt.Errorf("report: slo schema %q, want %q", f.Schema, SLOSchema)
+	}
+	return f.Runs, nil
+}
+
+// LoadSLOFile reads an SLO compliance file from disk.
+func LoadSLOFile(path string) ([]SLORun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSLO(f)
+}
+
+// SLOTable renders the per-run compliance table: one row per objective
+// with its class, goal, compliance, budget remaining, peak burn, alert
+// tally, and the dominant attribution behind its bad events.
+func SLOTable(runs []SLORun) *Table {
+	tab := NewTable("SLO compliance — objectives, burn, and attribution",
+		"run", "objective", "class", "kind", "goal", "events", "compliance", "budget left", "peak burn", "alerts", "status", "driven by")
+	sorted := make([]SLORun, len(runs))
+	copy(sorted, runs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	for _, run := range sorted {
+		first := true
+		for _, o := range run.Report.Objectives {
+			runCol := ""
+			if first {
+				runCol = run.Label
+				first = false
+			}
+			goal := fmt.Sprintf("%.3g", o.Goal)
+			if o.Threshold > 0 {
+				goal += " ≤ " + o.Threshold.Round(time.Microsecond).String()
+			}
+			status := "ok"
+			switch {
+			case o.Firing:
+				status = "FIRING"
+			case o.Fired > 0:
+				status = "fired"
+			case !o.Met():
+				status = "MISSED"
+			}
+			tab.AddRow(runCol, o.Name, o.Class, o.Kind.String(), goal,
+				fmt.Sprintf("%d", o.Events),
+				fmt.Sprintf("%.3f", o.Compliance),
+				fmt.Sprintf("%+.2f", o.BudgetRemaining),
+				fmt.Sprintf("%.1f", o.PeakBurn),
+				fmt.Sprintf("%d/%d", o.Fired, o.Resolved),
+				status, o.Attribution)
+		}
+	}
+	return tab
+}

@@ -1,0 +1,55 @@
+package slo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckConservation reconciles the engine's view of the run against the
+// runtime's own books: every objective must have seen exactly the
+// events the histograms/counters recorded for its kind, and the alert
+// transitions written to the flight-recorder ledger must match the
+// report. With zero dropped ledger events the reconciliation is strict
+// (any mismatch is an error — a lost observation is an instrumentation
+// bug); once the bounded rings have dropped entries the same mismatches
+// degrade to warnings, because the ledger is no longer a complete
+// record to reconcile against.
+//
+// events maps each kind to the runtime's authoritative event count
+// (e.g. the restore-blocked histogram count); kinds absent from the map
+// are not checked.
+func CheckConservation(rep Report, events map[Kind]int64, ledgerFired, ledgerResolved, ledgerDropped int64) (warnings []string, err error) {
+	var mismatches []string
+	var repFired, repResolved int64
+	for _, o := range rep.Objectives {
+		repFired += o.Fired
+		repResolved += o.Resolved
+		if expect, ok := events[o.Kind]; ok && o.Events != expect {
+			mismatches = append(mismatches,
+				fmt.Sprintf("objective %s (%s) saw %d events, runtime recorded %d", o.Name, o.Kind, o.Events, expect))
+		}
+	}
+	if ledgerFired != repFired {
+		mismatches = append(mismatches,
+			fmt.Sprintf("ledger holds %d slo-fired events, report fired %d", ledgerFired, repFired))
+	}
+	if ledgerResolved != repResolved {
+		mismatches = append(mismatches,
+			fmt.Sprintf("ledger holds %d slo-resolved events, report resolved %d", ledgerResolved, repResolved))
+	}
+	if len(mismatches) == 0 {
+		return nil, nil
+	}
+	if ledgerDropped == 0 {
+		errs := make([]error, 0, len(mismatches))
+		for _, m := range mismatches {
+			errs = append(errs, errors.New("slo conservation: "+m))
+		}
+		return nil, errors.Join(errs...)
+	}
+	for _, m := range mismatches {
+		warnings = append(warnings,
+			fmt.Sprintf("slo conservation (degraded, %d ledger events dropped): %s", ledgerDropped, m))
+	}
+	return warnings, nil
+}

@@ -1,0 +1,87 @@
+package slo
+
+import "time"
+
+// Checked-in objective sets for the experiment scenarios. These are the
+// objectives `make slo-smoke` holds the pipeline and straggler runs to;
+// thresholds are calibrated against the committed results_full.txt
+// numbers with headroom, so a healthy run passes and a regression (or
+// an injected fault) burns budget fast enough to alert.
+
+// ShotObjectives covers the RunShot-driven scenarios (pipeline and the
+// figure sweeps): restore blocking and time-to-durable tails for the
+// batch-training class. Both pipeline variants hold every restore well
+// under the thresholds at small and paper scale, so these gate CI
+// without flapping while still catching an order-of-magnitude tail
+// regression.
+func ShotObjectives() []Objective {
+	return []Objective{
+		{
+			Name:      "restore-p99",
+			Class:     "batch-training",
+			Kind:      KindRestoreLatency,
+			Goal:      0.99,
+			Threshold: 1500 * time.Millisecond,
+			Windows:   []Window{{Long: 5 * time.Second, Short: time.Second, Rate: 4}},
+		},
+		{
+			Name:      "durable-p99",
+			Class:     "batch-training",
+			Kind:      KindDurableLatency,
+			Goal:      0.99,
+			Threshold: 20 * time.Second,
+			Windows:   []Window{{Long: 20 * time.Second, Short: 4 * time.Second, Rate: 4}},
+		},
+	}
+}
+
+// StragglerObjectives covers the gray-failure sweep: a tight restore
+// tail for the restore-critical class. Healthy P99 sits near 6.5 ms
+// (results_full.txt), a 20× SSD straggler pushes the unhedged tail past
+// 80 ms — the 15 ms bound cleanly separates them, so the degraded cells
+// fire and the healthy control never does.
+func StragglerObjectives() []Objective {
+	return []Objective{
+		{
+			Name:      "restore-p99",
+			Class:     "restore-critical",
+			Kind:      KindRestoreLatency,
+			Goal:      0.99,
+			Threshold: 15 * time.Millisecond,
+			Windows:   []Window{{Long: 50 * time.Millisecond, Short: 10 * time.Millisecond, Rate: 4}},
+		},
+	}
+}
+
+// PreemptObjectives covers the preemption-drain sweep. The engine runs
+// on a synthetic one-second-per-run timeline (each drain is a fresh
+// sim), so the windows are run-counts in disguise: fire when recent
+// drains blow their deadline, resolve as roomier grace windows wash the
+// budget clean.
+func PreemptObjectives() []Objective {
+	return []Objective{
+		{
+			Name:       "drain-hit-ratio",
+			Class:      "preemptible",
+			Kind:       KindDrainDeadline,
+			Goal:       0.6,
+			Windows:    []Window{{Long: 6 * time.Second, Short: 2 * time.Second, Rate: 1.2}},
+			Resolution: time.Second,
+		},
+	}
+}
+
+// EvictObjectives covers the eviction-policy replay: cache hit rate for
+// the serving class, on the replay's own virtual clock (time advances
+// only on miss stalls).
+func EvictObjectives() []Objective {
+	return []Objective{
+		{
+			Name:    "cache-hit-rate",
+			Class:   "cache-serving",
+			Kind:    KindHitRate,
+			Goal:    0.5,
+			Windows: []Window{{Long: 50 * time.Millisecond, Short: 10 * time.Millisecond, Rate: 1.5}},
+		},
+	}
+}

@@ -1,0 +1,238 @@
+// Package slo evaluates declarative service-level objectives over the
+// simulated checkpoint pipeline: restore-blocking P99, time-to-durable
+// P99, drain deadline-hit ratio, and cache hit rate, each with
+// Google-SRE-style multi-window multi-burn-rate alerting (DESIGN.md
+// §17).
+//
+// Everything is driven by the virtual clock: sliding error-budget
+// windows advance with simulated time, so evaluation is byte-
+// deterministic across timer backends and wake modes, and costs nothing
+// in wall-clock when no objectives are registered. A latency objective
+// "P99 ≤ X" is evaluated as a good/bad ratio — "at least Goal of events
+// complete within Threshold" — which is the standard reduction that
+// makes percentile targets burn-rate-alertable.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Kind names what an objective measures.
+type Kind int
+
+const (
+	// KindRestoreLatency: restore-blocking latency ≤ Threshold for at
+	// least Goal of restores.
+	KindRestoreLatency Kind = iota
+	// KindDurableLatency: time-to-durable ≤ Threshold for at least Goal
+	// of checkpoint versions.
+	KindDurableLatency
+	// KindDrainDeadline: preemption drains meet their deadline at a
+	// ratio of at least Goal.
+	KindDrainDeadline
+	// KindHitRate: restores are served without touching a deep tier
+	// (SSD/PFS/partner) at a ratio of at least Goal.
+	KindHitRate
+)
+
+var kindNames = map[Kind]string{
+	KindRestoreLatency: "restore-latency",
+	KindDurableLatency: "durable-latency",
+	KindDrainDeadline:  "drain-deadline",
+	KindHitRate:        "hit-rate",
+}
+
+// String names the kind as rendered in tables and score-slo/v1 JSON.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("slo: unknown objective kind %q", s)
+}
+
+// MarshalJSON renders the kind by name so score-slo/v1 files stay
+// stable if the enum is ever reordered.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	n, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("slo: cannot marshal %v", k)
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// Window is one (long, short) burn-rate alerting pair: the alert fires
+// when the error budget burns at ≥ Rate× the sustainable pace over both
+// the long window (significance) and the short window (recency), and
+// resolves when either drops back below Rate.
+type Window struct {
+	Long  time.Duration
+	Short time.Duration
+	// Rate is the burn-rate threshold: 1.0 burns exactly the full
+	// budget if sustained for the objective's compliance period.
+	Rate float64
+}
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective in alerts, tables, and JSON.
+	Name string
+	// Class is the workload class the objective covers — scenario-level
+	// today, shaped as the seed of per-tenant attribution for the
+	// multi-tenant service (ROADMAP).
+	Class string
+	Kind  Kind
+	// Goal is the target good-event fraction in (0, 1); the error
+	// budget is 1 − Goal.
+	Goal float64
+	// Threshold is the latency bound for latency kinds ("P99 ≤ X" ⇔
+	// Goal = 0.99, Threshold = X); ignored for ratio kinds.
+	Threshold time.Duration `json:",omitempty"`
+	Windows   []Window
+	// Resolution is the error-budget bucket width; 0 derives it from
+	// the shortest Short window.
+	Resolution time.Duration `json:",omitempty"`
+}
+
+// validate rejects malformed objectives at engine construction.
+func (o Objective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("slo: objective with empty name")
+	}
+	if _, ok := kindNames[o.Kind]; !ok {
+		return fmt.Errorf("slo: objective %s: unknown kind %d", o.Name, int(o.Kind))
+	}
+	if o.Goal <= 0 || o.Goal >= 1 {
+		return fmt.Errorf("slo: objective %s: goal %v outside (0, 1)", o.Name, o.Goal)
+	}
+	switch o.Kind {
+	case KindRestoreLatency, KindDurableLatency:
+		if o.Threshold <= 0 {
+			return fmt.Errorf("slo: objective %s: latency kind needs a positive threshold", o.Name)
+		}
+	}
+	if len(o.Windows) == 0 {
+		return fmt.Errorf("slo: objective %s: no alerting windows", o.Name)
+	}
+	for i, w := range o.Windows {
+		if w.Long <= 0 || w.Short <= 0 || w.Short > w.Long {
+			return fmt.Errorf("slo: objective %s: window %d: need 0 < short ≤ long", o.Name, i)
+		}
+		if w.Rate <= 0 {
+			return fmt.Errorf("slo: objective %s: window %d: burn rate must be positive", o.Name, i)
+		}
+	}
+	if o.Resolution < 0 {
+		return fmt.Errorf("slo: objective %s: negative resolution", o.Name)
+	}
+	return nil
+}
+
+// Alert transition events.
+const (
+	EventFire    = "fire"
+	EventResolve = "resolve"
+)
+
+// Alert is one fire or resolve transition of an objective's window
+// pair, stamped with the virtual-time instant it was evaluated at.
+type Alert struct {
+	Objective string
+	Class     string
+	Kind      Kind
+	Event     string // EventFire or EventResolve
+	At        time.Duration
+	Window    Window
+	// Burn is the long-window burn rate at the transition.
+	Burn float64
+	// BudgetRemaining is the cumulative error budget left (1 = untouched,
+	// negative = overspent).
+	BudgetRemaining float64
+	// Attribution names the dominant critical-path components behind the
+	// bad events in the long window (fire only), e.g. "xfer-ssd".
+	Attribution string `json:",omitempty"`
+}
+
+// Fired reports whether this is a fire transition.
+func (a Alert) Fired() bool { return a.Event == EventFire }
+
+// Detail renders the alert's payload as it appears in ledger entries.
+func (a Alert) Detail() string {
+	s := fmt.Sprintf("%s %s/%s burn %.2f budget %.2f", a.Objective, a.Window.Long, a.Window.Short, a.Burn, a.BudgetRemaining)
+	if a.Attribution != "" {
+		s += " driven by " + a.Attribution
+	}
+	return s
+}
+
+// ObjectiveResult is one objective's end-of-run compliance summary.
+type ObjectiveResult struct {
+	Objective
+	// Events and Good count the observations routed to this objective.
+	Events int64
+	Good   int64
+	// Compliance is the good fraction (1.0 when no events arrived).
+	Compliance float64
+	// BudgetRemaining is 1 − (bad fraction)/(1 − Goal).
+	BudgetRemaining float64
+	// PeakBurn is the highest long-window burn rate seen at any
+	// evaluation instant.
+	PeakBurn float64
+	// Fired and Resolved count alert transitions; Firing reports
+	// whether any window pair was still firing at finalize.
+	Fired    int64
+	Resolved int64
+	Firing   bool
+	// Attribution names the dominant components across all bad events.
+	Attribution string `json:",omitempty"`
+}
+
+// Met reports whether the objective's final compliance met its goal
+// (vacuously true with no events).
+func (r ObjectiveResult) Met() bool {
+	return r.Events == 0 || r.Compliance >= r.Goal
+}
+
+// Report is the engine's end-of-run output: per-objective compliance
+// plus every alert transition in evaluation order.
+type Report struct {
+	Objectives []ObjectiveResult
+	Alerts     []Alert  `json:",omitempty"`
+	Warnings   []string `json:",omitempty"`
+}
+
+// Breached reports whether any objective fired an alert or ended out
+// of compliance — the `ckptbench -fail-on-slo` condition.
+func (r Report) Breached() bool {
+	for _, o := range r.Objectives {
+		if o.Fired > 0 || !o.Met() {
+			return true
+		}
+	}
+	return false
+}

@@ -40,6 +40,8 @@ const (
 	LMigrated                            // this version's durable replica landed on the successor
 	LStalled                             // an I/O leg exceeded its adaptive deadline without failing (gray stall)
 	LHedged                              // a hedge leg was launched against the next-deeper replica
+	LSLOFired                            // an SLO burn-rate alert fired (Detail carries burn/budget/attribution)
+	LSLOResolved                         // a firing SLO alert dropped back below its burn-rate threshold
 )
 
 // String names the kind as rendered in ledger dumps.
@@ -101,6 +103,10 @@ func (k LifecycleKind) String() string {
 		return "stalled"
 	case LHedged:
 		return "hedged"
+	case LSLOFired:
+		return "slo-fired"
+	case LSLOResolved:
+		return "slo-resolved"
 	}
 	return fmt.Sprintf("LifecycleKind(%d)", int(k))
 }
@@ -168,12 +174,23 @@ func (f *FlightRecorder) ring(rank int) *rankRing {
 	return r
 }
 
-// Record appends one lifecycle event for (rank, version). Nil-safe.
+// Record appends one lifecycle event for (rank, version), stamped at
+// the recorder clock's current instant. Nil-safe.
 func (f *FlightRecorder) Record(rank int, version int64, kind LifecycleKind, tier, detail string) {
 	if f == nil {
 		return
 	}
-	at := f.now()
+	f.RecordAt(rank, version, kind, tier, detail, f.now())
+}
+
+// RecordAt appends one lifecycle event with an explicit timestamp —
+// for events whose semantic instant predates the recording call, like
+// SLO alert transitions evaluated when a later-timestamped observation
+// folds the batch. Nil-safe.
+func (f *FlightRecorder) RecordAt(rank int, version int64, kind LifecycleKind, tier, detail string, at time.Duration) {
+	if f == nil {
+		return
+	}
 	r := f.ring(rank)
 	r.mu.Lock()
 	ev := LifecycleEvent{Rank: rank, Version: version, Kind: kind, Tier: tier, Detail: detail, At: at}

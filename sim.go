@@ -411,7 +411,7 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		}
 		evictPolicy = p
 	}
-	client, err := core.New(core.Params{
+	params := core.Params{
 		Clock:               s.clock(),
 		GPU:                 dev,
 		NVMe:                n.NVMe,
@@ -436,7 +436,13 @@ func (s *Sim) NewClient(node, gpu int, opts ...ClientOption) (*Client, error) {
 		Rank:                cc.rank,
 		Commit:              commit,
 		Hedge:               cc.hedge,
-	})
+	}
+	// A nil *slo.Engine must stay a nil interface (every sink method is
+	// nil-safe, but the hot-path gate is the interface nil check).
+	if cc.slo != nil {
+		params.SLO = cc.slo
+	}
+	client, err := core.New(params)
 	if err != nil {
 		return nil, err
 	}
